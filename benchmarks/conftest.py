@@ -1,0 +1,42 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation (see DESIGN.md §4 for the index).  Results are printed and
+also written to ``benchmarks/results/<name>.txt`` so the paper-shaped
+tables survive pytest's output capturing.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+
+@pytest.fixture
+def report():
+    """Collects report lines; writes them to a results file on success."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    class Reporter:
+        def __init__(self):
+            self.lines = []
+
+        def add(self, text=""):
+            self.lines.append(str(text))
+            print(text)
+
+        def write(self, name):
+            path = os.path.join(RESULTS_DIR, f"{name}.txt")
+            with open(path, "w") as handle:
+                handle.write("\n".join(self.lines) + "\n")
+            return path
+
+    return Reporter()

@@ -1,0 +1,106 @@
+"""Fig. 11 — Halo Presence Service.
+
+(a) the interaction rule (pin session, colocate its players) vs the
+    semantics-free frequency-colocation default rule: smoother, lower
+    latency from the moment clients join.
+(b) per-client latency in the first round under the default rule:
+    fortuitously placed clients vs misplaced ones (~35% higher latency
+    until the first redistribution).
+(c) the resource-rule variant on a 64-server fleet with 1, 2 and 4
+    GEMs: more GEMs only slightly affect latency.
+"""
+
+from repro.apps.halo import (run_halo_gem_experiment,
+                             run_halo_interaction_experiment)
+from repro.bench import format_series, format_table, mean
+
+INTER_COMMON = dict(num_clients=32, rounds=4, round_ms=180_000.0,
+                    period_ms=70_000.0, heartbeat_ms=300.0)
+
+
+def test_fig11a_interaction_vs_default_rule(benchmark, report):
+    def run_all():
+        return {mode: run_halo_interaction_experiment(mode, **INTER_COMMON)
+                for mode in ("inter-rule", "def-rule")}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for mode, result in results.items():
+        report.add(format_series(f"fig11a/{mode}", result.curve,
+                                 y_label="latency(ms)"))
+    rows = [[mode, result.mean_latency_ms, result.migrations]
+            for mode, result in results.items()]
+    report.add(format_table(["rule", "mean latency (ms)", "migrations"],
+                            rows, title="Fig. 11a — Halo heartbeat "
+                                        "latency by rule"))
+    report.write("fig11a_halo_rules")
+
+    inter = results["inter-rule"]
+    default = results["def-rule"]
+    assert inter.mean_latency_ms < default.mean_latency_ms
+    # inter-rule needs no migrations: placement was right from creation.
+    assert inter.migrations == 0
+    # The default rule's curve is rougher (degraded spans per round).
+    def spread(result):
+        values = [lat for _t, lat in result.curve]
+        return max(values) - min(values)
+
+    assert spread(inter) <= spread(default)
+
+
+def test_fig11b_per_client_first_round(benchmark, report):
+    def run():
+        return run_halo_interaction_experiment("def-rule", **INTER_COMMON)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    first_round_end = INTER_COMMON["round_ms"]
+    rows = []
+    first_round_means = []
+    for name, samples in sorted(result.per_client.items()):
+        early = [lat for t, lat in samples if t < first_round_end]
+        if not early:
+            continue
+        value = mean(early)
+        first_round_means.append(value)
+        rows.append([name, value])
+    report.add(format_table(
+        ["client", "first-round latency (ms)"], rows[:8],
+        title="Fig. 11b — per-client latency, first round, def-rule"))
+    well_placed = min(first_round_means)
+    misplaced = max(first_round_means)
+    report.add(f"misplaced / well-placed = {misplaced / well_placed:.2f} "
+               f"(paper: ~1.35)")
+    report.write("fig11b_halo_clients")
+
+    # Shape: misplaced clients pay a significant premium (paper ~35%).
+    assert misplaced > 1.15 * well_placed
+
+
+def test_fig11c_gem_count(benchmark, report):
+    def run_all():
+        return {gems: run_halo_gem_experiment(
+            gem_count=gems, num_servers=32, num_sessions=32,
+            num_routers=16, num_clients=64, period_ms=80_000.0,
+            router_cpu_ms=3.0, heartbeat_ms=100.0,
+            duration_ms=600_000.0, routers_on_first=4)
+            for gems in (1, 2, 4)}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[gems, result.settle_latency_ms, result.migrations]
+            for gems, result in results.items()]
+    report.add(format_table(
+        ["GEMs", "settled latency (ms)", "migrations"], rows,
+        title="Fig. 11c — Halo latency vs number of GEMs"))
+    for gems, result in results.items():
+        report.add(format_series(f"fig11c/{gems}-GEM", result.curve,
+                                 y_label="latency(ms)"))
+    report.write("fig11c_halo_gems")
+
+    # Every configuration balances the routers away: latency settles
+    # well below the congestion peak reached while clients pile onto
+    # the 4 router servers...
+    for gems, result in results.items():
+        peak = max(lat for t, lat in result.curve if t < 200_000.0)
+        assert result.settle_latency_ms < 0.85 * peak, f"{gems} GEMs"
+    # ...and the number of GEMs has only a small impact (paper Fig 11c).
+    settles = [r.settle_latency_ms for r in results.values()]
+    assert max(settles) < 1.5 * min(settles)

@@ -1,0 +1,127 @@
+"""Fig. 7 — PageRank dynamic workload balance (fixed fleet).
+
+(a) per-iteration computation time, normalized to the first iteration of
+    the respective no-elasticity run: PLASMA w/ and w/o elasticity vs
+    Mizan w/ and w/o elasticity.  Paper: PLASMA's elasticity cuts
+    iteration time up to ~24%; Mizan's vertex migration only ~3%.
+(b) CPU% of each server over redistributions.
+(c) worker-actor distribution over redistributions.
+"""
+
+from pagerank_common import (NUM_SERVERS, PERIOD_MS, random_placement,
+                             run_static, standard_graph, steady_time)
+from repro.apps.pagerank import build_pagerank, run_iterations
+from repro.baselines import MizanMigrator
+from repro.bench import build_cluster, format_series, format_table
+
+SEED = 104
+#: Mizan's framework runs the same kernel ~4x slower than the actor
+#: runtime (paper: "absolute iteration time of Mizan is about 4x longer
+#: than that of PLASMA"); both systems are therefore normalized to their
+#: own baseline.
+MIZAN_COMPUTE_SCALE = 4.0
+
+
+def _run_mizan(graph, placement, elastic):
+    bed = build_cluster(NUM_SERVERS, "m5.large", seed=4)
+    deployment = build_pagerank(bed, graph, 32, placement=list(placement),
+                                compute_scale=MIZAN_COMPUTE_SCALE)
+    hook = None
+    if elastic:
+        migrator = MizanMigrator(deployment, migrate_fraction=0.05,
+                                 imbalance_trigger=1.10)
+        hook = migrator.on_iteration
+    stats = run_iterations(deployment, 19, on_iteration=hook)
+    return stats
+
+
+def test_fig7a_iteration_time_vs_mizan(benchmark, report):
+    graph = standard_graph()
+    placement = random_placement(SEED)
+
+    def run_all():
+        plasma = run_static(graph, placement, "plasma",
+                            iterations=19)["stats"]
+        plasma_off = run_static(graph, placement, "none",
+                                iterations=19)["stats"]
+        mizan = _run_mizan(graph, placement, elastic=True)
+        mizan_off = _run_mizan(graph, placement, elastic=False)
+        return plasma, plasma_off, mizan, mizan_off
+
+    plasma, plasma_off, mizan, mizan_off = benchmark.pedantic(
+        run_all, rounds=1, iterations=1)
+
+    plasma_base = plasma_off.times_ms[0]
+    mizan_base = mizan_off.times_ms[0]
+    series = {
+        "PLASMA (w/ elasticity)": [t / plasma_base
+                                   for t in plasma.times_ms],
+        "PLASMA (w/o elasticity)": [t / plasma_base
+                                    for t in plasma_off.times_ms],
+        "Mizan (w/ elasticity)": [t / mizan_base for t in mizan.times_ms],
+        "Mizan (w/o elasticity)": [t / mizan_base
+                                   for t in mizan_off.times_ms],
+    }
+    for name, values in series.items():
+        report.add(format_series(
+            f"fig7a/{name}", list(enumerate(values, start=1)),
+            x_label="iteration", y_label="normalized time"))
+
+    plasma_gain = 1.0 - (steady_time(plasma) / steady_time(plasma_off))
+    mizan_gain = 1.0 - (steady_time(mizan) / steady_time(mizan_off))
+    report.add(f"PLASMA elasticity gain: {100 * plasma_gain:.1f}% "
+               f"(paper: up to 24%)")
+    report.add(f"Mizan elasticity gain: {100 * mizan_gain:.1f}% "
+               f"(paper: up to 3%)")
+    report.write("fig7a_pagerank_vs_mizan")
+
+    # Shape: PLASMA's balancing beats Mizan's vertex migration clearly.
+    assert plasma_gain > 0.05
+    assert plasma_gain > mizan_gain
+
+
+def test_fig7bc_cpu_and_actor_distribution(benchmark, report):
+    graph = standard_graph()
+    placement = random_placement(SEED)
+
+    def run_recorded():
+        return run_static(graph, placement, "plasma", record=True)
+
+    outcome = benchmark.pedantic(run_recorded, rounds=1, iterations=1)
+    recorder = outcome["recorder"]
+
+    spreads = []
+    for name in sorted(recorder.cpu):
+        series = recorder.cpu[name]
+        report.add(format_series(f"fig7b/cpu%/{name}",
+                                 series.samples, y_label="cpu%"))
+    for name in sorted(recorder.actor_counts):
+        series = recorder.actor_counts[name]
+        report.add(format_series(f"fig7c/actors/{name}",
+                                 series.samples, y_label="actors"))
+
+    # CPU spread narrows between the early and late run (Fig. 7b): the
+    # balancer pulls the servers toward one another.
+    def spread_at(index):
+        values = [series.samples[index][1]
+                  for series in recorder.cpu.values()
+                  if len(series) > abs(index)]
+        return max(values) - min(values)
+
+    early_spread = spread_at(2)
+    late_spread = spread_at(-2)
+    report.add(f"cpu spread early={early_spread:.1f} "
+               f"late={late_spread:.1f}")
+    report.add(f"migrations={outcome['migrations']} "
+               f"redistribution rounds="
+               f"{outcome['manager'].redistribution_rounds()}")
+    report.write("fig7bc_pagerank_distribution")
+
+    assert outcome["migrations"] >= 1
+    assert late_spread < early_spread
+    # Actor counts diverge from the initial random assignment (Fig. 7c):
+    # final counts are no longer what they started as everywhere.
+    final_counts = sorted(series.last()
+                          for series in recorder.actor_counts.values())
+    assert final_counts != sorted(
+        placement.count(i) for i in range(NUM_SERVERS))

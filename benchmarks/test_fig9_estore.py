@@ -1,0 +1,42 @@
+"""Fig. 9 — E-Store latency: PLASMA rules vs in-app elasticity vs none.
+
+40 root partitions (x4 children) on 4 m1.small servers, 48 clients with
+the 35%-cascade skew, elastic setups get one standby server.  Paper:
+PLASMA E-Store and the in-app implementation perform near-identically,
+both clearly better than no elasticity.
+"""
+
+from repro.apps.estore import run_estore_experiment
+from repro.bench import format_series, format_table
+
+COMMON = dict(num_clients=48, duration_ms=230_000.0, period_ms=40_000.0)
+
+
+def test_fig9_estore(benchmark, report):
+    def run_all():
+        return {mode: run_estore_experiment(mode, **COMMON)
+                for mode in ("plasma", "in-app", "none")}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [[mode, result.mean_before_ms, result.mean_after_ms,
+             result.migrations]
+            for mode, result in results.items()]
+    report.add(format_table(
+        ["setup", "latency before (ms)", "latency after (ms)",
+         "migrations"], rows,
+        title="Fig. 9 — E-Store request latency"))
+    for mode, result in results.items():
+        report.add(format_series(f"fig9/{mode}", result.curve,
+                                 y_label="latency(ms)"))
+    report.write("fig9_estore")
+
+    plasma = results["plasma"]
+    inapp = results["in-app"]
+    none = results["none"]
+    # Both elastic setups clearly beat no elasticity...
+    assert plasma.mean_after_ms < 0.9 * none.mean_after_ms
+    assert inapp.mean_after_ms < 0.9 * none.mean_after_ms
+    # ...and are close to each other (paper: "quite similar").
+    ratio = plasma.mean_after_ms / inapp.mean_after_ms
+    assert 0.8 < ratio < 1.2

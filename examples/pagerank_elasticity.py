@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""PageRank elasticity demo (paper §5.4 in miniature).
+
+Partitions a scale-free social graph into 16 worker actors, places them
+randomly over 4 servers, and compares three elasticity managers:
+
+- PLASMA's balance rule (CPU-aware),
+- Orleans-style equal-actor-count balancing (CPU-blind),
+- no elasticity.
+
+Run:  python examples/pagerank_elasticity.py
+"""
+
+import random
+
+from repro.apps.pagerank import (PAGERANK_POLICY, PageRankWorker,
+                                 build_pagerank, collect_ranks,
+                                 run_iterations)
+from repro.baselines import OrleansBalancer
+from repro.bench import build_cluster, format_table
+from repro.core import ElasticityManager, EmrConfig, compile_source
+from repro.graphs import pagerank, social_graph
+
+
+def run(mode, graph, placement):
+    bed = build_cluster(4, "m5.large", seed=4)
+    deployment = build_pagerank(bed, graph, 16, placement=list(placement))
+    manager = None
+    if mode == "plasma":
+        policy = compile_source(PAGERANK_POLICY, [PageRankWorker])
+        manager = ElasticityManager(bed.system, policy, EmrConfig(
+            period_ms=5_000.0, gem_wait_ms=300.0))
+        manager.start()
+    elif mode == "orleans":
+        manager = OrleansBalancer(bed.system, period_ms=5_000.0)
+        manager.start()
+    stats = run_iterations(deployment, 30)
+    steady = sum(stats.times_ms[-5:]) / 5
+    migrations = manager.migrations_total() if manager else 0
+    error = max(abs(a - b) for a, b in zip(
+        pagerank(graph, iterations=30), collect_ranks(deployment)))
+    return steady, migrations, error
+
+
+def main():
+    graph = social_graph(1500, 3, superhubs=5, hub_fraction=0.06,
+                         rng=random.Random(2))
+    rng = random.Random(104)
+    placement = [rng.randrange(4) for _ in range(16)]
+
+    rows = []
+    for mode in ("plasma", "orleans", "none"):
+        steady, migrations, error = run(mode, graph, placement)
+        rows.append([mode, f"{steady:.0f}", migrations, f"{error:.1e}"])
+    print(format_table(
+        ["elasticity", "steady iteration (ms)", "migrations",
+         "max rank error vs reference"],
+        rows, title="Distributed PageRank under three elasticity "
+                    "managers"))
+    print("\nNote: migration never perturbs the computation — the rank "
+          "error column stays at numerical noise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: an elastic stateful application in ~60 lines.
+
+Builds a 2-server simulated cluster, defines a CPU-hungry actor type,
+attaches a one-line PLASMA elasticity policy, overloads one server, and
+watches the elasticity runtime rebalance the actors.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (Actor, ActorSystem, Client, ElasticityManager,
+                   EmrConfig, compile_source)
+from repro.bench import build_cluster
+from repro.sim import spawn
+
+
+class Worker(Actor):
+    """A stateful actor whose handler burns CPU."""
+
+    def __init__(self):
+        self.jobs_done = 0
+
+    def crunch(self, cpu_ms):
+        yield self.compute(cpu_ms)      # occupy a core for cpu_ms
+        self.jobs_done += 1
+        return self.jobs_done
+
+
+POLICY = """
+# Keep every server's CPU between 60% and 80%; migrate Workers to fix it.
+server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Worker}, cpu);
+"""
+
+
+def main():
+    bed = build_cluster(num_servers=2, instance_type="m5.large", seed=1)
+    system: ActorSystem = bed.system
+
+    # Create 6 workers, all crowded onto the first server.
+    workers = [system.create_actor(Worker, server=bed.servers[0])
+               for _ in range(6)]
+
+    # Compile the elasticity policy against the actor program and start
+    # the elasticity management runtime (profiling + LEMs + GEM).
+    policy = compile_source(POLICY, [Worker])
+    manager = ElasticityManager(system, policy,
+                                EmrConfig(period_ms=10_000.0))
+    manager.start()
+
+    # Closed-loop clients keep the workers busy.
+    client = Client(system)
+
+    def load(worker):
+        while bed.sim.now < 60_000.0:
+            yield client.call(worker, "crunch", 40.0)
+
+    for worker in workers:
+        spawn(bed.sim, load(worker))
+
+    print("before:", {s.name: len(system.actors_on(s))
+                      for s in bed.servers})
+    bed.run(until_ms=60_000.0)
+    print("after: ", {s.name: len(system.actors_on(s))
+                      for s in bed.servers})
+    print(f"migrations performed: {manager.migrations_total()}")
+    for event in manager.migration_log:
+        print(f"  t={event.time_ms / 1000:.1f}s {event.actor} "
+              f"{event.src} -> {event.dst} ({event.kind})")
+    print("server CPU%:", {s.name: round(s.cpu_percent(10_000.0), 1)
+                           for s in bed.servers})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""External clients.
+
+A :class:`Client` models a request source outside the actor fleet (the
+paper runs clients on separate m1.medium instances).  Client calls cross
+the network to the target actor's server and the reply crosses back; the
+client records end-to-end latency samples, which is the quantity most of
+the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..cluster import GaugeSeries
+from ..sim import Signal
+from .refs import ActorRef
+from .system import ActorSystem
+
+__all__ = ["Client"]
+
+
+class Client:
+    """An external request source with latency recording."""
+
+    def __init__(self, system: ActorSystem, name: str = "client",
+                 request_bytes: float = 512.0) -> None:
+        self.system = system
+        self.name = name
+        self.request_bytes = request_bytes
+        self.latencies = GaugeSeries(name=f"{name}.latency")
+        self.completed = 0
+        self.failed = 0
+
+    def call(self, ref: ActorRef, function: str, *args: Any,
+             size_bytes: Optional[float] = None) -> Signal:
+        """Send one request; returns the reply signal (yield it)."""
+        return self.system.client_call(
+            ref, function, *args,
+            size_bytes=size_bytes if size_bytes is not None
+            else self.request_bytes)
+
+    def timed_call(self, ref: ActorRef, function: str, *args: Any,
+                   size_bytes: Optional[float] = None):
+        """Generator: perform one call, record and return (result, latency).
+
+        Use with ``result, latency = yield from client.timed_call(...)``.
+        """
+        start = self.system.sim.now
+        result = yield self.call(ref, function, *args, size_bytes=size_bytes)
+        latency = self.system.sim.now - start
+        self.latencies.record(self.system.sim.now, latency)
+        if result is None:
+            self.failed += 1
+        else:
+            self.completed += 1
+        return result, latency
+
+    def mean_latency(self) -> float:
+        return self.latencies.mean()
+
+    def latency_samples(self) -> List[Tuple[float, float]]:
+        return list(self.latencies.samples)

@@ -1,0 +1,79 @@
+"""Actor directory: the location service.
+
+Maps actor ids to the server currently hosting them, plus per-actor
+runtime bookkeeping the elasticity runtime needs (pinned flag, last
+migration time for the placement-stability window, migration-in-progress
+state).  In the paper this is part of AEON's distributed runtime; a
+single authoritative map reproduces its observable behaviour (lookups may
+be stale only during a migration, which we model with message forwarding
+at the old host).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, TYPE_CHECKING
+
+from .refs import ActorRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import Server
+    from .actor import Actor
+
+__all__ = ["ActorRecord", "Directory"]
+
+
+@dataclass
+class ActorRecord:
+    """Directory entry for one live actor."""
+
+    instance: "Actor"
+    ref: ActorRef
+    server: "Server"
+    created_at: float
+    pinned: bool = False
+    migrating: bool = False
+    last_placed_at: float = 0.0
+    migrations: int = 0
+
+    @property
+    def type_name(self) -> str:
+        return self.ref.type_name
+
+
+class Directory:
+    """Authoritative actor → server map."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, ActorRecord] = {}
+
+    def register(self, record: ActorRecord) -> None:
+        if record.ref.actor_id in self._records:
+            raise ValueError(f"actor {record.ref} already registered")
+        self._records[record.ref.actor_id] = record
+
+    def unregister(self, actor_id: int) -> None:
+        self._records.pop(actor_id, None)
+
+    def lookup(self, actor_id: int) -> ActorRecord:
+        try:
+            return self._records[actor_id]
+        except KeyError:
+            raise KeyError(f"no live actor with id {actor_id}")
+
+    def try_lookup(self, actor_id: int) -> Optional[ActorRecord]:
+        return self._records.get(actor_id)
+
+    def records(self) -> Iterable[ActorRecord]:
+        return self._records.values()
+
+    def on_server(self, server: "Server") -> List[ActorRecord]:
+        """All actors currently hosted on ``server``."""
+        return [rec for rec in self._records.values() if rec.server is server]
+
+    def of_type(self, type_name: str) -> List[ActorRecord]:
+        return [rec for rec in self._records.values()
+                if rec.type_name == type_name]
+
+    def count(self) -> int:
+        return len(self._records)

@@ -1,0 +1,48 @@
+"""Observation hooks the actor runtime exposes.
+
+PLASMA's design keeps the elasticity profiling runtime (EPR) *outside*
+the application runtime: "the EPR only collects runtime data of actors"
+(§2.2).  The actor system therefore publishes events through this narrow
+interface and the EPR subscribes to it; disabling profiling is simply not
+subscribing, which is how the Table 3 overhead experiment runs its
+vanilla configuration.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import Server
+    from .directory import ActorRecord
+    from .message import Message
+
+__all__ = ["RuntimeHooks"]
+
+
+class RuntimeHooks:
+    """Subscriber interface for actor runtime events.  All methods are
+    no-ops by default; subclasses override what they observe."""
+
+    def on_actor_created(self, record: "ActorRecord") -> None:
+        """A new actor was placed on ``record.server``."""
+
+    def on_actor_destroyed(self, record: "ActorRecord") -> None:
+        """An actor was removed from the system."""
+
+    def on_message_delivered(self, record: "ActorRecord",
+                             message: "Message") -> None:
+        """``message`` entered ``record``'s mailbox on its current server."""
+
+    def on_compute(self, record: "ActorRecord", busy_ms: float) -> None:
+        """``record`` occupied a core for ``busy_ms`` (speed-scaled)."""
+
+    def on_bytes_sent(self, record: "ActorRecord", nbytes: float) -> None:
+        """``record`` sent ``nbytes`` over the network (remote only)."""
+
+    def on_bytes_received(self, record: "ActorRecord", nbytes: float) -> None:
+        """``record`` received ``nbytes`` over the network (remote only)."""
+
+    def on_actor_migrated(self, record: "ActorRecord", old_server: "Server",
+                          new_server: "Server") -> None:
+        """A live migration of ``record`` completed."""

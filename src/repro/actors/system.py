@@ -1,0 +1,414 @@
+"""The actor system: creation, messaging, dispatch, and live migration.
+
+This module is the AEON-runtime stand-in.  It owns the directory, one
+unbounded mailbox and dispatcher process per actor, and the live-migration
+protocol.  The elasticity runtime drives it exclusively through
+:meth:`ActorSystem.migrate_actor`, :meth:`ActorSystem.create_actor`'s
+placement hook, and the :class:`~repro.actors.hooks.RuntimeHooks`
+observation interface — the same narrow surface PLASMA requires of its
+host language runtime.
+
+Semantics reproduced from the paper's substrate:
+
+- actors process messages sequentially; handlers may await CPU, replies
+  from other actors, or sleeps;
+- messages to a migrating actor queue up and are processed after the
+  migration (live migration: no loss, added delay only);
+- messages routed to an actor's old server after it moved are forwarded,
+  paying an extra network hop (the cost ``colocate``/placement rules
+  exist to avoid);
+- an actor's memory footprint moves with it and its state size determines
+  migration transfer time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from ..cluster import NetworkFabric, Provisioner, Server
+from ..sim import (Interrupted, Queue, RandomStreams, Signal, Simulator,
+                   Timeout, Waitable, spawn)
+from .actor import Actor
+from .directory import ActorRecord, Directory
+from .hooks import RuntimeHooks
+from .message import CLIENT_KIND, DEFAULT_REPLY_BYTES, Message
+from .refs import ActorRef
+
+__all__ = ["ActorSystem", "PlacementPolicy"]
+
+#: Signature of a pluggable new-actor placement policy: given the actor
+#: class, the candidate servers, and an optional *related* actor ref
+#: (application hint, e.g. "this Player belongs to that Session"),
+#: return the chosen server (or ``None`` for uniform-random placement).
+PlacementPolicy = Callable[[Type[Actor], List[Server], Optional[ActorRef]],
+                           Optional[Server]]
+
+_actor_ids = itertools.count(1)
+
+_STOP = object()
+_MAX_FORWARDS = 8
+
+
+class ActorSystem:
+    """Hosts actors on a fleet of simulated servers."""
+
+    def __init__(self, sim: Simulator, provisioner: Provisioner,
+                 fabric: Optional[NetworkFabric] = None,
+                 streams: Optional[RandomStreams] = None) -> None:
+        self.sim = sim
+        self.provisioner = provisioner
+        self.fabric = fabric or NetworkFabric(sim)
+        self.streams = streams or RandomStreams()
+        self.directory = Directory()
+        self.hooks: List[RuntimeHooks] = []
+        self.placement_policy: Optional[PlacementPolicy] = None
+
+        self._mailboxes: Dict[int, Queue] = {}
+        self._busy: Dict[int, bool] = {}
+        self._idle_signals: Dict[int, Signal] = {}
+        self._gates: Dict[int, Optional[Signal]] = {}
+        self._current_message: Dict[int, Message] = {}
+        self._placement_rng = self.streams.stream("actor-placement")
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+
+    def add_hooks(self, hooks: RuntimeHooks) -> None:
+        """Subscribe an observer (typically the profiling runtime)."""
+        self.hooks.append(hooks)
+
+    def remove_hooks(self, hooks: RuntimeHooks) -> None:
+        """Unsubscribe a previously added observer."""
+        self.hooks.remove(hooks)
+
+    # ------------------------------------------------------------------
+    # actor lifecycle
+    # ------------------------------------------------------------------
+
+    def create_actor(self, cls: Type[Actor], *args: Any,
+                     server: Optional[Server] = None,
+                     related: Optional[ActorRef] = None,
+                     **kwargs: Any) -> ActorRef:
+        """Instantiate ``cls`` and place it on a server.
+
+        Placement precedence: explicit ``server`` argument, then the
+        installed :attr:`placement_policy` (PLASMA's rule-aware new-actor
+        placement), then uniform random — the default behaviour the paper
+        ascribes to a GEM with no applicable rule.  ``related`` is an
+        optional hint naming an existing actor this one belongs with
+        (e.g. the Session a new Player joins); rule-aware placement uses
+        it to honour colocate rules from the very first placement.
+        """
+        chosen = server
+        candidates = list(self.provisioner.servers)
+        if not candidates and chosen is None:
+            raise RuntimeError("cannot create an actor with no servers")
+        if chosen is None and self.placement_policy is not None:
+            chosen = self.placement_policy(cls, candidates, related)
+        if chosen is None:
+            chosen = self._placement_rng.choice(candidates)
+
+        instance = cls(*args, **kwargs)
+        actor_id = next(_actor_ids)
+        ref = ActorRef(actor_id=actor_id, type_name=cls.__name__)
+        instance.actor_id = actor_id
+        instance.ref = ref
+        instance._system = self
+
+        record = ActorRecord(
+            instance=instance, ref=ref, server=chosen,
+            created_at=self.sim.now, last_placed_at=self.sim.now)
+        self.directory.register(record)
+        chosen.allocate_memory(instance.state_size_mb)
+
+        mailbox: Queue = Queue(self.sim)
+        self._mailboxes[actor_id] = mailbox
+        self._busy[actor_id] = False
+        self._gates[actor_id] = None
+        spawn(self.sim, self._dispatch_loop(record, mailbox),
+              name=f"dispatch/{ref}")
+        instance.on_start()
+        for hooks in self.hooks:
+            hooks.on_actor_created(record)
+        return ref
+
+    def destroy_actor(self, ref: ActorRef) -> None:
+        """Remove an actor.  Queued messages are dropped; pending callers
+        receive ``None`` replies."""
+        record = self.directory.try_lookup(ref.actor_id)
+        if record is None:
+            return
+        mailbox = self._mailboxes.pop(ref.actor_id, None)
+        if mailbox is not None:
+            for message in mailbox.clear():
+                if message is not _STOP and message.reply is not None:
+                    message.reply.trigger(None)
+            mailbox.put(_STOP)
+        # Fail the in-flight request too (its handler dies with the
+        # actor; Signal.trigger is once-only, so a handler that was
+        # already about to reply cannot double-deliver).
+        inflight = self._current_message.pop(ref.actor_id, None)
+        if inflight is not None and inflight.reply is not None:
+            inflight.reply.trigger(None)
+        record.server.free_memory(record.instance.state_size_mb)
+        self.directory.unregister(ref.actor_id)
+        self._busy.pop(ref.actor_id, None)
+        self._gates.pop(ref.actor_id, None)
+        self._idle_signals.pop(ref.actor_id, None)
+        for hooks in self.hooks:
+            hooks.on_actor_destroyed(record)
+
+    def actor_instance(self, ref: ActorRef) -> Actor:
+        """The live instance behind ``ref`` (profiling/testing use)."""
+        return self.directory.lookup(ref.actor_id).instance
+
+    def crash_server(self, server: Server) -> List[ActorRef]:
+        """Fail a server: its actors are lost, callers get None replies.
+
+        Models an instance failure.  Fault tolerance for the lost
+        *application state* is the host language runtime's job (paper
+        §2.2 — PLASMA inherits it); what this exercises is that the
+        elasticity runtime and surviving actors keep operating.  Returns
+        the refs of the actors that were lost.
+        """
+        lost = [record.ref for record in self.directory.on_server(server)]
+        for ref in lost:
+            self.destroy_actor(ref)
+        if server in self.provisioner.servers:
+            self.provisioner.retire_server(server)
+        else:
+            server.shutdown()
+        return lost
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+
+    def client_call(self, ref: ActorRef, function: str, *args: Any,
+                    size_bytes: float = 512.0,
+                    reply_bytes: float = DEFAULT_REPLY_BYTES) -> Signal:
+        """Invoke ``function`` on ``ref`` from an external client.
+
+        Returns the reply signal; yield it from a client process.
+        """
+        reply = Signal(self.sim)
+        message = Message(
+            target_id=ref.actor_id, function=function, args=tuple(args),
+            caller_kind=CLIENT_KIND, caller_id=None, size_bytes=size_bytes,
+            reply=reply, reply_bytes=reply_bytes, sent_at=self.sim.now)
+        self._route(None, message)
+        return reply
+
+    def _actor_call(self, actor: Actor, ref: ActorRef, function: str,
+                    args: Tuple[Any, ...], size_bytes: float) -> Signal:
+        reply = Signal(self.sim)
+        self._send_from_actor(actor, ref, function, args, size_bytes, reply)
+        return reply
+
+    def _actor_tell(self, actor: Actor, ref: ActorRef, function: str,
+                    args: Tuple[Any, ...], size_bytes: float) -> None:
+        self._send_from_actor(actor, ref, function, args, size_bytes, None)
+
+    def _send_from_actor(self, actor: Actor, ref: ActorRef, function: str,
+                         args: Tuple[Any, ...], size_bytes: float,
+                         reply: Optional[Signal]) -> None:
+        src_record = self.directory.try_lookup(actor.actor_id)
+        message = Message(
+            target_id=ref.actor_id, function=function, args=tuple(args),
+            caller_kind=actor.type_name, caller_id=actor.actor_id,
+            size_bytes=size_bytes, reply=reply, sent_at=self.sim.now)
+        self._route(src_record, message)
+
+    def _actor_sleep(self, delay_ms: float) -> Waitable:
+        return Timeout(self.sim, delay_ms)
+
+    def _actor_compute(self, actor: Actor, cpu_ms: float) -> Waitable:
+        record = self.directory.lookup(actor.actor_id)
+        job_done = record.server.execute(cpu_ms, owner=record)
+        wrapped = Signal(self.sim)
+
+        def charge(busy_ms: float) -> None:
+            for hooks in self.hooks:
+                hooks.on_compute(record, busy_ms)
+            wrapped.trigger(busy_ms)
+
+        job_done._subscribe(charge)
+        return wrapped
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(self, src_record: Optional[ActorRecord],
+               message: Message) -> None:
+        """First-hop routing from the sender's current server."""
+        target = self.directory.try_lookup(message.target_id)
+        if target is None:
+            if message.reply is not None:
+                message.reply.trigger(None)
+            return
+        src_server = src_record.server if src_record is not None else None
+        message.remote = src_server is not target.server
+        delay = self.fabric.delivery_delay(
+            src_server, target.server, message.size_bytes)
+        if src_record is not None and message.remote:
+            for hooks in self.hooks:
+                hooks.on_bytes_sent(src_record, message.size_bytes)
+        self.sim.schedule(delay, self._deliver, message, target.server)
+
+    def _deliver(self, message: Message, arrived_at: Server) -> None:
+        """Message arrival at a server; forwards if the actor moved."""
+        target = self.directory.try_lookup(message.target_id)
+        if target is None:
+            if message.reply is not None:
+                message.reply.trigger(None)
+            return
+        if target.server is not arrived_at and message.forwards < _MAX_FORWARDS:
+            # The actor moved while the message was in flight: the old
+            # host forwards it, paying one more network hop.
+            message.forwards += 1
+            delay = self.fabric.delivery_delay(
+                arrived_at, target.server, message.size_bytes)
+            self.sim.schedule(delay, self._deliver, message, target.server)
+            return
+        mailbox = self._mailboxes.get(message.target_id)
+        if mailbox is None:
+            if message.reply is not None:
+                message.reply.trigger(None)
+            return
+        for hooks in self.hooks:
+            hooks.on_message_delivered(target, message)
+            if message.remote or message.forwards:
+                hooks.on_bytes_received(target, message.size_bytes)
+        mailbox.put(message)
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _dispatch_loop(self, record: ActorRecord, mailbox: Queue):
+        actor_id = record.ref.actor_id
+        while True:
+            message = yield mailbox.get()
+            if message is _STOP:
+                return
+            gate = self._gates.get(actor_id)
+            if gate is not None:
+                yield gate  # migration in progress: wait for it to finish
+            self._busy[actor_id] = True
+            self._current_message[actor_id] = message
+            try:
+                handler = getattr(record.instance, message.function, None)
+                if handler is None:
+                    raise AttributeError(
+                        f"{record.ref} has no function {message.function!r}")
+                result = handler(*message.args)
+                if hasattr(result, "send"):  # generator handler
+                    result = yield from result
+            finally:
+                self._busy[actor_id] = False
+                self._current_message.pop(actor_id, None)
+                idle = self._idle_signals.pop(actor_id, None)
+                if idle is not None:
+                    idle.trigger()
+            if message.reply is not None:
+                self._send_reply(record, message, result)
+
+    def _send_reply(self, record: ActorRecord, message: Message,
+                    result: Any) -> None:
+        if message.caller_id is not None:
+            caller = self.directory.try_lookup(message.caller_id)
+            caller_server = caller.server if caller is not None else None
+        else:
+            caller_server = None  # external client
+        delay = self.fabric.delivery_delay(
+            record.server, caller_server, message.reply_bytes) \
+            if caller_server is not None else \
+            self.fabric.delivery_delay(None, record.server, message.reply_bytes)
+        if caller_server is not None and caller_server is not record.server:
+            for hooks in self.hooks:
+                hooks.on_bytes_sent(record, message.reply_bytes)
+        self.sim.schedule(delay, message.reply.trigger, result)
+
+    # ------------------------------------------------------------------
+    # live migration
+    # ------------------------------------------------------------------
+
+    def migrate_actor(self, ref: ActorRef, target: Server,
+                      force: bool = False) -> Signal:
+        """Live-migrate ``ref`` to ``target``.
+
+        Returns a signal fired with ``True`` when the migration completed,
+        or ``False`` if it was skipped (actor gone, already migrating,
+        pinned, or already on ``target``).  The actor finishes its current
+        message, its mailbox is gated, state is transferred (delay grows
+        with ``state_size_mb``), then processing resumes on the target.
+
+        ``force`` moves the actor even if pinned — used by elasticity
+        behaviors that explicitly name the actor (``reserve`` outranks
+        ``pin`` in PLASMA's priority order).
+        """
+        done = Signal(self.sim)
+        record = self.directory.try_lookup(ref.actor_id)
+        if (record is None or record.migrating
+                or (record.pinned and not force)
+                or record.server is target or not target.running):
+            done.trigger(False)
+            return done
+        record.migrating = True
+        gate = Signal(self.sim)
+        self._gates[ref.actor_id] = gate
+        spawn(self.sim, self._migration_proc(record, target, gate, done),
+              name=f"migrate/{ref}")
+        return done
+
+    def _migration_proc(self, record: ActorRecord, target: Server,
+                        gate: Signal, done: Signal):
+        actor_id = record.ref.actor_id
+        # Wait for the in-flight handler (if any) to finish.
+        if self._busy.get(actor_id):
+            idle = self._idle_signals.get(actor_id)
+            if idle is None:
+                idle = Signal(self.sim)
+                self._idle_signals[actor_id] = idle
+            yield idle
+        source = record.server
+        if not target.running:
+            record.migrating = False
+            self._gates[actor_id] = None
+            gate.trigger()
+            done.trigger(False)
+            return
+        state_bytes = record.instance.state_size_mb * 1024.0 * 1024.0
+        delay = self.fabric.transfer_delay(source, target, state_bytes)
+        yield Timeout(self.sim, delay)
+        if self.directory.try_lookup(actor_id) is not record:
+            gate.trigger()
+            done.trigger(False)
+            return
+        source.free_memory(record.instance.state_size_mb)
+        target.allocate_memory(record.instance.state_size_mb)
+        record.server = target
+        record.last_placed_at = self.sim.now
+        record.migrations += 1
+        record.migrating = False
+        self._gates[actor_id] = None
+        gate.trigger()
+        record.instance.on_migrated(source, target)
+        for hooks in self.hooks:
+            hooks.on_actor_migrated(record, source, target)
+        done.trigger(True)
+
+    # ------------------------------------------------------------------
+    # queries used by elasticity management and tests
+    # ------------------------------------------------------------------
+
+    def server_of(self, ref: ActorRef) -> Server:
+        """The server currently hosting ``ref``."""
+        return self.directory.lookup(ref.actor_id).server
+
+    def actors_on(self, server: Server) -> List[ActorRecord]:
+        """Directory records of all actors hosted on ``server``."""
+        return self.directory.on_server(server)
+
+    def pin(self, ref: ActorRef, pinned: bool = True) -> None:
+        """Mark an actor immovable (EPL ``pin`` behaviour)."""
+        self.directory.lookup(ref.actor_id).pinned = pinned

@@ -1,0 +1,56 @@
+"""The ten PLASMA applications of the paper's Table 1.
+
+Each module defines the actor classes, the EPL elasticity policy from
+the paper, a deployment builder, and (for the evaluated applications) an
+experiment runner reproducing the corresponding figure.
+"""
+
+from .btree import BPlusTree, BTREE_POLICY, InnerNode, LeafNode, build_btree
+from .cassandra import (CASSANDRA_POLICY, Replica, ReplicatedTable,
+                        build_cassandra, replica_spread)
+from .chatroom import ChatRoom, ChatUser, ChatroomResult, run_chatroom
+from .estore import (ESTORE_POLICY, EStoreResult, EStoreSetup, Partition,
+                     build_estore, run_estore_experiment)
+from .halo import (HALO_INTERACTION_POLICY, HALO_RESOURCE_POLICY,
+                   HaloDeployment, HaloGemResult, HaloResult, Player,
+                   Router, Session, build_halo, run_halo_gem_experiment,
+                   run_halo_interaction_experiment)
+from .media import (MEDIA_ACTOR_CLASSES, MEDIA_POLICY, FrontEnd,
+                    MediaResult, MediaService, MovieInfo, MovieReview,
+                    ReviewChecker, ReviewEditor, UserInfo, UserReview,
+                    VideoStream, build_media_service, run_media_experiment)
+from .metadata import (METADATA_POLICY, File, Folder, MetadataResult,
+                       MetadataSetup, build_metadata_server,
+                       run_metadata_experiment)
+from .pagerank import (PAGERANK_POLICY, IterationStats, PageRankDeployment,
+                       PageRankWorker, build_pagerank, collect_ranks,
+                       run_iterations)
+from .piccolo import (PICCOLO_POLICY, PiccoloJob, PiccoloWorker, Table,
+                      build_piccolo, run_piccolo_rounds)
+from .zexpander import (ZEXPANDER_POLICY, CacheLeaf, IndexNode,
+                        ZExpanderCache, build_zexpander)
+
+__all__ = [
+    "BPlusTree", "BTREE_POLICY", "InnerNode", "LeafNode", "build_btree",
+    "CASSANDRA_POLICY", "Replica", "ReplicatedTable", "build_cassandra",
+    "replica_spread",
+    "ChatRoom", "ChatUser", "ChatroomResult", "run_chatroom",
+    "ESTORE_POLICY", "EStoreResult", "EStoreSetup", "Partition",
+    "build_estore", "run_estore_experiment",
+    "HALO_INTERACTION_POLICY", "HALO_RESOURCE_POLICY", "HaloDeployment",
+    "HaloGemResult", "HaloResult", "Player", "Router", "Session",
+    "build_halo", "run_halo_gem_experiment",
+    "run_halo_interaction_experiment",
+    "MEDIA_ACTOR_CLASSES", "MEDIA_POLICY", "FrontEnd", "MediaResult",
+    "MediaService", "MovieInfo", "MovieReview", "ReviewChecker",
+    "ReviewEditor", "UserInfo", "UserReview", "VideoStream",
+    "build_media_service", "run_media_experiment",
+    "METADATA_POLICY", "File", "Folder", "MetadataResult", "MetadataSetup",
+    "build_metadata_server", "run_metadata_experiment",
+    "PAGERANK_POLICY", "IterationStats", "PageRankDeployment",
+    "PageRankWorker", "build_pagerank", "collect_ranks", "run_iterations",
+    "PICCOLO_POLICY", "PiccoloJob", "PiccoloWorker", "Table",
+    "build_piccolo", "run_piccolo_rounds",
+    "ZEXPANDER_POLICY", "CacheLeaf", "IndexNode", "ZExpanderCache",
+    "build_zexpander",
+]

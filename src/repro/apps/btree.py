@@ -1,0 +1,148 @@
+"""Distributed B+ tree of actors (paper Table 1).
+
+Inner nodes and leaf nodes are actors.  Lookups descend from the root
+through inner nodes to a leaf.  Elasticity rules (Table 1): co-locate
+parent and child *inner* nodes (descents stay on-server until the last
+hop) and keep leaf nodes spread out on separate servers (they hold the
+bulk of the data and the scan bandwidth).
+
+    InnerNode(c) in ref(InnerNode(p).children) => colocate(p, c);
+    LeafNode(l1) in ref(InnerNode(p).leaves) => separate(l1, p);
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..actors import Actor, ActorRef
+from ..bench import TestBed
+
+__all__ = ["InnerNode", "LeafNode", "BTREE_POLICY", "BPlusTree",
+           "build_btree"]
+
+BTREE_POLICY = """
+InnerNode(c) in ref(InnerNode(p).children) => colocate(p, c);
+
+LeafNode(l1) in ref(InnerNode(p).leaves) => separate(l1, p);
+"""
+
+INNER_CPU_MS = 0.1
+LEAF_CPU_MS = 0.4
+
+
+class InnerNode(Actor):
+    """Routing node: keys partition the key space over children."""
+
+    children: list
+    leaves: list
+    state_size_mb = 0.5
+
+    def __init__(self, keys: List[int], child_refs: List[ActorRef],
+                 children_are_leaves: bool) -> None:
+        self.keys = list(keys)
+        self.children = [] if children_are_leaves else list(child_refs)
+        self.leaves = list(child_refs) if children_are_leaves else []
+        self._routes = list(child_refs)
+        self.children_are_leaves = children_are_leaves
+        self.lookups = 0
+
+    def _route(self, key: int) -> ActorRef:
+        index = bisect.bisect_right(self.keys, key)
+        return self._routes[min(index, len(self._routes) - 1)]
+
+    def get(self, key: int):
+        yield self.compute(INNER_CPU_MS)
+        self.lookups += 1
+        target = self._route(key)
+        value = yield self.call(target, "get", key)
+        return value
+
+    def put(self, key: int, value):
+        yield self.compute(INNER_CPU_MS)
+        self.lookups += 1
+        target = self._route(key)
+        result = yield self.call(target, "put", key, value)
+        return result
+
+
+class LeafNode(Actor):
+    """Data-bearing leaf: sorted key/value pairs."""
+
+    state_size_mb = 8.0
+
+    def __init__(self) -> None:
+        self.data = {}
+
+    def get(self, key: int):
+        yield self.compute(LEAF_CPU_MS)
+        return self.data.get(key)
+
+    def put(self, key: int, value):
+        yield self.compute(LEAF_CPU_MS)
+        self.data[key] = value
+        return True
+
+    def scan(self, low: int, high: int):
+        yield self.compute(LEAF_CPU_MS * 4)
+        return {k: v for k, v in self.data.items() if low <= k <= high}
+
+
+@dataclass
+class BPlusTree:
+    """A built tree: root ref plus per-level node lists."""
+
+    bed: TestBed
+    root: ActorRef
+    inner_levels: List[List[ActorRef]]
+    leaves: List[ActorRef]
+    key_space: int
+
+    def get(self, client, key: int):
+        """Generator: look up ``key`` from an external client."""
+        return client.timed_call(self.root, "get", key)
+
+    def put(self, client, key: int, value):
+        return client.timed_call(self.root, "put", key, value)
+
+
+def build_btree(bed: TestBed, fanout: int = 4, leaf_count: int = 16,
+                key_space: int = 100_000) -> BPlusTree:
+    """Build a B+ tree bottom-up: leaves, then inner levels up to a root.
+
+    Leaves are spread round-robin; inner nodes start wherever the
+    (possibly rule-aware) placement puts them.
+    """
+    if fanout < 2:
+        raise ValueError("fanout must be at least 2")
+    system = bed.system
+    leaves = [system.create_actor(LeafNode,
+                                  server=bed.servers[i % len(bed.servers)])
+              for i in range(leaf_count)]
+    # Key ranges: leaf i owns [i*stride, (i+1)*stride).
+    stride = key_space // leaf_count
+
+    level_refs: List[ActorRef] = list(leaves)
+    level_is_leaves = True
+    boundaries = [stride * (i + 1) for i in range(leaf_count - 1)]
+    inner_levels: List[List[ActorRef]] = []
+    while len(level_refs) > 1:
+        next_refs: List[ActorRef] = []
+        next_boundaries: List[int] = []
+        for start in range(0, len(level_refs), fanout):
+            group = level_refs[start:start + fanout]
+            group_keys = boundaries[start:start + len(group) - 1]
+            node = system.create_actor(
+                InnerNode, group_keys, group, level_is_leaves)
+            next_refs.append(node)
+            end_index = start + len(group) - 1
+            if end_index < len(boundaries):
+                next_boundaries.append(boundaries[end_index])
+        inner_levels.append(next_refs)
+        level_refs = next_refs
+        boundaries = next_boundaries
+        level_is_leaves = False
+    return BPlusTree(bed=bed, root=level_refs[0],
+                     inner_levels=inner_levels, leaves=leaves,
+                     key_space=key_space)

@@ -1,0 +1,119 @@
+"""Online chat room microbenchmark (paper §5.2, Table 3).
+
+Users — one actor each — exchange messages inside a room on a single
+server.  The experiment measures the EPR's profiling overhead: the same
+run with and without profiling attached, reported as normalized execution
+time (e.g. 1.007 = 7‰ overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..actors import Actor, ActorRef, Client
+from ..bench import build_cluster
+from ..core.profiling import ProfilingRuntime
+from ..sim import Timeout, spawn
+
+__all__ = ["ChatRoom", "ChatUser", "ChatroomResult", "run_chatroom"]
+
+
+class ChatRoom(Actor):
+    """Fan-out hub: posting a message delivers it to every other member."""
+
+    members: list
+
+    def __init__(self) -> None:
+        self.members: List[ActorRef] = []
+        self.posts = 0
+
+    def join(self, user: ActorRef):
+        self.members.append(user)
+        yield self.compute(0.05)
+        return len(self.members)
+
+    def post(self, sender_id: int, size: int):
+        # Parsing/validation cost scales mildly with the payload.
+        yield self.compute(0.2 + size / 4096.0)
+        self.posts += 1
+        for member in self.members:
+            if member.actor_id != sender_id:
+                self.tell(member, "receive", size,
+                          size_bytes=float(size))
+        return True
+
+
+class ChatUser(Actor):
+    """One chat participant."""
+
+    room: object
+
+    def __init__(self, room: ActorRef) -> None:
+        self.room = room
+        self.received = 0
+
+    def receive(self, size: int):
+        yield self.compute(0.05)
+        self.received += 1
+        return True
+
+
+@dataclass
+class ChatroomResult:
+    """Outcome of one chat room run."""
+
+    users: int
+    instance_type: str
+    profiled: bool
+    messages_sent: int
+    mean_latency_ms: float
+    elapsed_ms: float
+
+
+def run_chatroom(users: int, instance_type: str = "m1.small",
+                 profiled: bool = False,
+                 duration_ms: float = 60_000.0,
+                 think_ms: float = 20.0,
+                 message_bytes: int = 512,
+                 profiling_overhead_cpu_ms: float = 0.0005,
+                 seed: int = 7) -> ChatroomResult:
+    """Run the chat room and report mean message latency.
+
+    ``profiled`` attaches a :class:`ProfilingRuntime` with a per-message
+    CPU charge; the vanilla run omits it, exactly the Table 3 comparison.
+    """
+    bed = build_cluster(1, instance_type=instance_type, seed=seed)
+    server = bed.servers[0]
+    if profiled:
+        profiler = ProfilingRuntime(
+            bed.sim, window_ms=duration_ms,
+            overhead_cpu_ms=profiling_overhead_cpu_ms)
+        bed.system.add_hooks(profiler)
+
+    room = bed.system.create_actor(ChatRoom, server=server)
+    user_refs = [
+        bed.system.create_actor(ChatUser, room, server=server)
+        for _ in range(users)]
+    clients = [Client(bed.system, name=f"user{i}") for i in range(users)]
+
+    def chat(client: Client, user_ref: ActorRef, index: int):
+        yield client.call(room, "join", user_ref)
+        while bed.sim.now < duration_ms:
+            yield from client.timed_call(
+                room, "post", user_ref.actor_id, message_bytes)
+            yield Timeout(bed.sim, think_ms)
+
+    for index, (client, user_ref) in enumerate(zip(clients, user_refs)):
+        spawn(bed.sim, chat(client, user_ref, index))
+
+    bed.run(until_ms=duration_ms + 1_000.0)
+
+    latencies = [lat for client in clients
+                 for _t, lat in client.latencies.samples]
+    sent = sum(client.completed for client in clients)
+    mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
+    return ChatroomResult(
+        users=users, instance_type=instance_type, profiled=profiled,
+        messages_sent=sent, mean_latency_ms=mean_latency,
+        elapsed_ms=bed.sim.now)

@@ -1,0 +1,175 @@
+"""E-Store: elastic partitioning for a distributed OLTP DBMS
+(paper §3.3, §5.5, Fig. 9).
+
+Root-level key partitions are actors; each root holds references to its
+child partitions (range-partitioned descendants).  A read hits the root
+(index lookup CPU) and then one random child (tuple fetch CPU), so a
+root and its children must stay together or every transaction pays
+remote hops.
+
+PLASMA expresses E-Store's in-app elasticity as three rules:
+
+    server.cpu.perc > 80 and
+    client.call(Partition(p1).read).perc > 30 => reserve(p1, cpu);
+
+    Partition(p2) in ref(Partition(p1).children) => colocate(p1, p2);
+
+    server.cpu.perc < 50 => balance({Partition}, cpu);
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..actors import Actor, ActorRef, Client
+from ..bench import TestBed, build_cluster, latency_curve
+from ..core import ElasticityManager, EmrConfig, compile_source
+from ..sim import Timeout, spawn
+from ..workload import WeightedChoice, cascade_split
+
+__all__ = ["Partition", "ESTORE_POLICY", "EStoreSetup", "build_estore",
+           "run_estore_experiment", "EStoreResult"]
+
+ESTORE_POLICY = """
+server.cpu.perc > 80 and
+client.call(Partition(p1).read).perc > 30 => reserve(p1, cpu);
+
+Partition(p2) in ref(Partition(p1).children) => colocate(p1, p2);
+
+server.cpu.perc < 50 => balance({Partition}, cpu);
+"""
+
+ROOT_CPU_MS = 0.25    # index lookup at the root partition
+CHILD_CPU_MS = 0.55   # tuple fetch at the child partition
+
+
+class Partition(Actor):
+    """A key-range partition; roots hold refs to child partitions."""
+
+    children: list
+    state_size_mb = 2.0
+
+    def __init__(self, level: int = 0) -> None:
+        self.level = level
+        self.children: List[ActorRef] = []
+        self.reads = 0
+
+    def read(self, key: int):
+        """Root entry point: index lookup, then one child tuple fetch."""
+        yield self.compute(ROOT_CPU_MS)
+        self.reads += 1
+        if not self.children:
+            return {"key": key}
+        child = self.children[key % len(self.children)]
+        row = yield self.call(child, "fetch", key)
+        return row
+
+    def fetch(self, key: int):
+        """Child partition: the actual tuple access."""
+        yield self.compute(CHILD_CPU_MS)
+        self.reads += 1
+        return {"key": key, "value": key * 31}
+
+
+@dataclass
+class EStoreSetup:
+    bed: TestBed
+    roots: List[ActorRef]
+    children: List[List[ActorRef]]
+    picker: WeightedChoice
+
+
+def build_estore(bed: TestBed, num_roots: int = 40,
+                 children_per_root: int = 4,
+                 skew_fraction: float = 0.35,
+                 num_home_servers: Optional[int] = None) -> EStoreSetup:
+    """Deploy roots round-robin with their children co-located (the
+    initial range-partitioned layout), plus the cascade access skew.
+
+    ``num_home_servers`` limits deployment to the first N servers so any
+    extra standby instance starts empty, as in the paper's setup.
+    """
+    homes = bed.servers[:num_home_servers] if num_home_servers \
+        else bed.servers
+    roots: List[ActorRef] = []
+    children: List[List[ActorRef]] = []
+    for index in range(num_roots):
+        server = homes[index % len(homes)]
+        root = bed.system.create_actor(Partition, 0, server=server)
+        kids = [bed.system.create_actor(Partition, 1, server=server)
+                for _ in range(children_per_root)]
+        instance = bed.system.actor_instance(root)
+        instance.children.extend(kids)
+        roots.append(root)
+        children.append(kids)
+    weights = cascade_split(num_roots, skew_fraction)
+    picker = WeightedChoice(roots, weights,
+                            bed.streams.stream("estore-root-pick"))
+    return EStoreSetup(bed=bed, roots=roots, children=children,
+                       picker=picker)
+
+
+@dataclass
+class EStoreResult:
+    setup_name: str
+    mean_before_ms: float
+    mean_after_ms: float
+    curve: List[Tuple[float, float]]
+    migrations: int
+
+
+def run_estore_experiment(mode: str = "plasma",
+                          num_clients: int = 48,
+                          duration_ms: float = 230_000.0,
+                          period_ms: float = 40_000.0,
+                          think_ms: float = 10.0,
+                          seed: int = 13) -> EStoreResult:
+    """Run one Fig. 9 configuration.
+
+    ``mode``: ``plasma`` (the EPL rules), ``in-app`` (E-Store's own
+    top-k% controller, :class:`repro.baselines.EStoreInApp`), or
+    ``none``.  Elastic setups get one extra server, as in the paper.
+    """
+    if mode not in ("plasma", "in-app", "none"):
+        raise ValueError(f"unknown mode {mode!r}")
+    extra = 0 if mode == "none" else 1
+    bed = build_cluster(4 + extra, instance_type="m1.small", seed=seed)
+    setup = build_estore(bed, num_home_servers=4)
+
+    manager = None
+    if mode == "plasma":
+        policy = compile_source(ESTORE_POLICY, [Partition])
+        manager = ElasticityManager(
+            bed.system, policy,
+            EmrConfig(period_ms=period_ms, gem_wait_ms=1_000.0))
+        manager.start()
+    elif mode == "in-app":
+        from ..baselines import EStoreInApp
+        manager = EStoreInApp(bed.system, setup.roots, period_ms=period_ms)
+        manager.start()
+
+    clients = [Client(bed.system, name=f"c{i}") for i in range(num_clients)]
+    rng = bed.streams.stream("estore-key-pick")
+
+    def client_loop(client: Client):
+        while bed.sim.now < duration_ms:
+            root = setup.picker.pick()
+            yield from client.timed_call(root, "read", rng.randrange(10_000))
+            yield Timeout(bed.sim, think_ms)
+
+    for client in clients:
+        spawn(bed.sim, client_loop(client))
+    bed.run(until_ms=duration_ms)
+
+    migrations = manager.migrations_total() if manager else 0
+    if manager is not None:
+        manager.stop()
+    curve = latency_curve(clients, bucket_ms=5_000.0)
+    before = [lat for t, lat in curve if t < period_ms]
+    after = [lat for t, lat in curve if t >= period_ms + 20_000.0]
+    return EStoreResult(
+        setup_name=mode,
+        mean_before_ms=sum(before) / len(before) if before else 0.0,
+        mean_after_ms=sum(after) / len(after) if after else 0.0,
+        curve=curve, migrations=migrations)

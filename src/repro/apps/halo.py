@@ -1,0 +1,272 @@
+"""Halo 4 Presence Service (paper §3.3, §5.7, Fig. 11).
+
+Game consoles send heartbeats to a randomly chosen Router actor, which
+forwards them to the Session actor managing the player's game session,
+which finally notifies the corresponding Player actor.  Sessions only
+ever message their own players, so co-locating players with their
+session eliminates the session→player remote hop:
+
+    Player(p) in ref(Session(s).players) => pin(s); colocate(p, s);
+
+Fig. 11a/b compare this *interaction* rule against the semantics-free
+frequency-colocation default rule.  Fig. 11c exercises the *resource*
+rule variant (CPU-heavy routers balanced across a 64-server fleet) under
+1, 2 and 4 GEMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..actors import Actor, ActorRef, Client
+from ..bench import TestBed, build_cluster, latency_curve
+from ..core import ElasticityManager, EmrConfig, compile_source
+from ..sim import Timeout, spawn
+from ..workload import round_join_schedule
+
+__all__ = ["Router", "Session", "Player", "HALO_INTERACTION_POLICY",
+           "HALO_RESOURCE_POLICY", "HaloDeployment", "build_halo",
+           "run_halo_interaction_experiment", "run_halo_gem_experiment",
+           "HaloResult", "HaloGemResult"]
+
+HALO_INTERACTION_POLICY = """
+Player(p) in ref(Session(s).players) => pin(s); colocate(p, s);
+"""
+
+HALO_RESOURCE_POLICY = """
+server.cpu.perc > 80 or server.cpu.perc < 60 => balance({Router}, cpu);
+"""
+
+SESSION_CPU_MS = 0.2
+PLAYER_CPU_MS = 0.1
+
+
+class Router(Actor):
+    """Decrypts (optionally) and forwards heartbeats to sessions."""
+
+    def __init__(self, decrypt_cpu_ms: float = 0.0) -> None:
+        self.decrypt_cpu_ms = decrypt_cpu_ms
+        self.routed = 0
+
+    def route(self, session: ActorRef, player: ActorRef):
+        if self.decrypt_cpu_ms > 0:
+            yield self.compute(self.decrypt_cpu_ms)
+        self.routed += 1
+        ack = yield self.call(session, "forward", player)
+        return ack
+
+
+class Session(Actor):
+    """Manages one game session; messages only its own players."""
+
+    players: list
+
+    def __init__(self) -> None:
+        self.players: List[ActorRef] = []
+        self.heartbeats = 0
+
+    def add_player(self, player: ActorRef):
+        self.players.append(player)
+        return len(self.players)
+
+    def remove_player(self, player: ActorRef):
+        self.players = [p for p in self.players
+                        if p.actor_id != player.actor_id]
+        return len(self.players)
+
+    def forward(self, player: ActorRef):
+        yield self.compute(SESSION_CPU_MS)
+        self.heartbeats += 1
+        alive = yield self.call(player, "beat")
+        return alive
+
+
+class Player(Actor):
+    """Per-console liveness record."""
+
+    def __init__(self) -> None:
+        self.beats = 0
+
+    def beat(self):
+        yield self.compute(PLAYER_CPU_MS)
+        self.beats += 1
+        return True
+
+
+@dataclass
+class HaloDeployment:
+    bed: TestBed
+    routers: List[ActorRef]
+    sessions: List[ActorRef]
+
+
+def build_halo(bed: TestBed, num_routers: int = 8, num_sessions: int = 8,
+               router_cpu_ms: float = 0.0,
+               routers_on_first: Optional[int] = None) -> HaloDeployment:
+    """Deploy routers and sessions.
+
+    Default layout (Fig. 11a): one router + one session per server.
+    ``routers_on_first`` spreads the routers over only the first N
+    servers (Fig. 11c's 32 routers on 8 of 64 servers).
+    """
+    routers: List[ActorRef] = []
+    sessions: List[ActorRef] = []
+    for index in range(num_sessions):
+        server = bed.servers[index % len(bed.servers)]
+        sessions.append(bed.system.create_actor(Session, server=server))
+    router_homes = (bed.servers[:routers_on_first]
+                    if routers_on_first else bed.servers)
+    for index in range(num_routers):
+        server = router_homes[index % len(router_homes)]
+        routers.append(bed.system.create_actor(
+            Router, router_cpu_ms, server=server))
+    return HaloDeployment(bed=bed, routers=routers, sessions=sessions)
+
+
+@dataclass
+class HaloResult:
+    """Fig. 11a/b outcome."""
+
+    mode: str
+    curve: List[Tuple[float, float]]
+    per_client: Dict[str, List[Tuple[float, float]]]
+    migrations: int
+    mean_latency_ms: float
+
+
+def run_halo_interaction_experiment(mode: str = "inter-rule",
+                                    num_clients: int = 32,
+                                    rounds: int = 4,
+                                    round_ms: float = 180_000.0,
+                                    period_ms: float = 70_000.0,
+                                    heartbeat_ms: float = 300.0,
+                                    seed: int = 31) -> HaloResult:
+    """Fig. 11a/b: clients join in rounds; heartbeats flow via routers.
+
+    ``mode``: ``inter-rule`` (PLASMA's colocate-by-reference rule, with
+    rule-aware placement of new Player actors next to their session) or
+    ``def-rule`` (random placement + frequency colocation).
+    """
+    if mode not in ("inter-rule", "def-rule"):
+        raise ValueError(f"unknown mode {mode!r}")
+    bed = build_cluster(8, instance_type="m1.small", seed=seed)
+    deployment = build_halo(bed, num_routers=8, num_sessions=8)
+
+    if mode == "inter-rule":
+        policy = compile_source(HALO_INTERACTION_POLICY,
+                                [Router, Session, Player])
+        manager = ElasticityManager(bed.system, policy, EmrConfig(
+            period_ms=period_ms, gem_wait_ms=1_000.0))
+        manager.start()
+    else:
+        from ..baselines import DefaultRuleManager
+        manager = DefaultRuleManager(
+            bed.system, period_ms=period_ms, migrate_hot=False,
+            colocate_frequent=True)
+        manager.start()
+
+    joins = round_join_schedule(num_clients, rounds, round_ms,
+                                bed.streams.stream("halo-joins"))
+    clients = [Client(bed.system, name=f"c{i}")
+               for i in range(num_clients)]
+    session_rng = bed.streams.stream("halo-session-pick")
+    router_rng = bed.streams.stream("halo-router-pick")
+    duration_ms = rounds * round_ms + 120_000.0
+
+    def console(index: int, join_ms: float):
+        yield Timeout(bed.sim, join_ms)
+        session = deployment.sessions[
+            session_rng.randrange(len(deployment.sessions))]
+        player = bed.system.create_actor(Player, related=session)
+        instance = bed.system.actor_instance(session)
+        instance.players.append(player)
+        client = clients[index]
+        while bed.sim.now < duration_ms:
+            router = deployment.routers[
+                router_rng.randrange(len(deployment.routers))]
+            yield from client.timed_call(router, "route", session, player)
+            yield Timeout(bed.sim, heartbeat_ms)
+
+    for index, join_ms in enumerate(joins):
+        spawn(bed.sim, console(index, join_ms))
+    bed.run(until_ms=duration_ms)
+    migrations = manager.migrations_total()
+    manager.stop()
+
+    curve = latency_curve(clients, bucket_ms=10_000.0)
+    per_client = {client.name: client.latency_samples()
+                  for client in clients}
+    latencies = [lat for _t, lat in curve]
+    return HaloResult(
+        mode=mode, curve=curve, per_client=per_client,
+        migrations=migrations,
+        mean_latency_ms=sum(latencies) / len(latencies)
+        if latencies else 0.0)
+
+
+@dataclass
+class HaloGemResult:
+    """Fig. 11c outcome for one GEM count."""
+
+    gem_count: int
+    curve: List[Tuple[float, float]]
+    migrations: int
+    settle_latency_ms: float
+
+
+def run_halo_gem_experiment(gem_count: int = 1,
+                            num_servers: int = 64,
+                            num_sessions: int = 64,
+                            num_routers: int = 32,
+                            num_clients: int = 128,
+                            period_ms: float = 80_000.0,
+                            router_cpu_ms: float = 1.2,
+                            heartbeat_ms: float = 150.0,
+                            duration_ms: float = 800_000.0,
+                            routers_on_first: int = 8,
+                            seed: int = 37) -> HaloGemResult:
+    """Fig. 11c: CPU-heavy routers crowded on 8 of 64 servers; the
+    resource rule spreads them.  Vary the number of GEMs."""
+    bed = build_cluster(num_servers, instance_type="m1.small", seed=seed)
+    deployment = build_halo(bed, num_routers=num_routers,
+                            num_sessions=num_sessions,
+                            router_cpu_ms=router_cpu_ms,
+                            routers_on_first=routers_on_first)
+    policy = compile_source(HALO_RESOURCE_POLICY,
+                            [Router, Session, Player])
+    manager = ElasticityManager(bed.system, policy, EmrConfig(
+        period_ms=period_ms, gem_wait_ms=2_000.0, gem_count=gem_count))
+    manager.start()
+
+    clients = [Client(bed.system, name=f"c{i}")
+               for i in range(num_clients)]
+    session_rng = bed.streams.stream("halo-session-pick")
+    router_rng = bed.streams.stream("halo-router-pick")
+    join_rng = bed.streams.stream("halo-gem-joins")
+    join_spread_ms = min(240_000.0, duration_ms * 0.2)
+
+    def console(index: int):
+        yield Timeout(bed.sim, join_rng.random() * join_spread_ms)
+        session = deployment.sessions[
+            session_rng.randrange(len(deployment.sessions))]
+        player = bed.system.create_actor(Player, related=session)
+        bed.system.actor_instance(session).players.append(player)
+        client = clients[index]
+        while bed.sim.now < duration_ms:
+            router = deployment.routers[
+                router_rng.randrange(len(deployment.routers))]
+            yield from client.timed_call(router, "route", session, player)
+            yield Timeout(bed.sim, heartbeat_ms)
+
+    for index in range(num_clients):
+        spawn(bed.sim, console(index))
+    bed.run(until_ms=duration_ms)
+    migrations = manager.migrations_total()
+    manager.stop()
+
+    curve = latency_curve(clients, bucket_ms=20_000.0)
+    tail = [lat for t, lat in curve if t >= duration_ms * 0.7]
+    return HaloGemResult(
+        gem_count=gem_count, curve=curve, migrations=migrations,
+        settle_latency_ms=sum(tail) / len(tail) if tail else 0.0)

@@ -1,0 +1,188 @@
+"""Metadata Server application (paper §3.3, §5.3, Fig. 5).
+
+Folders and files are actors; opening a folder also reads the files in
+it, which is exactly why migrating a hot folder *without* its files
+(the def-rule baseline) buys nothing — every folder access turns into
+remote file reads.  PLASMA's rule reserves the hot folder a server with
+idle CPU *and* colocates its files:
+
+    server.cpu.perc > 80 and
+    client.call(Folder(fo).open).perc > 40 and
+    File(fi) in ref(fo.files) =>
+        reserve(fo, cpu); colocate(fo, fi);
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..actors import Actor, ActorRef, Client
+from ..bench import TestBed, build_cluster, latency_curve
+from ..core import ElasticityManager, EmrConfig, compile_source
+from ..sim import Timeout, spawn
+from ..workload import WeightedChoice, hot_one_split
+
+__all__ = ["Folder", "File", "METADATA_POLICY", "MetadataSetup",
+           "build_metadata_server", "run_metadata_experiment",
+           "MetadataResult"]
+
+METADATA_POLICY = """
+server.cpu.perc > 80 and
+client.call(Folder(fo).open).perc > 40 and
+File(fi) in ref(fo.files) =>
+    reserve(fo, cpu); colocate(fo, fi);
+"""
+
+#: CPU cost of the folder-side metadata lookup per open (ms of demand).
+#: Deliberately small relative to the file read: "accessing a folder
+#: implies accessing the files contained in it", so migrating the folder
+#: alone (the def-rule baseline) sheds little CPU while adding remote
+#: hops — the Fig. 5 effect.
+FOLDER_CPU_MS = 0.3
+#: CPU cost of reading one file's metadata (ms of demand).
+FILE_CPU_MS = 1.2
+
+
+class File(Actor):
+    """A file's metadata."""
+
+    state_size_mb = 0.5
+
+    def __init__(self) -> None:
+        self.reads = 0
+
+    def read(self):
+        yield self.compute(FILE_CPU_MS)
+        self.reads += 1
+        return {"size": 4096}
+
+
+class Folder(Actor):
+    """A folder holding file actors; opening touches one file."""
+
+    files: list
+    state_size_mb = 0.5
+
+    def __init__(self) -> None:
+        self.files: List[ActorRef] = []
+        self.opens = 0
+
+    def add_file(self, file_ref: ActorRef):
+        self.files.append(file_ref)
+        return len(self.files)
+
+    def open(self, file_index: int):
+        yield self.compute(FOLDER_CPU_MS)
+        self.opens += 1
+        if not self.files:
+            return None
+        target = self.files[file_index % len(self.files)]
+        meta = yield self.call(target, "read")
+        return meta
+
+
+@dataclass
+class MetadataSetup:
+    """A deployed metadata server."""
+
+    bed: TestBed
+    folders: List[ActorRef]
+    files: List[List[ActorRef]]
+    picker: WeightedChoice
+
+
+def build_metadata_server(bed: TestBed, num_folders: int = 4,
+                          files_per_folder: int = 8,
+                          hot_share: float = 0.5) -> MetadataSetup:
+    """Create folders/files on the first server, with one hot folder."""
+    server = bed.servers[0]
+    folders = [bed.system.create_actor(Folder, server=server)
+               for _ in range(num_folders)]
+    files: List[List[ActorRef]] = []
+    for folder in folders:
+        folder_files = [bed.system.create_actor(File, server=server)
+                        for _ in range(files_per_folder)]
+        instance = bed.system.actor_instance(folder)
+        for file_ref in folder_files:
+            instance.files.append(file_ref)
+        files.append(folder_files)
+    weights = hot_one_split(num_folders, hot_share)
+    picker = WeightedChoice(folders, weights,
+                            bed.streams.stream("metadata-folder-pick"))
+    return MetadataSetup(bed=bed, folders=folders, files=files,
+                         picker=picker)
+
+
+@dataclass
+class MetadataResult:
+    """Fig. 5 outcome for one setup."""
+
+    setup_name: str
+    mean_before_ms: float
+    mean_after_ms: float
+    curve: List[Tuple[float, float]] = field(default_factory=list)
+    migrations: int = 0
+
+
+def run_metadata_experiment(mode: str = "res-col-rule",
+                            num_clients: int = 16,
+                            duration_ms: float = 220_000.0,
+                            period_ms: float = 80_000.0,
+                            think_ms: float = 10.0,
+                            seed: int = 11) -> MetadataResult:
+    """Run one Fig. 5 setup.
+
+    ``mode``: ``res-col-rule`` (the PLASMA rule), ``def-rule`` (migrate
+    the hottest actor to an idle server, files stay), or ``no-rule``.
+    The elasticity setups get one extra (initially idle) server, as in
+    the paper.
+    """
+    if mode not in ("res-col-rule", "def-rule", "no-rule"):
+        raise ValueError(f"unknown mode {mode!r}")
+    extra = 0 if mode == "no-rule" else 1
+    bed = build_cluster(1 + extra, instance_type="m1.small", seed=seed)
+    setup = build_metadata_server(bed)
+
+    manager: Optional[ElasticityManager] = None
+    migrations = 0
+    if mode == "res-col-rule":
+        policy = compile_source(METADATA_POLICY, [Folder, File])
+        manager = ElasticityManager(
+            bed.system, policy,
+            EmrConfig(period_ms=period_ms, gem_wait_ms=500.0))
+        manager.start()
+    elif mode == "def-rule":
+        from ..baselines import DefaultRuleManager
+        manager = DefaultRuleManager(bed.system, period_ms=period_ms)
+        manager.start()
+
+    clients = [Client(bed.system, name=f"c{i}") for i in range(num_clients)]
+    rng = bed.streams.stream("metadata-file-pick")
+
+    def client_loop(client: Client):
+        while bed.sim.now < duration_ms:
+            folder = setup.picker.pick()
+            index = rng.randrange(8)
+            yield from client.timed_call(folder, "open", index)
+            yield Timeout(bed.sim, think_ms)
+
+    for client in clients:
+        spawn(bed.sim, client_loop(client))
+
+    bed.run(until_ms=duration_ms)
+    if manager is not None:
+        migrations = (manager.migrations_total()
+                      if hasattr(manager, "migrations_total")
+                      else getattr(manager, "migrations", 0))
+        manager.stop()
+
+    curve = latency_curve(clients, bucket_ms=5_000.0)
+    switch = period_ms + 15_000.0  # after the first elasticity round fired
+    before = [lat for t, lat in curve if t < period_ms]
+    after = [lat for t, lat in curve if t >= switch]
+    mean_before = sum(before) / len(before) if before else 0.0
+    mean_after = sum(after) / len(after) if after else 0.0
+    return MetadataResult(setup_name=mode, mean_before_ms=mean_before,
+                          mean_after_ms=mean_after, curve=curve,
+                          migrations=migrations)

@@ -1,0 +1,135 @@
+"""Piccolo-style partitioned-table computation (paper Table 1).
+
+Piccolo programs are kernels running over distributed in-memory
+key-value *tables*.  Workers repeatedly read from / accumulate into the
+table partition assigned to them, so a worker should live next to its
+table partition and worker CPU load should stay balanced (Table 1):
+
+    server.cpu.perc > 80 or server.cpu.perc < 60 =>
+        balance({PiccoloWorker}, cpu);
+    Table(t) in ref(PiccoloWorker(w).table) => colocate(w, t);
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..actors import Actor, ActorRef, Client
+from ..bench import TestBed
+from ..sim import spawn
+
+__all__ = ["PiccoloWorker", "Table", "PICCOLO_POLICY", "PiccoloJob",
+           "build_piccolo", "run_piccolo_rounds"]
+
+PICCOLO_POLICY = """
+server.cpu.perc > 80 or server.cpu.perc < 60 =>
+    balance({PiccoloWorker}, cpu);
+
+Table(t) in ref(PiccoloWorker(w).table) => colocate(w, t);
+"""
+
+KERNEL_CPU_MS_PER_KEY = 0.05
+TABLE_GET_CPU_MS = 0.02
+
+
+class Table(Actor):
+    """One partition of a distributed in-memory table."""
+
+    state_size_mb = 16.0
+
+    def __init__(self, partition_id: int, keys: int) -> None:
+        self.partition_id = partition_id
+        self.store: Dict[int, float] = {k: 0.0 for k in range(keys)}
+
+    def get_block(self, start: int, count: int):
+        yield self.compute(TABLE_GET_CPU_MS * count)
+        return {k: self.store.get(k, 0.0)
+                for k in range(start, start + count)}
+
+    def accumulate(self, updates: Dict[int, float]):
+        yield self.compute(TABLE_GET_CPU_MS * len(updates))
+        for key, delta in updates.items():
+            self.store[key] = self.store.get(key, 0.0) + delta
+        return len(updates)
+
+
+class PiccoloWorker(Actor):
+    """Runs the kernel over its key range, reading/writing its table."""
+
+    table: object
+    state_size_mb = 2.0
+
+    def __init__(self, worker_id: int, table: ActorRef,
+                 keys_per_round: int,
+                 work_scale: float = 1.0) -> None:
+        self.worker_id = worker_id
+        self.table = table
+        self.keys_per_round = keys_per_round
+        self.work_scale = work_scale
+        self.rounds_done = 0
+
+    def run_round(self, round_index: int):
+        """One kernel round: fetch a block, compute, push updates."""
+        block = yield self.call(self.table, "get_block", 0,
+                                self.keys_per_round,
+                                size_bytes=16.0 * self.keys_per_round)
+        yield self.compute(KERNEL_CPU_MS_PER_KEY * self.keys_per_round
+                           * self.work_scale)
+        updates = {key: value + 1.0 for key, value in block.items()}
+        yield self.call(self.table, "accumulate", updates,
+                        size_bytes=16.0 * len(updates))
+        self.rounds_done += 1
+        return self.rounds_done
+
+
+@dataclass
+class PiccoloJob:
+    bed: TestBed
+    workers: List[ActorRef]
+    tables: List[ActorRef]
+
+
+def build_piccolo(bed: TestBed, num_workers: int = 8,
+                  keys_per_partition: int = 256,
+                  work_scales: Optional[List[float]] = None) -> PiccoloJob:
+    """One worker per table partition; tables round-robin across servers,
+    workers deliberately placed *away* from their tables so the colocate
+    rule has work to do.  ``work_scales`` skews per-worker CPU cost."""
+    tables = [
+        bed.system.create_actor(
+            Table, i, keys_per_partition,
+            server=bed.servers[i % len(bed.servers)])
+        for i in range(num_workers)]
+    workers = []
+    for i in range(num_workers):
+        scale = work_scales[i] if work_scales else 1.0
+        server = bed.servers[(i + 1) % len(bed.servers)]
+        workers.append(bed.system.create_actor(
+            PiccoloWorker, i, tables[i], keys_per_partition, scale,
+            server=server))
+    return PiccoloJob(bed=bed, workers=workers, tables=tables)
+
+
+def run_piccolo_rounds(job: PiccoloJob, rounds: int) -> List[float]:
+    """Drive synchronized kernel rounds; returns per-round times."""
+    client = Client(job.bed.system, name="piccolo-driver")
+    times: List[float] = []
+    finished = []
+
+    def driver():
+        for round_index in range(rounds):
+            started = job.bed.sim.now
+            signals = [client.call(worker, "run_round", round_index)
+                       for worker in job.workers]
+            for signal in signals:
+                yield signal
+            times.append(job.bed.sim.now - started)
+        finished.append(True)
+
+    spawn(job.bed.sim, driver(), name="piccolo-driver")
+    while not finished:
+        if job.bed.sim.peek() is None:
+            raise RuntimeError("piccolo driver stalled")
+        job.bed.sim.run(until=job.bed.sim.now + 10_000.0)
+    return times

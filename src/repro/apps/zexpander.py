@@ -1,0 +1,110 @@
+"""zExpander-style two-zone key-value cache (paper Table 1).
+
+zExpander splits a KV cache into a small fast zone for hot keys and a
+large compact zone for the long tail.  We model the fast zone as a
+front IndexNode actor and the compact zone as CacheLeaf actors holding
+compressed blocks.  Leaves are memory-heavy and benefit from spare
+servers (Table 1: "put leaf nodes on idle servers"):
+
+    server.mem.perc > 70 => reserve(CacheLeaf(l), mem);
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..actors import Actor, ActorRef
+from ..bench import TestBed
+
+__all__ = ["IndexNode", "CacheLeaf", "ZEXPANDER_POLICY", "ZExpanderCache",
+           "build_zexpander"]
+
+ZEXPANDER_POLICY = """
+server.mem.perc > 70 => reserve(CacheLeaf(l), mem);
+"""
+
+INDEX_CPU_MS = 0.05
+LEAF_CPU_MS = 0.3       # decompression on the compact zone
+
+
+class CacheLeaf(Actor):
+    """Compact-zone block: compressed cold entries, memory heavy."""
+
+    state_size_mb = 256.0
+
+    def __init__(self, leaf_id: int) -> None:
+        self.leaf_id = leaf_id
+        self.store: Dict[int, bytes] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: int):
+        yield self.compute(LEAF_CPU_MS)
+        value = self.store.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: int, value):
+        yield self.compute(LEAF_CPU_MS)
+        self.store[key] = value
+        return True
+
+
+class IndexNode(Actor):
+    """Fast zone: hot entries inline, cold keys routed to leaves."""
+
+    leaves: list
+    state_size_mb = 32.0
+
+    def __init__(self, hot_capacity: int = 1024) -> None:
+        self.leaves: List[ActorRef] = []
+        self.hot: Dict[int, bytes] = {}
+        self.hot_capacity = hot_capacity
+        self.hot_hits = 0
+        self.cold_reads = 0
+
+    def _leaf_for(self, key: int) -> ActorRef:
+        return self.leaves[key % len(self.leaves)]
+
+    def get(self, key: int):
+        yield self.compute(INDEX_CPU_MS)
+        if key in self.hot:
+            self.hot_hits += 1
+            return self.hot[key]
+        if not self.leaves:
+            return None
+        self.cold_reads += 1
+        value = yield self.call(self._leaf_for(key), "get", key)
+        return value
+
+    def put(self, key: int, value, hot: bool = False):
+        yield self.compute(INDEX_CPU_MS)
+        if hot and len(self.hot) < self.hot_capacity:
+            self.hot[key] = value
+            return True
+        if not self.leaves:
+            self.hot[key] = value
+            return True
+        result = yield self.call(self._leaf_for(key), "put", key, value)
+        return result
+
+
+@dataclass
+class ZExpanderCache:
+    bed: TestBed
+    index: ActorRef
+    leaves: List[ActorRef]
+
+
+def build_zexpander(bed: TestBed, num_leaves: int = 4) -> ZExpanderCache:
+    """Index on the first server; leaves initially beside it (the state
+    the reserve rule exists to fix)."""
+    index = bed.system.create_actor(IndexNode, server=bed.servers[0])
+    leaves = [bed.system.create_actor(CacheLeaf, i, server=bed.servers[0])
+              for i in range(num_leaves)]
+    bed.system.actor_instance(index).leaves.extend(leaves)
+    return ZExpanderCache(bed=bed, index=index, leaves=leaves)

@@ -1,0 +1,10 @@
+"""Baseline elasticity policies the paper compares PLASMA against."""
+
+from .base import PeriodicBalancer
+from .defaultrule import DefaultRuleManager
+from .estore_inapp import EStoreInApp
+from .mizan import MizanMigrator
+from .orleans import OrleansBalancer
+
+__all__ = ["PeriodicBalancer", "DefaultRuleManager", "EStoreInApp",
+           "MizanMigrator", "OrleansBalancer"]

@@ -1,0 +1,72 @@
+"""The "default rule" baseline (paper Fig. 5 and Fig. 11a).
+
+Two semantics-free heuristics an elasticity runtime could apply without
+application knowledge:
+
+- **hot-actor migration** (Fig. 5's def-rule): each period, move the
+  single busiest actor off the most loaded server onto the least loaded
+  one.  For the Metadata Server this moves the hot Folder but strands
+  its Files, so every open still pays remote file reads.
+- **frequency colocation** (Fig. 11a's def-rule): co-locate the actor
+  pairs that exchanged the most messages recently — Orleans-style — which
+  only converges after the interaction has already been observed (and can
+  mis-fire on transient traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..actors import ActorSystem
+from .base import PeriodicBalancer
+
+__all__ = ["DefaultRuleManager"]
+
+
+class DefaultRuleManager(PeriodicBalancer):
+    """Semantics-free baseline elasticity manager."""
+
+    def __init__(self, system: ActorSystem, period_ms: float = 60_000.0,
+                 migrate_hot: bool = True,
+                 colocate_frequent: bool = False,
+                 cpu_threshold: float = 80.0,
+                 min_pair_rate_per_min: float = 1.0,
+                 max_colocations_per_round: int = 8) -> None:
+        super().__init__(system, period_ms=period_ms, profile=True)
+        self.migrate_hot = migrate_hot
+        self.colocate_frequent = colocate_frequent
+        self.cpu_threshold = cpu_threshold
+        self.min_pair_rate_per_min = min_pair_rate_per_min
+        self.max_colocations_per_round = max_colocations_per_round
+
+    def decide(self) -> None:
+        if self.migrate_hot:
+            self._migrate_hottest_actor()
+        if self.colocate_frequent:
+            self.colocate_frequent_pairs(
+                self.min_pair_rate_per_min,
+                self.max_colocations_per_round)
+
+    # -- hot-actor migration ---------------------------------------------------
+
+    def _migrate_hottest_actor(self) -> None:
+        servers = self.servers()
+        if len(servers) < 2:
+            return
+        window = self.period_ms
+        hottest = max(servers, key=lambda s: s.cpu_percent(window))
+        if hottest.cpu_percent(window) < self.cpu_threshold:
+            return
+        records = self.actors_on(hottest)
+        if not records:
+            return
+        snaps = self.profiler.snapshot_actors(records)
+        snaps = [s for s in snaps if not s.pinned and not s.migrating]
+        if not snaps:
+            return
+        busiest = max(snaps, key=lambda s: s.cpu_perc)
+        coldest = min((s for s in servers if s is not hottest),
+                      key=lambda s: s.cpu_percent(window))
+        record = self.system.directory.try_lookup(busiest.actor_id)
+        if record is not None:
+            self.migrate(record, coldest)

@@ -1,0 +1,105 @@
+"""E-Store's own (in-application) elasticity controller (paper §5.5).
+
+The paper implemented E-Store's published scheme inside AEON (3000 LoC of
+runtime extensions) to compare against 3 PLASMA rules.  The scheme:
+monitor per-server resource usage; above the high-water mark, migrate the
+top-k% most accessed root partitions *with their descendants* to idle
+servers; below the low-water mark, redistribute.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..actors import ActorRef, ActorSystem
+from .base import PeriodicBalancer
+
+__all__ = ["EStoreInApp"]
+
+
+class EStoreInApp(PeriodicBalancer):
+    """Top-k% hot-partition migration with descendant co-migration."""
+
+    def __init__(self, system: ActorSystem, roots: List[ActorRef],
+                 period_ms: float = 60_000.0,
+                 high_water: float = 80.0, low_water: float = 50.0,
+                 top_fraction: float = 0.1) -> None:
+        super().__init__(system, period_ms=period_ms, profile=True)
+        self.roots = list(roots)
+        self.high_water = high_water
+        self.low_water = low_water
+        self.top_fraction = top_fraction
+
+    def decide(self) -> None:
+        servers = self.servers()
+        if len(servers) < 2:
+            return
+        window = self.period_ms
+        hot = [s for s in servers if s.cpu_percent(window) > self.high_water]
+        cold = sorted(servers, key=lambda s: s.cpu_percent(window))
+        if hot:
+            for server in hot:
+                self._shed_hot_partitions(server, cold)
+        elif any(s.cpu_percent(window) < self.low_water for s in servers):
+            self._redistribute(cold)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _roots_on(self, server) -> List[ActorRef]:
+        on_server = []
+        for root in self.roots:
+            record = self.system.directory.try_lookup(root.actor_id)
+            if record is not None and record.server is server:
+                on_server.append(root)
+        return on_server
+
+    def _access_rate(self, root: ActorRef) -> float:
+        record = self.system.directory.try_lookup(root.actor_id)
+        if record is None:
+            return 0.0
+        snap = self.profiler.snapshot_actors([record])[0]
+        return sum(rate for (kind, _fn), rate
+                   in snap.call_count_per_min.items() if kind == "client")
+
+    def _move_tree(self, root: ActorRef, target) -> None:
+        """Migrate a root partition and every descendant with it."""
+        record = self.system.directory.try_lookup(root.actor_id)
+        if record is None or record.server is target:
+            return
+        self.migrate(record, target)
+        instance = record.instance
+        for child in getattr(instance, "children", []):
+            child_record = self.system.directory.try_lookup(child.actor_id)
+            if child_record is not None:
+                self.migrate(child_record, target)
+
+    def _shed_hot_partitions(self, server, cold_sorted) -> None:
+        roots = self._roots_on(server)
+        if len(roots) <= 2:
+            return  # effectively dedicated to its hot trees already
+        roots.sort(key=self._access_rate, reverse=True)
+        count = max(1, int(len(roots) * self.top_fraction))
+        window = self.period_ms
+        targets = [s for s in cold_sorted if s is not server
+                   and s.cpu_percent(window) < self.high_water]
+        if not targets:
+            return
+        for index, root in enumerate(roots[:count]):
+            self._move_tree(root, targets[index % len(targets)])
+
+    def _redistribute(self, cold_sorted) -> None:
+        """Low-water path: feed the idlest server from the busiest."""
+        window = self.period_ms
+        idlest = cold_sorted[0]
+        busiest = cold_sorted[-1]
+        if busiest is idlest:
+            return
+        spread = (busiest.cpu_percent(window) - idlest.cpu_percent(window))
+        if spread < 15.0:
+            return
+        roots = self._roots_on(busiest)
+        if not roots:
+            return
+        roots.sort(key=self._access_rate, reverse=True)
+        # Move one mid-heat tree: the hottest often overshoots.
+        self._move_tree(roots[len(roots) // 2], idlest)

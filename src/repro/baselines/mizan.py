@@ -1,0 +1,74 @@
+"""Mizan-style dynamic vertex migration (paper §5.4, Fig. 7a).
+
+Mizan balances graph processing by migrating *vertices* between workers
+at superstep boundaries, based on per-worker runtime statistics.  The
+paper finds it reduces iteration time by only a few percent (vs. 24% for
+PLASMA) because vertex migration happens inside the computation barrier
+and pays its overhead on every adjustment — and it cannot change where
+the *workers* run, so a hot server stays hot when all its workers are
+moderately loaded.
+
+This controller replicates that scheme against our actor PageRank: after
+each iteration it compares per-worker compute cost, then moves a bounded
+batch of high-degree vertices from the slowest worker to the fastest,
+charging a migration barrier proportional to the data moved (Mizan
+performs migration as an extra BSP phase).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..actors import Client
+from ..apps.pagerank import PageRankDeployment
+from ..sim import Timeout
+
+__all__ = ["MizanMigrator"]
+
+
+class MizanMigrator:
+    """Vertex-migration planner hooked into the PageRank iteration loop."""
+
+    def __init__(self, deployment: PageRankDeployment,
+                 migrate_fraction: float = 0.05,
+                 imbalance_trigger: float = 1.10,
+                 barrier_ms_per_vertex: float = 1.5) -> None:
+        self.deployment = deployment
+        self.migrate_fraction = migrate_fraction
+        self.imbalance_trigger = imbalance_trigger
+        self.barrier_ms_per_vertex = barrier_ms_per_vertex
+        self.vertices_moved = 0
+        self.migration_rounds = 0
+        self._client = Client(deployment.bed.system, name="mizan")
+
+    def worker_costs(self) -> List[int]:
+        system = self.deployment.bed.system
+        return [system.actor_instance(ref).graph_units()
+                for ref in self.deployment.workers]
+
+    def on_iteration(self, index: int, elapsed_ms: float):
+        """Generator hook for ``run_iterations(..., on_iteration=...)``."""
+        costs = self.worker_costs()
+        mean_cost = sum(costs) / len(costs)
+        slowest = max(range(len(costs)), key=lambda i: costs[i])
+        fastest = min(range(len(costs)), key=lambda i: costs[i])
+        if costs[slowest] < mean_cost * self.imbalance_trigger:
+            return
+        slow_ref = self.deployment.workers[slowest]
+        fast_ref = self.deployment.workers[fastest]
+        system = self.deployment.bed.system
+        slow_worker = system.actor_instance(slow_ref)
+        count = max(1, int(len(slow_worker.nodes) * self.migrate_fraction))
+
+        payload = yield self._client.call(slow_ref, "emigrate_nodes", count)
+        if not payload:
+            return
+        fast_part = system.actor_instance(fast_ref).part_id
+        yield self._client.call(fast_ref, "immigrate_nodes", payload,
+                                fast_part)
+        # Mizan runs migration as a dedicated superstep: every worker
+        # stalls behind the migration barrier.
+        yield Timeout(system.sim,
+                      self.barrier_ms_per_vertex * len(payload))
+        self.vertices_moved += len(payload)
+        self.migration_rounds += 1

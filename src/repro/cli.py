@@ -1,0 +1,224 @@
+"""Command-line interface.
+
+    python -m repro compile POLICY_FILE --app APP     # compile + lint
+    python -m repro compile POLICY_FILE --classes m:C # against own actors
+    python -m repro apps                              # list bundled apps
+    python -m repro experiment NAME [--quick]         # run one experiment
+    python -m repro experiments                       # list experiments
+
+The ``compile`` command is the "PLASMA compiler" entry point of the
+paper's Fig. 2: it parses the elasticity policy, validates it against an
+actor program, prints conflict warnings, and emits the elasticity
+configuration JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .bench import format_table
+from .core.epl import EplError, compile_source
+
+__all__ = ["main"]
+
+
+def _app_registry() -> Dict[str, Tuple[str, list]]:
+    """Bundled applications: name -> (policy source, actor classes)."""
+    from . import apps
+    from .apps.btree import InnerNode, LeafNode
+    from .apps.cassandra import Replica
+    from .apps.estore import Partition
+    from .apps.halo import Player, Router, Session
+    from .apps.metadata import File, Folder
+    from .apps.pagerank import PageRankWorker
+    from .apps.piccolo import PiccoloWorker, Table
+    from .apps.zexpander import CacheLeaf, IndexNode
+
+    return {
+        "metadata": (apps.METADATA_POLICY, [Folder, File]),
+        "pagerank": (apps.PAGERANK_POLICY, [PageRankWorker]),
+        "estore": (apps.ESTORE_POLICY, [Partition]),
+        "media": (apps.MEDIA_POLICY, apps.MEDIA_ACTOR_CLASSES),
+        "halo": (apps.HALO_INTERACTION_POLICY, [Router, Session, Player]),
+        "btree": (apps.BTREE_POLICY, [InnerNode, LeafNode]),
+        "piccolo": (apps.PICCOLO_POLICY, [PiccoloWorker, Table]),
+        "zexpander": (apps.ZEXPANDER_POLICY, [IndexNode, CacheLeaf]),
+        "cassandra": (apps.CASSANDRA_POLICY, [Replica]),
+    }
+
+
+def _resolve_classes(specs: Sequence[str]) -> list:
+    """Resolve ``module:Class[,Class...]`` specs to actor classes."""
+    classes = []
+    for spec in specs:
+        module_name, _, names = spec.partition(":")
+        if not names:
+            raise SystemExit(
+                f"bad --classes spec {spec!r}; expected module:Class,...")
+        module = importlib.import_module(module_name)
+        for name in names.split(","):
+            classes.append(getattr(module, name))
+    return classes
+
+
+# -- commands -----------------------------------------------------------------
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    if args.app:
+        registry = _app_registry()
+        if args.app not in registry:
+            raise SystemExit(f"unknown app {args.app!r}; see `apps`")
+        default_policy, classes = registry[args.app]
+        source = default_policy
+        if args.policy:
+            with open(args.policy) as handle:
+                source = handle.read()
+    else:
+        if not args.policy or not args.classes:
+            raise SystemExit(
+                "compile needs either --app APP or POLICY --classes ...")
+        with open(args.policy) as handle:
+            source = handle.read()
+        classes = _resolve_classes(args.classes)
+
+    try:
+        compiled = compile_source(source, classes)
+    except EplError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"compiled {compiled.rule_count()} rules "
+          f"({len(compiled.actor_rules)} LEM-side, "
+          f"{len(compiled.resource_rules)} GEM-side)")
+    for warning in compiled.warnings:
+        print(f"warning: {warning}")
+    if args.json:
+        print(compiled.to_json())
+    return 0
+
+
+def cmd_apps(args: argparse.Namespace) -> int:
+    rows = []
+    for name, (policy, classes) in sorted(_app_registry().items()):
+        compiled = compile_source(policy, classes)
+        rows.append([name, compiled.rule_count(),
+                     ", ".join(sorted(c.__name__ for c in classes))])
+    print(format_table(["app", "rules", "actor types"], rows,
+                       title="Bundled PLASMA applications (paper Table 1)"))
+    return 0
+
+
+def _experiment_registry() -> Dict[str, Tuple[str, Callable]]:
+    def fig5(quick: bool):
+        from .apps.metadata import run_metadata_experiment
+        scale = dict(num_clients=8, duration_ms=90_000.0,
+                     period_ms=25_000.0) if quick else {}
+        rows = []
+        for mode in ("res-col-rule", "def-rule", "no-rule"):
+            result = run_metadata_experiment(mode, **scale)
+            rows.append([mode, result.mean_before_ms,
+                         result.mean_after_ms, result.migrations])
+        print(format_table(
+            ["setup", "before (ms)", "after (ms)", "migrations"], rows,
+            title="Fig. 5 — Metadata Server"))
+
+    def fig9(quick: bool):
+        from .apps.estore import run_estore_experiment
+        scale = dict(num_clients=24, duration_ms=110_000.0,
+                     period_ms=25_000.0) if quick else {}
+        rows = []
+        for mode in ("plasma", "in-app", "none"):
+            result = run_estore_experiment(mode, **scale)
+            rows.append([mode, result.mean_before_ms,
+                         result.mean_after_ms, result.migrations])
+        print(format_table(
+            ["setup", "before (ms)", "after (ms)", "migrations"], rows,
+            title="Fig. 9 — E-Store"))
+
+    def fig11a(quick: bool):
+        from .apps.halo import run_halo_interaction_experiment
+        scale = dict(num_clients=12, rounds=2, round_ms=30_000.0,
+                     period_ms=10_000.0, heartbeat_ms=200.0) \
+            if quick else {}
+        rows = []
+        for mode in ("inter-rule", "def-rule"):
+            result = run_halo_interaction_experiment(mode, **scale)
+            rows.append([mode, result.mean_latency_ms, result.migrations])
+        print(format_table(
+            ["rule", "mean latency (ms)", "migrations"], rows,
+            title="Fig. 11a — Halo Presence"))
+
+    return {
+        "fig5": ("Metadata Server: semantic vs blind rule", fig5),
+        "fig9": ("E-Store: PLASMA rules vs in-app elasticity", fig9),
+        "fig11a": ("Halo: interaction rule vs frequency colocation",
+                   fig11a),
+    }
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    rows = [[name, description]
+            for name, (description, _run)
+            in sorted(_experiment_registry().items())]
+    print(format_table(["experiment", "description"], rows,
+                       title="Runnable experiments (full set: "
+                             "pytest benchmarks/ --benchmark-only)"))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.name not in registry:
+        raise SystemExit(f"unknown experiment {args.name!r}; "
+                         f"see `experiments`")
+    _description, run = registry[args.name]
+    run(args.quick)
+    return 0
+
+
+# -- entry point ---------------------------------------------------------------
+
+
+def main(argv: Sequence[str] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PLASMA reproduction command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile and lint an elasticity policy")
+    p_compile.add_argument("policy", nargs="?",
+                           help="path to an EPL policy file")
+    p_compile.add_argument("--app", help="validate against a bundled "
+                                         "application's actor program")
+    p_compile.add_argument("--classes", nargs="*",
+                           help="actor classes as module:Class,Class")
+    p_compile.add_argument("--json", action="store_true",
+                           help="print the elasticity configuration JSON")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_apps = sub.add_parser("apps", help="list bundled applications")
+    p_apps.set_defaults(func=cmd_apps)
+
+    p_experiments = sub.add_parser("experiments",
+                                   help="list runnable experiments")
+    p_experiments.set_defaults(func=cmd_experiments)
+
+    p_experiment = sub.add_parser("experiment",
+                                  help="run one experiment")
+    p_experiment.add_argument("name")
+    p_experiment.add_argument("--quick", action="store_true",
+                              help="scaled-down parameters")
+    p_experiment.set_defaults(func=cmd_experiment)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Simulated cloud substrate: instance types, servers, network, provisioning.
+
+This package stands in for the Amazon EC2 deployment used in the paper.
+See DESIGN.md §2 for the substitution rationale.
+"""
+
+from .instances import INSTANCE_TYPES, InstanceType, instance_type
+from .metrics import GaugeSeries, WindowedMeter
+from .network import NetworkFabric
+from .provisioner import Provisioner
+from .server import CpuJob, Server
+
+__all__ = [
+    "InstanceType",
+    "INSTANCE_TYPES",
+    "instance_type",
+    "Server",
+    "CpuJob",
+    "NetworkFabric",
+    "Provisioner",
+    "WindowedMeter",
+    "GaugeSeries",
+]

@@ -1,0 +1,114 @@
+"""Rolling-window usage meters.
+
+PLASMA's profiling runtime reports resource *percentages over the recent
+past* (the elasticity period), not lifetime averages.  These meters
+accumulate usage into fixed-width time buckets so that "CPU% over the last
+N ms" is O(buckets) to answer and old history is forgotten automatically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..sim import Simulator
+
+__all__ = ["WindowedMeter", "GaugeSeries"]
+
+
+class WindowedMeter:
+    """Accumulates a quantity (busy-ms, bytes, message counts) into time
+    buckets and answers windowed totals and rates.
+
+    ``bucket_ms`` trades precision for memory; the default 500 ms is far
+    finer than any elasticity period used in the paper (60–180 s).
+    """
+
+    def __init__(self, sim: Simulator, bucket_ms: float = 500.0,
+                 keep_buckets: int = 720) -> None:
+        if bucket_ms <= 0:
+            raise ValueError("bucket_ms must be positive")
+        self._sim = sim
+        self._bucket_ms = bucket_ms
+        self._keep = keep_buckets
+        self._buckets: List[Tuple[int, float]] = []  # (bucket index, total)
+        self._lifetime = 0.0
+
+    @property
+    def lifetime_total(self) -> float:
+        """Total accumulated since creation (never forgotten)."""
+        return self._lifetime
+
+    def add(self, amount: float, at: float = None) -> None:
+        """Record ``amount`` at time ``at`` (default: now)."""
+        when = self._sim.now if at is None else at
+        index = int(when // self._bucket_ms)
+        self._lifetime += amount
+        if self._buckets and self._buckets[-1][0] == index:
+            last_index, total = self._buckets[-1]
+            self._buckets[-1] = (last_index, total + amount)
+        else:
+            self._buckets.append((index, amount))
+            if len(self._buckets) > self._keep:
+                del self._buckets[: len(self._buckets) - self._keep]
+
+    def total(self, window_ms: float) -> float:
+        """Sum recorded over the trailing ``window_ms``."""
+        if window_ms <= 0:
+            return 0.0
+        cutoff = int((self._sim.now - window_ms) // self._bucket_ms)
+        return sum(total for index, total in self._buckets
+                   if index >= cutoff)
+
+    def rate_per_ms(self, window_ms: float) -> float:
+        """Average accumulation rate over the trailing window.
+
+        The divisor is clamped to the elapsed simulation time so early
+        queries (before one full window has passed) are not diluted.
+        """
+        effective = min(window_ms, self._sim.now) if self._sim.now > 0 else window_ms
+        if effective <= 0:
+            return 0.0
+        return self.total(window_ms) / effective
+
+
+class GaugeSeries:
+    """A recorded time series of (time, value) samples.
+
+    Used by the bench harness to capture CPU%, actor counts and latency
+    curves that reproduce the paper's figures.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, time_ms: float, value: float) -> None:
+        self.samples.append((time_ms, value))
+
+    def values(self) -> List[float]:
+        return [value for _t, value in self.samples]
+
+    def times(self) -> List[float]:
+        return [t for t, _value in self.samples]
+
+    def last(self) -> float:
+        if not self.samples:
+            raise ValueError(f"series {self.name!r} is empty")
+        return self.samples[-1][1]
+
+    def mean(self) -> float:
+        values = self.values()
+        if not values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return sum(values) / len(values)
+
+    def mean_between(self, start_ms: float, end_ms: float) -> float:
+        window = [v for t, v in self.samples if start_ms <= t <= end_ms]
+        if not window:
+            raise ValueError(
+                f"series {self.name!r} has no samples in "
+                f"[{start_ms}, {end_ms}]")
+        return sum(window) / len(window)
+
+    def __len__(self) -> int:
+        return len(self.samples)

@@ -1,0 +1,156 @@
+"""Simulated server: vCPU cores, memory, and a NIC meter.
+
+The CPU model is a per-server multi-core run queue.  Work arrives as jobs
+declaring a CPU demand in milliseconds; each of the server's ``vcpus``
+cores services jobs FIFO, scaled by the instance type's ``cpu_speed``.
+This reproduces the contention behaviour elasticity management reacts to:
+when offered load exceeds ``vcpus * cpu_speed`` CPU-ms per ms, queueing
+delay grows and the windowed CPU utilization saturates near 100%.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from ..sim import Queue, Signal, Simulator, Timeout, spawn
+from .instances import InstanceType
+from .metrics import WindowedMeter
+
+__all__ = ["Server", "CpuJob"]
+
+_server_ids = itertools.count(1)
+
+
+class CpuJob:
+    """A unit of CPU work queued on a server.
+
+    ``owner`` is an opaque tag (the actor, in practice) used by callers for
+    accounting; the server itself only needs the demand.
+    """
+
+    __slots__ = ("demand_ms", "owner", "done")
+
+    def __init__(self, sim: Simulator, demand_ms: float, owner: Any = None) -> None:
+        self.demand_ms = demand_ms
+        self.owner = owner
+        self.done = Signal(sim)
+
+
+class Server:
+    """One simulated machine in the cluster.
+
+    Public resource API:
+
+    - :meth:`execute` — submit CPU work, returns a waitable.
+    - :meth:`allocate_memory` / :meth:`free_memory`.
+    - :meth:`cpu_percent`, :meth:`memory_percent`, :meth:`net_percent` —
+      windowed utilization percentages, the signals PLASMA rules consume.
+    """
+
+    def __init__(self, sim: Simulator, itype: InstanceType,
+                 name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.itype = itype
+        self.server_id = next(_server_ids)
+        self.name = name or f"{itype.name}-{self.server_id}"
+        self.started_at = sim.now
+        self.running = True
+
+        self._run_queue: Queue[CpuJob] = Queue(sim)
+        self.cpu_meter = WindowedMeter(sim)
+        self.net_meter = WindowedMeter(sim)
+        self.memory_used_mb = 0.0
+        self._cores = [
+            spawn(sim, self._core_loop(), name=f"{self.name}/core{i}")
+            for i in range(itype.vcpus)
+        ]
+
+    def __repr__(self) -> str:
+        return f"<Server {self.name}>"
+
+    # -- CPU ---------------------------------------------------------------
+
+    def execute(self, demand_ms: float, owner: Any = None) -> Signal:
+        """Submit ``demand_ms`` of CPU work; returns the completion signal.
+
+        The signal's value is the *scaled* busy time the job occupied a
+        core for, letting callers charge per-actor CPU accounting.
+        """
+        if demand_ms < 0:
+            raise ValueError(f"negative CPU demand: {demand_ms!r}")
+        job = CpuJob(self.sim, demand_ms, owner)
+        self._run_queue.put(job)
+        return job.done
+
+    def _core_loop(self):
+        while True:
+            job = yield self._run_queue.get()
+            if job is None:  # shutdown sentinel
+                return
+            scaled = job.demand_ms / self.itype.cpu_speed
+            if scaled > 0:
+                yield Timeout(self.sim, scaled)
+            if self.running:
+                self.cpu_meter.add(scaled)
+            job.done.trigger(scaled)
+
+    def run_queue_length(self) -> int:
+        """Jobs waiting for a core (excludes jobs currently executing)."""
+        return len(self._run_queue)
+
+    # -- memory --------------------------------------------------------------
+
+    def allocate_memory(self, mb: float) -> None:
+        """Claim ``mb`` of memory.  Oversubscription is permitted (the paper's
+        runtime does not kill actors on memory pressure) but shows up in
+        :meth:`memory_percent` > 100, which memory rules can react to."""
+        if mb < 0:
+            raise ValueError(f"negative memory allocation: {mb!r}")
+        self.memory_used_mb += mb
+
+    def free_memory(self, mb: float) -> None:
+        self.memory_used_mb = max(0.0, self.memory_used_mb - mb)
+
+    # -- utilization percentages --------------------------------------------
+
+    def _effective_window(self, window_ms: float) -> float:
+        uptime = self.sim.now - self.started_at
+        if uptime <= 0:
+            return 0.0
+        return min(window_ms, uptime)
+
+    def cpu_percent(self, window_ms: float) -> float:
+        """CPU utilization (0–100) over the trailing window."""
+        effective = self._effective_window(window_ms)
+        if effective <= 0:
+            return 0.0
+        capacity = effective * self.itype.vcpus
+        return min(100.0, 100.0 * self.cpu_meter.total(window_ms) / capacity)
+
+    def memory_percent(self, window_ms: float = 0.0) -> float:
+        """Memory utilization (instantaneous; window kept for symmetry)."""
+        return 100.0 * self.memory_used_mb / self.itype.memory_mb
+
+    def net_percent(self, window_ms: float) -> float:
+        """NIC utilization (0–100) over the trailing window."""
+        effective = self._effective_window(window_ms)
+        if effective <= 0:
+            return 0.0
+        capacity = effective * self.itype.net_bytes_per_ms()
+        return min(100.0, 100.0 * self.net_meter.total(window_ms) / capacity)
+
+    def idle_cpu_headroom(self, window_ms: float) -> float:
+        """Unused CPU capacity, in CPU-ms per ms (used by admission checks)."""
+        used_fraction = self.cpu_percent(window_ms) / 100.0
+        return (1.0 - used_fraction) * self.itype.cpu_capacity_ms_per_ms()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop the server's cores.  Queued work is abandoned."""
+        if not self.running:
+            return
+        self.running = False
+        for _ in self._cores:
+            self._run_queue.put(None)  # type: ignore[arg-type]

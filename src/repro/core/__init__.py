@@ -1,0 +1,23 @@
+"""PLASMA's primary contribution: the EPL and the elasticity runtime.
+
+- :mod:`repro.core.epl` — the elasticity programming language.
+- :mod:`repro.core.profiling` — the elasticity profiling runtime (EPR).
+- :mod:`repro.core.emr` — the elasticity execution runtime (LEMs/GEMs).
+"""
+
+from .emr import ElasticityManager, EmrConfig
+from .epl import CompiledPolicy, compile_policy, compile_source, parse_policy
+from .profiling import ProfilingRuntime
+from .tracing import ElasticityTracer, TraceEvent
+
+__all__ = [
+    "ElasticityManager",
+    "EmrConfig",
+    "CompiledPolicy",
+    "compile_policy",
+    "compile_source",
+    "parse_policy",
+    "ProfilingRuntime",
+    "ElasticityTracer",
+    "TraceEvent",
+]

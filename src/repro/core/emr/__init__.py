@@ -1,0 +1,23 @@
+"""Elasticity management runtime (EMR): LEMs, GEMs, actions, placement."""
+
+from .actions import Action, resolve_actions
+from .config import EmrConfig
+from .evaluate import (EvaluationScope, Match, compare, evaluate_rule,
+                       extract_bounds)
+from .gem import GEM
+from .lem import LEM
+from .manager import ElasticityManager, MigrationEvent
+from .placement import PlasmaPlacement
+from .planning import (BalancePlan, contribution_perc, plan_balance,
+                       plan_drain, plan_reserve)
+
+__all__ = [
+    "Action", "resolve_actions",
+    "EmrConfig",
+    "EvaluationScope", "Match", "compare", "evaluate_rule", "extract_bounds",
+    "GEM", "LEM",
+    "ElasticityManager", "MigrationEvent",
+    "PlasmaPlacement",
+    "BalancePlan", "contribution_perc", "plan_balance", "plan_drain",
+    "plan_reserve",
+]

@@ -1,0 +1,76 @@
+"""Migration actions (paper Table 2b) and conflict resolution.
+
+An :class:`Action` names an actor, its current server (``src``) and the
+migration target (``dst``).  Actions carry the priority of the behavior
+that produced them; :func:`resolve_actions` implements the paper's
+runtime conflict-resolution rule — for each actor keep only the
+highest-priority action (balance > reserve > separate > colocate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ...cluster import Server
+from ..epl import BEHAVIOR_PRIORITIES
+from ..profiling import ActorSnapshot
+
+__all__ = ["Action", "resolve_actions"]
+
+
+@dataclass
+class Action:
+    """One proposed actor migration."""
+
+    kind: str                   # balance | reserve | colocate | separate
+    actor: ActorSnapshot        # actor for migration (with demand info)
+    src: Server                 # server currently holding the actor
+    dst: Server                 # target server for actor migration
+    rule_index: int = -1
+    resource: Optional[str] = None
+    #: Source load at planning time.  Admission control accepts a move
+    #: that leaves the target below the source even when it exceeds the
+    #: static admission bound — migrating off an overloaded server must
+    #: not be vetoed by a target that would still be the less-loaded one.
+    src_load_perc: float = 100.0
+    #: Programmer-specified rule priority (EPL ``priority N:`` prefix);
+    #: overrides the behavior-kind default in conflict resolution.
+    priority_override: Optional[int] = None
+
+    @property
+    def priority(self) -> int:
+        if self.priority_override is not None:
+            return self.priority_override
+        return BEHAVIOR_PRIORITIES[self.kind]
+
+    @property
+    def actor_id(self) -> int:
+        return self.actor.actor_id
+
+    def __repr__(self) -> str:
+        return (f"<Action {self.kind} {self.actor.ref} "
+                f"{self.src.name}->{self.dst.name}>")
+
+
+def resolve_actions(*action_lists: Iterable[Action]) -> List[Action]:
+    """Merge action lists, keeping one action per actor by priority.
+
+    Ties keep the earliest proposal (LEM actions are passed first in
+    Alg. 1's ``resolveActions(lemActions, gemActions)``; the paper
+    prioritizes resource actions, which our priority table encodes, so
+    GEM balance/reserve actions win over local colocate ones).
+    Actions whose source no longer matches the actor's server are stale
+    and dropped by the executor, not here.
+    """
+    best: Dict[int, Action] = {}
+    order: List[int] = []
+    for actions in action_lists:
+        for action in actions:
+            current = best.get(action.actor_id)
+            if current is None:
+                best[action.actor_id] = action
+                order.append(action.actor_id)
+            elif action.priority > current.priority:
+                best[action.actor_id] = action
+    return [best[actor_id] for actor_id in order]

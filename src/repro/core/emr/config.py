@@ -1,0 +1,76 @@
+"""Elasticity management runtime configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["EmrConfig"]
+
+
+@dataclass
+class EmrConfig:
+    """Tunables for the elasticity management runtime.
+
+    Defaults follow the paper: the elasticity period is user-set (60 s
+    here; experiments use 60–180 s), the placement-stability window
+    equals one period (§4.3), and migrations are conservative (a few
+    actors per server per period so the system "inches towards" a good
+    distribution rather than thrashing).
+    """
+
+    #: Elasticity (time) period between management rounds.
+    period_ms: float = 60_000.0
+    #: Placement stability: an actor may move only after this long on its
+    #: current server.  ``None`` means one elasticity period.
+    stability_ms: Optional[float] = None
+    #: Number of global elasticity managers.
+    gem_count: int = 1
+    #: How long a GEM collects REPORTs after the first one each round.
+    gem_wait_ms: float = 2_000.0
+    #: Minimum number of reports before a GEM processes (paper's K).
+    min_reports: int = 1
+    #: LEM waits at most this long for its GEM's RREPLY before proceeding
+    #: with local actions only (GEM failure tolerance, §4.3).
+    gem_reply_timeout_ms: float = 10_000.0
+    #: Max migrations planned per source server per period.
+    max_moves_per_server: int = 3
+    #: Admission upper bound used by checkIdleRes when a rule supplies
+    #: no explicit bound.
+    admission_upper: float = 80.0
+    #: Scale-out/in of the server fleet (dynamic resource allocation).
+    allow_scale_out: bool = False
+    allow_scale_in: bool = False
+    min_servers: int = 1
+    max_scale_out_per_period: int = 1
+    #: Instance type to boot on scale-out; ``None`` = provisioner default.
+    scale_instance_type: Optional[str] = None
+    #: Offset between successive LEM period timers (avoids thundering herd).
+    lem_stagger_ms: float = 50.0
+    #: One-way latency for LEM<->GEM control messages.
+    control_latency_ms: float = 1.0
+    #: CPU charged per profiled message (EPR overhead model, Table 3).
+    profiling_overhead_cpu_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_ms <= 0:
+            raise ValueError("period_ms must be positive")
+        if self.gem_count < 1:
+            raise ValueError("gem_count must be at least 1")
+        if self.stability_ms is not None and self.stability_ms < 0:
+            raise ValueError("stability_ms must be non-negative")
+        if self.gem_wait_ms < 0 or self.gem_reply_timeout_ms <= 0:
+            raise ValueError("GEM wait/timeout must be non-negative")
+        if self.gem_reply_timeout_ms <= self.gem_wait_ms:
+            raise ValueError(
+                "gem_reply_timeout_ms must exceed gem_wait_ms, or every "
+                "LEM would time out before its GEM even starts planning")
+        if self.max_moves_per_server < 1:
+            raise ValueError("max_moves_per_server must be at least 1")
+        if not 0 < self.admission_upper <= 100:
+            raise ValueError("admission_upper must be in (0, 100]")
+        if self.min_servers < 0 or self.max_scale_out_per_period < 1:
+            raise ValueError("invalid fleet scaling bounds")
+
+    def stability_window_ms(self) -> float:
+        return self.period_ms if self.stability_ms is None else self.stability_ms

@@ -1,0 +1,294 @@
+"""Local elasticity manager (LEM) — paper Algorithm 1.
+
+One LEM runs per server.  Every elasticity period it:
+
+1. reads local actors' runtime info from the profiling runtime and
+   applies the *actor* (interaction) elasticity rules locally
+   (``applyActRules``) — pinning actors and proposing colocate/separate
+   migrations;
+2. reports actor + server runtime info to a randomly chosen GEM
+   (``REPORT``) and waits for the GEM's migration actions (``RREPLY``),
+   tolerating GEM failure by timing out and proceeding with local
+   actions only;
+3. resolves conflicts between its own and the GEM's actions by priority
+   (``resolveActions``);
+4. queries each action's target server for admission
+   (``QUERY``/``QREPLY``, :meth:`check_idle_res`) and starts the live
+   migrations the targets accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ...cluster import Server
+from ...sim import Signal, Timeout, spawn
+from ..epl import Colocate, Pin, Separate
+from ..profiling import ActorSnapshot, ServerSnapshot
+from .actions import Action, resolve_actions
+from .evaluate import EvaluationScope, evaluate_rule
+from .planning import contribution_perc
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .manager import ElasticityManager
+
+__all__ = ["LEM"]
+
+
+class LEM:
+    """Local elasticity manager for one server."""
+
+    def __init__(self, manager: "ElasticityManager", server: Server,
+                 index: int) -> None:
+        self.manager = manager
+        self.server = server
+        self.index = index
+        self.rounds_run = 0
+        self.migrations_started = 0
+        self._reserved_perc: Dict[str, float] = {}
+        self._process = None
+
+    def start(self) -> None:
+        sim = self.manager.system.sim
+        self._process = spawn(sim, self._run(), name=f"lem/{self.server.name}")
+
+    # ------------------------------------------------------------------
+
+    def _run(self):
+        sim = self.manager.system.sim
+        config = self.manager.config
+        # Align rounds to global period boundaries (plus a small stagger)
+        # so every LEM's REPORT reaches its GEM within one collection
+        # window — a server that boots mid-period must not end up
+        # permanently phase-shifted from the rest of the fleet, or GEMs
+        # would never see hot and idle servers in the same snapshot.
+        offset = min(config.lem_stagger_ms * self.index,
+                     config.gem_wait_ms / 2.0)
+        while self.manager.running and self.server.running:
+            to_boundary = config.period_ms - (sim.now % config.period_ms)
+            yield Timeout(sim, to_boundary + offset)
+            if not (self.manager.running and self.server.running):
+                return
+            yield from self._round()
+
+    def _round(self):
+        sim = self.manager.system.sim
+        config = self.manager.config
+        self.rounds_run += 1
+        self._reserved_perc = {}
+
+        records = self.manager.system.actors_on(self.server)
+        actor_snaps = self.manager.profiler.snapshot_actors(records)
+        server_snap = self.manager.profiler.snapshot_server(
+            self.server, records)
+
+        lem_actions = self._apply_act_rules(actor_snaps, server_snap)
+
+        gem_actions: List[Action] = []
+        gem = self.manager.pick_gem()
+        if gem is not None and self.manager.policy.resource_rules:
+            related = self._collect_actors_for_res_rules(actor_snaps)
+            reply = Signal(sim)
+            sim.schedule(config.control_latency_ms, gem.receive_report,
+                         self, related, server_snap, reply)
+            sim.schedule(config.gem_reply_timeout_ms, reply.trigger, None)
+            result = yield reply
+            if result is not None:
+                gem_actions = result
+
+        final = resolve_actions(lem_actions, gem_actions)
+        for action in final:
+            yield from self._execute(action)
+
+    # -- applyActRules --------------------------------------------------------
+
+    def _apply_act_rules(self, actor_snaps: List[ActorSnapshot],
+                         server_snap: ServerSnapshot) -> List[Action]:
+        scope = EvaluationScope(
+            servers=[server_snap], actors=actor_snaps,
+            resolve_ref=self.manager.resolve_ref_global)
+        actions: List[Action] = []
+        # Projected placements for this round: separate actions must see
+        # where earlier actions already decided to send actors, or every
+        # mover picks the same least-loaded target and the group travels
+        # together, never actually separating.
+        projected: Dict[int, Server] = {}
+        arrivals: Dict[int, int] = {}
+        for rule in self.manager.policy.actor_rules:
+            for match in evaluate_rule(rule, scope):
+                for behavior in rule.behaviors:
+                    if isinstance(behavior, Pin):
+                        self._apply_pin(behavior, match)
+                    elif isinstance(behavior, Colocate):
+                        action = self._plan_colocate(behavior, match,
+                                                     rule.index)
+                        if action is not None:
+                            action.priority_override = rule.priority
+                            actions.append(action)
+                    elif isinstance(behavior, Separate):
+                        action = self._plan_separate(behavior, match,
+                                                     rule.index,
+                                                     projected, arrivals)
+                        if action is not None:
+                            action.priority_override = rule.priority
+                            actions.append(action)
+        return actions
+
+    def _bound(self, pattern, match) -> Optional[ActorSnapshot]:
+        if pattern.var is not None:
+            return match.bindings.get(pattern.var)
+        # Anonymous pattern: single candidate of that type in the match.
+        for var, snap in match.bindings.items():
+            if var.startswith("__anon") and snap.type_name == pattern.type_name:
+                return snap
+        return None
+
+    def _apply_pin(self, behavior: Pin, match) -> None:
+        snap = self._bound(behavior.target, match)
+        if snap is not None:
+            self.manager.system.pin(snap.ref, True)
+            snap.pinned = True
+
+    def _plan_colocate(self, behavior: Colocate, match,
+                       rule_index: int) -> Optional[Action]:
+        first = self._bound(behavior.first, match)
+        second = self._bound(behavior.second, match)
+        if first is None or second is None:
+            return None
+        if first.server is second.server:
+            return None
+        mover, anchor = self._choose_mover(first, second)
+        if mover is None:
+            return None
+        return Action(kind="colocate", actor=mover, src=mover.server,
+                      dst=anchor.server, rule_index=rule_index)
+
+    @staticmethod
+    def _choose_mover(first: ActorSnapshot, second: ActorSnapshot):
+        """Pick which of the two actors migrates: never a pinned one;
+        otherwise the one with less state to transfer (second on ties)."""
+        if first.pinned and second.pinned:
+            return None, None
+        if first.pinned:
+            return second, first
+        if second.pinned:
+            return first, second
+        if first.state_size_mb < second.state_size_mb:
+            return first, second
+        return second, first
+
+    def _plan_separate(self, behavior: Separate, match, rule_index: int,
+                       projected: Dict[int, Server],
+                       arrivals: Dict[int, int]) -> Optional[Action]:
+        first = self._bound(behavior.first, match)
+        second = self._bound(behavior.second, match)
+        if first is None or second is None:
+            return None
+        first_server = projected.get(first.actor_id, first.server)
+        second_server = projected.get(second.actor_id, second.server)
+        if first_server is not second_server:
+            return None  # already apart (possibly thanks to this round)
+        # Move the rule's first argument by convention ("separate(l1, p)"
+        # reads as "move l1 away from p"), unless it is pinned.
+        mover, anchor = (first, second) if not first.pinned else (
+            (second, first) if not second.pinned else (None, None))
+        if mover is None:
+            return None
+        anchor_server = projected.get(anchor.actor_id, anchor.server)
+        target = self._separate_target(mover, anchor_server, arrivals)
+        if target is None:
+            return None  # "whenever resources are available" — they aren't
+        projected[mover.actor_id] = target
+        arrivals[target.server_id] = arrivals.get(target.server_id, 0) + 1
+        return Action(kind="separate", actor=mover,
+                      src=mover.server, dst=target, rule_index=rule_index)
+
+    def _separate_target(self, mover: ActorSnapshot, avoid: Server,
+                         arrivals: Dict[int, int]) -> Optional[Server]:
+        """Least-loaded server other than the anchor's, tie-broken by how
+        many actors this round already routed there."""
+        window = self.manager.config.period_ms
+        candidates = [
+            s for s in self.manager.system.provisioner.servers
+            if s.running and s is not avoid and s is not mover.server]
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda s: (arrivals.get(s.server_id, 0),
+                                  s.cpu_percent(window), s.server_id))
+
+    # -- resource-rule reporting ------------------------------------------------
+
+    def _collect_actors_for_res_rules(
+            self, actor_snaps: List[ActorSnapshot]) -> List[ActorSnapshot]:
+        """Table 2's ``collectActorsFResRules``: actors whose type any
+        resource rule may act upon (its subjects and bound variables)."""
+        relevant = set()
+        for rule in self.manager.policy.resource_rules:
+            relevant.update(rule.subject_types)
+            relevant.update(rule.variables.values())
+        if "any" in relevant:
+            return actor_snaps
+        return [snap for snap in actor_snaps if snap.type_name in relevant]
+
+    # -- action execution ------------------------------------------------------
+
+    def _execute(self, action: Action):
+        sim = self.manager.system.sim
+        config = self.manager.config
+        record = self.manager.system.directory.try_lookup(action.actor_id)
+        if record is None or record.migrating:
+            return
+        if record.pinned and action.kind != "reserve":
+            return  # pin blocks every behavior except an explicit reserve
+        if record.server is not action.src:
+            return  # stale: the actor moved since planning
+        if (sim.now - record.last_placed_at
+                < config.stability_window_ms()):
+            return
+        target_lem = self.manager.lem_for(action.dst)
+        if target_lem is None:
+            return
+        # QUERY the target server; one control-message round trip.
+        yield Timeout(sim, config.control_latency_ms)
+        accepted = target_lem.check_idle_res(action)
+        yield Timeout(sim, config.control_latency_ms)
+        if not accepted:
+            return
+        # Fire-and-continue: the live-migration protocol runs on its own
+        # (the actor is flagged `migrating`, which blocks double moves);
+        # blocking here would make a slow state transfer eat whole
+        # elasticity periods for every other actor on this server.
+        self.manager.system.migrate_actor(
+            record.ref, action.dst, force=action.kind == "reserve")
+        self.migrations_started += 1
+        self.manager.note_migration(action)
+
+    def check_idle_res(self, action: Action) -> bool:
+        """``checkIdleRes``: admission control on the target server.
+
+        Accepts the actor if the server's windowed usage plus all
+        reservations already granted this period stays within the
+        admission bound.  Accepted demand is reserved immediately
+        (Alg. 1 line 19) so concurrent senders cannot overload us.
+        """
+        resource = action.resource or "cpu"
+        window = self.manager.config.period_ms
+        if resource == "cpu":
+            current = self.server.cpu_percent(window)
+        elif resource == "net":
+            current = self.server.net_percent(window)
+        else:
+            current = self.server.memory_percent()
+        reserved = self._reserved_perc.get(resource, 0.0)
+        contrib = contribution_perc(action.actor, self.server, resource)
+        projected = current + reserved + contrib
+        # Accept within the admission bound, or when this server would
+        # still end up below the sender (the move improves the imbalance
+        # even if both sides are hot — see Action.src_load_perc).
+        bound = max(self.manager.config.admission_upper,
+                    action.src_load_perc - contrib)
+        if projected > bound:
+            return False
+        self._reserved_perc[resource] = reserved + contrib
+        return True

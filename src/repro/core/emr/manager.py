@@ -1,0 +1,232 @@
+"""The elasticity management runtime facade.
+
+:class:`ElasticityManager` wires everything together: it attaches the
+profiling runtime to the actor system, creates one LEM per server (and
+for every server that later joins), starts the configured number of
+GEMs, installs rule-aware new-actor placement, and tracks migrations and
+fleet changes for the benchmarks.
+
+Typical use::
+
+    policy = compile_source(EPL_RULES, [Folder, File])
+    manager = ElasticityManager(system, policy,
+                                EmrConfig(period_ms=80_000.0))
+    manager.start()
+    ... run the simulation ...
+    manager.stop()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ...actors import ActorRef, ActorSystem
+from ...cluster import Server
+from ...sim import Timeout, spawn
+from ..epl import CompiledPolicy
+from ..profiling import ActorSnapshot, ProfilingRuntime
+from .actions import Action
+from .config import EmrConfig
+from .gem import GEM
+from .lem import LEM
+from .placement import PlasmaPlacement
+
+__all__ = ["ElasticityManager", "MigrationEvent"]
+
+
+@dataclass
+class MigrationEvent:
+    """One migration started by the elasticity runtime.
+
+    ``rule_line`` is the source line of the EPL rule whose behavior
+    produced the action (-1 for non-rule moves such as drain), so a
+    migration can always be explained back to the policy text.
+    """
+
+    time_ms: float
+    actor: ActorRef
+    kind: str
+    src: str
+    dst: str
+    rule_line: int = -1
+
+
+class ElasticityManager:
+    """PLASMA's elasticity management runtime (EMR)."""
+
+    def __init__(self, system: ActorSystem, policy: CompiledPolicy,
+                 config: Optional[EmrConfig] = None) -> None:
+        self.system = system
+        self.policy = policy
+        self.config = config or EmrConfig()
+        self.running = False
+        self.profiler = ProfilingRuntime(
+            system.sim, window_ms=self.config.period_ms,
+            overhead_cpu_ms=self.config.profiling_overhead_cpu_ms)
+        self.placement = PlasmaPlacement(self)
+        self.gems: List[GEM] = [GEM(self, i)
+                                for i in range(self.config.gem_count)]
+        self.lems: Dict[int, LEM] = {}
+        self.migration_log: List[MigrationEvent] = []
+        self._draining: Set[int] = set()
+        self._lem_counter = 0
+        self._gem_rng = system.streams.stream("lem-gem-shuffle")
+        system.provisioner.add_join_listener(self._on_server_join)
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Attach profiling and start per-server LEM period timers."""
+        if self.running:
+            return
+        self.running = True
+        self.system.add_hooks(self.profiler)
+        self.system.placement_policy = self.placement
+        for server in self.system.provisioner.servers:
+            self._add_lem(server)
+        spawn(self.system.sim, self._janitor(), name="emr/janitor")
+
+    def stop(self) -> None:
+        """Stop elasticity management (profiling detaches too)."""
+        if not self.running:
+            return
+        self.running = False
+        if self.profiler in self.system.hooks:
+            self.system.remove_hooks(self.profiler)
+        if self.system.placement_policy is self.placement:
+            self.system.placement_policy = None
+
+    def _add_lem(self, server: Server) -> None:
+        if server.server_id in self.lems:
+            return
+        lem = LEM(self, server, self._lem_counter)
+        self._lem_counter += 1
+        self.lems[server.server_id] = lem
+        lem.start()
+
+    def _on_server_join(self, server: Server) -> None:
+        if self.running:
+            self._add_lem(server)
+
+    def _janitor(self):
+        """Periodic housekeeping: retire fully drained servers even when
+        no migration event fires the check."""
+        while self.running:
+            yield Timeout(self.system.sim, self.config.period_ms / 2.0)
+            self._maybe_retire()
+
+    # ------------------------------------------------------------------
+    # services used by LEMs and GEMs
+    # ------------------------------------------------------------------
+
+    def pick_gem(self) -> Optional[GEM]:
+        """Random healthy GEM — the shuffling process of §4.3 that lets
+        LEMs route around failed GEMs."""
+        alive = [gem for gem in self.gems if not gem.failed]
+        if not alive:
+            return None
+        return self._gem_rng.choice(alive)
+
+    def lem_for(self, server: Server) -> Optional[LEM]:
+        """The LEM managing ``server``, if one is running."""
+        return self.lems.get(server.server_id)
+
+    def resolve_ref_global(self, ref: ActorRef) -> Optional[ActorSnapshot]:
+        """Snapshot any live actor by ref (for ref-joins across servers)."""
+        record = self.system.directory.try_lookup(ref.actor_id)
+        if record is None:
+            return None
+        return self.profiler._snapshot_one(record)
+
+    def least_loaded_server(self, exclude: Optional[Server] = None,
+                            resource: str = "cpu") -> Optional[Server]:
+        """Running, non-draining server with the lowest ``resource`` use."""
+        window = self.config.period_ms
+        candidates = [s for s in self.system.provisioner.servers
+                      if s.running and s is not exclude
+                      and s.server_id not in self._draining]
+        if not candidates:
+            return None
+        if resource == "cpu":
+            return min(candidates,
+                       key=lambda s: (s.cpu_percent(window), s.server_id))
+        if resource == "net":
+            return min(candidates,
+                       key=lambda s: (s.net_percent(window), s.server_id))
+        return min(candidates,
+                   key=lambda s: (s.memory_percent(), s.server_id))
+
+    def note_migration(self, action: Action) -> None:
+        """Record a started migration in the explainable event log."""
+        rule_line = -1
+        if 0 <= action.rule_index < len(self.policy.source_policy.rules):
+            rule_line = self.policy.source_policy.rules[
+                action.rule_index].line
+        self.migration_log.append(MigrationEvent(
+            time_ms=self.system.sim.now, actor=action.actor.ref,
+            kind=action.kind, src=action.src.name, dst=action.dst.name,
+            rule_line=rule_line))
+        # A draining server that just lost its last actor can be retired.
+        self._maybe_retire()
+
+    def vote(self, requester: GEM, direction: str) -> bool:
+        """Majority vote among GEMs on a fleet adjustment (§4.2).
+
+        Each peer replies whether its own region view agrees (more than
+        half of its servers over/under the bounds).  The requester
+        proceeds if a majority of peers corroborate; with a single GEM
+        there are no peers and the adjustment proceeds.
+        """
+        peers = [gem for gem in self.gems
+                 if gem is not requester and not gem.failed]
+        if not peers:
+            return True
+        agreeing = 0
+        for peer in peers:
+            if direction == "overloaded":
+                view = peer.overload_fraction
+            else:
+                view = peer.underload_fraction
+            if view >= 0.5 or peer.rounds_processed == 0:
+                agreeing += 1
+        return agreeing * 2 >= len(peers)
+
+    # -- scale-in bookkeeping --------------------------------------------------
+
+    def mark_draining(self, server: Server) -> None:
+        """Exclude ``server`` from placement; retire it once empty."""
+        self._draining.add(server.server_id)
+
+    def is_draining(self, server: Server) -> bool:
+        """Whether ``server`` is being drained for retirement."""
+        return server.server_id in self._draining
+
+    def _maybe_retire(self) -> None:
+        if not self._draining:
+            return
+        provisioner = self.system.provisioner
+        for server in list(provisioner.servers):
+            if server.server_id not in self._draining:
+                continue
+            if self.system.actors_on(server):
+                continue
+            self._draining.discard(server.server_id)
+            self.lems.pop(server.server_id, None)
+            provisioner.retire_server(server)
+
+    # -- statistics --------------------------------------------------------------
+
+    def migrations_total(self) -> int:
+        """Number of migrations the runtime has started."""
+        return len(self.migration_log)
+
+    def redistribution_rounds(self) -> int:
+        """Number of elasticity periods in which at least one migration
+        happened (the x-axis of the paper's Fig. 7b/7c and 8b/8c)."""
+        if not self.migration_log:
+            return 0
+        period = self.config.period_ms
+        rounds = {int(event.time_ms // period)
+                  for event in self.migration_log}
+        return len(rounds)

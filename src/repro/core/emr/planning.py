@@ -1,0 +1,354 @@
+"""Resource-rule planning: the GEM-side migration heuristics.
+
+Implements the paper's §4.2 heuristic for ``balance`` ("a GEM only
+migrates actors from overloaded servers to servers with enough idle
+resources — especially below specified lower bounds") and the dedicated-
+server selection for ``reserve``.  All functions are pure over snapshots
+so they are unit-testable without a running simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...cluster import Server
+from ..profiling import ActorSnapshot, ServerSnapshot
+from .actions import Action
+
+__all__ = ["contribution_perc", "BalancePlan", "plan_balance",
+           "plan_reserve", "plan_drain"]
+
+_MS_PER_MIN = 60_000.0
+
+
+def contribution_perc(actor: ActorSnapshot, target: Server,
+                      resource: str) -> float:
+    """Estimate the load (in percent of ``target``'s capacity) the actor
+    would add if migrated there.
+
+    CPU busy-ms were measured at the source's speed; they are rescaled by
+    the speed ratio so a move between heterogeneous instance types
+    projects correctly.
+    """
+    if resource == "cpu":
+        demand_ms = actor.cpu_ms_per_min * (
+            actor.server.itype.cpu_speed / target.itype.cpu_speed)
+        capacity = _MS_PER_MIN * target.itype.vcpus
+        return 100.0 * demand_ms / capacity
+    if resource == "net":
+        capacity = _MS_PER_MIN * target.itype.net_bytes_per_ms()
+        return 100.0 * actor.net_bytes_per_min / capacity
+    if resource == "mem":
+        return 100.0 * actor.mem_mb / target.itype.memory_mb
+    raise ValueError(f"unknown resource {resource!r}")
+
+
+@dataclass
+class BalancePlan:
+    """Outcome of one balance-planning pass."""
+
+    actions: List[Action] = field(default_factory=list)
+    need_scale_out: bool = False
+    all_overloaded: bool = False
+    all_underloaded: bool = False
+
+
+def _movable(actors: Sequence[ActorSnapshot], types: Sequence[str],
+             now: float, stability_ms: float) -> List[ActorSnapshot]:
+    out = []
+    for actor in actors:
+        if types and "any" not in types and actor.type_name not in types:
+            continue
+        if actor.pinned or actor.migrating:
+            continue
+        if now - actor.last_placed_at < stability_ms:
+            continue
+        out.append(actor)
+    return out
+
+
+class MoveUnit:
+    """A set of co-located actors that must migrate together.
+
+    Balance is *group-aware*: actors tied by an active ``colocate`` rule
+    move as one unit with their aggregate demand.  Without this, balance
+    relocates a hot anchor alone, colocate drags its partners after it
+    next period, the source looks idle again, and the pair of rules
+    oscillates the group between servers forever (paper §4.3's
+    balance-vs-colocate conflict)."""
+
+    __slots__ = ("actors",)
+
+    def __init__(self, actors: List[ActorSnapshot]) -> None:
+        self.actors = actors
+
+    def contribution(self, target: Server, resource: str) -> float:
+        return sum(contribution_perc(actor, target, resource)
+                   for actor in self.actors)
+
+    def ids(self) -> Tuple[int, ...]:
+        return tuple(actor.actor_id for actor in self.actors)
+
+
+def build_units(actors: Sequence[ActorSnapshot],
+                groups: Optional[Dict[int, int]] = None) -> List[MoveUnit]:
+    """Group same-server actors by colocation-group id; ungrouped actors
+    are singleton units.  ``groups`` maps actor id -> group id."""
+    if not groups:
+        return [MoveUnit([actor]) for actor in actors]
+    by_group: Dict[int, List[ActorSnapshot]] = {}
+    units: List[MoveUnit] = []
+    for actor in actors:
+        group = groups.get(actor.actor_id)
+        if group is None:
+            units.append(MoveUnit([actor]))
+        else:
+            by_group.setdefault(group, []).append(actor)
+    units.extend(MoveUnit(members) for members in by_group.values())
+    return units
+
+
+def plan_balance(servers: Sequence[ServerSnapshot],
+                 actors_by_server: Dict[int, List[ActorSnapshot]],
+                 types: Sequence[str], resource: str,
+                 lower: float, upper: float, now: float,
+                 stability_ms: float, max_moves_per_server: int,
+                 rule_index: int = -1,
+                 groups: Optional[Dict[int, int]] = None) -> BalancePlan:
+    """Plan migrations that bring every server's ``resource`` usage into
+    the [lower, upper] band.
+
+    Sources are servers above ``upper`` (overload path); when none are
+    but some servers sit below ``lower`` (underload path, e.g. E-Store's
+    ``server.cpu.perc < 50 => balance``), the busiest servers above the
+    band midpoint feed the idle ones.  Projected loads are updated as
+    actions are planned so one round never overshoots.
+    """
+    plan = BalancePlan()
+    loads: Dict[int, float] = {
+        snap.server.server_id: snap.resource_perc(resource)
+        for snap in servers}
+    by_id: Dict[int, ServerSnapshot] = {
+        snap.server.server_id: snap for snap in servers}
+
+    overloaded = [sid for sid, load in loads.items() if load > upper]
+    underloaded = [sid for sid, load in loads.items() if load < lower]
+    plan.all_overloaded = bool(servers) and len(overloaded) == len(servers)
+    plan.all_underloaded = bool(servers) and len(underloaded) == len(servers)
+    if not overloaded and not underloaded:
+        return plan
+
+    moved: Set[int] = set()
+    moves_from: Dict[int, int] = {}
+
+    def best_fit_move(src_id: int):
+        """Pick the (unit, target) pair minimizing the resulting
+        max(src, dst) load, requiring a strict improvement of that max —
+        the monotonicity that prevents the planner from thrashing (a move
+        it makes this round can never look wrong next round, since the
+        pair's peak only ever decreases)."""
+        src_snap = by_id[src_id]
+        all_units = build_units(list(actors_by_server.get(src_id, ())),
+                                groups)
+        # A unit is movable only when every member is: moving a partial
+        # colocate group would recreate the split the grouping prevents.
+        units = [unit for unit in all_units
+                 if len(_movable(unit.actors, types, now, stability_ms))
+                 == len(unit.actors)]
+        best = None
+        best_peak = loads[src_id] - 0.5  # require a meaningful improvement
+        for unit in units:
+            if any(actor_id in moved for actor_id in unit.ids()):
+                continue
+            own = unit.contribution(src_snap.server, resource)
+            src_after = loads[src_id] - own
+            for sid, snap in by_id.items():
+                if sid == src_id or not snap.server.running:
+                    continue
+                contrib = unit.contribution(snap.server, resource)
+                dst_after = loads[sid] + contrib
+                peak = max(src_after, dst_after)
+                if peak < best_peak:
+                    best_peak = peak
+                    best = (unit, snap, own, contrib)
+        return best
+
+    def drain(src_id: int, stop_at: float) -> None:
+        while (loads[src_id] > stop_at
+               and moves_from.get(src_id, 0) < max_moves_per_server):
+            choice = best_fit_move(src_id)
+            if choice is None:
+                if loads[src_id] > upper:
+                    plan.need_scale_out = True
+                return
+            unit, target, own, contrib = choice
+            for actor in unit.actors:
+                plan.actions.append(Action(
+                    kind="balance", actor=actor, src=by_id[src_id].server,
+                    dst=target.server, rule_index=rule_index,
+                    resource=resource, src_load_perc=loads[src_id]))
+                moved.add(actor.actor_id)
+            moves_from[src_id] = moves_from.get(src_id, 0) + 1
+            loads[src_id] -= own
+            loads[target.server.server_id] += contrib
+
+    if overloaded:
+        for src_id in sorted(overloaded, key=lambda s: -loads[s]):
+            drain(src_id, stop_at=upper)
+    elif len(underloaded) < len(servers):
+        # Underload path (e.g. E-Store's `server.cpu.perc < 50 =>
+        # balance`): shrink the spread by feeding the idle servers from
+        # the busiest ones, still via strictly-improving best-fit moves.
+        midpoint = (lower + upper) / 2.0
+        feeders = sorted((sid for sid, load in loads.items()
+                          if load > midpoint),
+                         key=lambda sid: -loads[sid])
+        for src_id in feeders:
+            if not any(loads[t] < lower for t in underloaded):
+                break
+            drain(src_id, stop_at=midpoint)
+    return plan
+
+
+def plan_reserve(actor: ActorSnapshot, servers: Sequence[ServerSnapshot],
+                 actors_by_server: Dict[int, List[ActorSnapshot]],
+                 resource: str, admission_upper: float, now: float,
+                 stability_ms: float, rule_index: int = -1,
+                 groups: Optional[Dict[int, int]] = None,
+                 trigger: Optional[float] = None,
+                 projected_load: Optional[Dict[int, float]] = None,
+                 projected_pop: Optional[Dict[int, int]] = None
+                 ) -> Tuple[List[Action], bool]:
+    """Place ``actor`` (and its colocation group) on a dedicated server
+    with idle ``resource``.
+
+    "Dedicated" is taken literally (paper §3.2: "keep those actors on
+    dedicated servers exclusively"): if the actor's current server hosts
+    nothing outside its own colocation group, it already has a dedicated
+    server and the plan is empty — otherwise a reserve rule whose
+    condition keeps matching would bounce the actor between idle servers
+    forever.  Targets prefer the fewest-actors server, then lowest load.
+    Returns ``(actions, need_scale_out)``.
+
+    Reserve outranks pin (priority table in :mod:`repro.core.epl`): a
+    rule that *names* an actor for reservation may move it even when
+    another rule pinned it — the Media Service pins VideoStreams against
+    disruptive balance moves yet still expects them reserved onto
+    CPU-rich servers.  The colocated partners follow the move.
+
+    ``projected_load`` / ``projected_pop`` carry the deltas of reserves
+    already planned this round (this function updates them in place), so
+    successive reservations don't all flock to the same snapshot-idle
+    server and overload it.
+    """
+    if actor.migrating:
+        return [], False
+    if now - actor.last_placed_at < stability_ms:
+        return [], False
+    src = actor.server
+    src_actors = actors_by_server.get(src.server_id, [])
+
+    group_id = groups.get(actor.actor_id) if groups else None
+    if group_id is not None:
+        members = [a for a in src_actors
+                   if groups.get(a.actor_id) == group_id]
+        if actor.actor_id not in {a.actor_id for a in members}:
+            members = [actor] + members
+    else:
+        members = [actor]
+    unit = MoveUnit(members)
+
+    # Dedication is judged on the server's *total* population (reports
+    # may be filtered to rule-relevant actor types).
+    src_population = next(
+        (snap.actor_count for snap in servers if snap.server is src),
+        len(src_actors))
+    if src_population <= len(members):
+        return [], False  # already on a dedicated server
+
+    if any(a.migrating or now - a.last_placed_at < stability_ms
+           for a in members):
+        return [], False
+
+    # A reserve target must have genuinely *idle* resources: after the
+    # move it stays below the rule's own trigger bound (the overload
+    # threshold whose crossing fired the rule).  This makes reserve
+    # convergent — a group placed on an idle server is never re-selected
+    # (its server no longer matches the rule condition) and never
+    # shuffled sideways between equally busy servers.
+    threshold = min(trigger if trigger is not None else admission_upper,
+                    admission_upper)
+    projected_load = projected_load if projected_load is not None else {}
+    projected_pop = projected_pop if projected_pop is not None else {}
+    src_load = next((snap.resource_perc(resource) for snap in servers
+                     if snap.server is src), 100.0)
+    candidates: List[Tuple[int, float, ServerSnapshot]] = []
+    for snap in servers:
+        if snap.server is src or not snap.server.running:
+            continue
+        sid = snap.server.server_id
+        contrib = unit.contribution(snap.server, resource)
+        load = snap.resource_perc(resource) + projected_load.get(sid, 0.0)
+        if load + contrib > threshold:
+            continue
+        population = (len(actors_by_server.get(sid, ()))
+                      + projected_pop.get(sid, 0))
+        candidates.append((population, load, snap))
+    if not candidates:
+        # No server with idle resources exists; ask for a new one while
+        # the group's current host is over the trigger.
+        return [], src_load > threshold
+    candidates.sort(key=lambda item: (item[0], item[1]))
+    target = candidates[0][2]
+    target_id = target.server.server_id
+    projected_load[target_id] = (projected_load.get(target_id, 0.0)
+                                 + unit.contribution(target.server,
+                                                     resource))
+    projected_pop[target_id] = (projected_pop.get(target_id, 0)
+                                + len(members))
+    actions = [Action(kind="reserve", actor=member, src=src,
+                      dst=target.server, rule_index=rule_index,
+                      resource=resource)
+               for member in members]
+    return actions, False
+
+
+def plan_drain(server: ServerSnapshot,
+               others: Sequence[ServerSnapshot],
+               actors: Sequence[ActorSnapshot], resource: str,
+               upper: float, now: float,
+               stability_ms: float) -> Optional[List[Action]]:
+    """Plan the evacuation of every movable actor off ``server`` (scale-in).
+
+    Returns the action list, or ``None`` when any actor cannot be placed
+    elsewhere within the ``upper`` bound — a server is only reclaimed if
+    it can be fully drained.
+    """
+    loads = {snap.server.server_id: snap.resource_perc(resource)
+             for snap in others if snap.server.running}
+    by_id = {snap.server.server_id: snap for snap in others
+             if snap.server.running}
+    actions: List[Action] = []
+    for actor in actors:
+        if actor.pinned or actor.migrating:
+            return None
+        if now - actor.last_placed_at < stability_ms:
+            return None
+        best_id = None
+        best_load = float("inf")
+        for sid, snap in by_id.items():
+            contrib = contribution_perc(actor, snap.server, resource)
+            if loads[sid] + contrib > upper:
+                continue
+            if loads[sid] < best_load:
+                best_load = loads[sid]
+                best_id = sid
+        if best_id is None:
+            return None
+        loads[best_id] += contribution_perc(actor, by_id[best_id].server,
+                                            resource)
+        actions.append(Action(
+            kind="balance", actor=actor, src=server.server,
+            dst=by_id[best_id].server, resource=resource))
+    return actions

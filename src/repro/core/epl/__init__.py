@@ -1,0 +1,35 @@
+"""Elasticity Programming Language (EPL).
+
+The EPL is PLASMA's second "level" of programming: declarative
+``condition => behavior;`` rules over application semantics.  Parse with
+:func:`parse_policy`, compile against the actor program with
+:func:`compile_source` / :func:`compile_policy`.
+"""
+
+from .ast import (ActorPattern, AndCond, Balance, Behavior, CallFeature,
+                  Colocate, CompareCond, Condition, Feature, OrCond, Pin,
+                  Policy, RefCond, Reserve, ResourceFeature, Rule, Separate,
+                  TrueCond, CLIENT_CALLER, COMPARISONS, RESOURCES,
+                  SERVER_ENTITY, STATISTICS)
+from .compiler import (BEHAVIOR_PRIORITIES, CompiledPolicy, CompiledRule,
+                       behavior_priority, compile_policy, compile_source,
+                       schema_from_classes)
+from .errors import EplError, EplSyntaxError, EplValidationError, EplWarning
+from .lexer import Token, tokenize
+from .parser import Parser, parse_policy
+from .pretty import (format_behavior, format_condition, format_policy,
+                     format_rule)
+
+__all__ = [
+    "ActorPattern", "AndCond", "Balance", "Behavior", "CallFeature",
+    "Colocate", "CompareCond", "Condition", "Feature", "OrCond", "Pin",
+    "Policy", "RefCond", "Reserve", "ResourceFeature", "Rule", "Separate",
+    "TrueCond", "CLIENT_CALLER", "COMPARISONS", "RESOURCES",
+    "SERVER_ENTITY", "STATISTICS",
+    "BEHAVIOR_PRIORITIES", "CompiledPolicy", "CompiledRule",
+    "behavior_priority", "compile_policy", "compile_source",
+    "schema_from_classes",
+    "EplError", "EplSyntaxError", "EplValidationError", "EplWarning",
+    "Token", "tokenize", "Parser", "parse_policy",
+    "format_policy", "format_rule", "format_condition", "format_behavior",
+]

@@ -1,0 +1,41 @@
+"""EPL error and warning types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EplError", "EplSyntaxError", "EplValidationError", "EplWarning"]
+
+
+class EplError(Exception):
+    """Base class for all EPL errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}" + (f", col {column})" if column else ")") \
+            if line else ""
+        super().__init__(f"{message}{location}")
+        self.message = message
+        self.line = line
+        self.column = column
+
+
+class EplSyntaxError(EplError):
+    """Lexing or parsing failure."""
+
+
+class EplValidationError(EplError):
+    """Rule is syntactically valid but inconsistent with the actor program
+    (unknown type/function/property, unbound variable, bad statistic...)."""
+
+
+@dataclass(frozen=True)
+class EplWarning:
+    """Non-fatal diagnostic, e.g. conflicting rules for the same actor type
+    (paper §4.3: the compiler detects conflicts and issues warnings)."""
+
+    message: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        prefix = f"line {self.line}: " if self.line else ""
+        return f"{prefix}{self.message}"

@@ -1,0 +1,109 @@
+"""Tokenizer for the elasticity programming language.
+
+Token kinds: identifiers/keywords, numbers, comparison operators, the
+arrow ``=>`` and punctuation.  ``#`` and ``//`` start line comments.
+Keywords are recognized at parse time (the lexer emits them as IDENT) so
+that application actor types may freely shadow nothing — the grammar has
+no position where a keyword and a type name are ambiguous except the
+reserved words themselves, which the parser checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import EplSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset({
+    "and", "or", "true", "in", "ref", "server", "client", "call",
+    "count", "size", "perc", "cpu", "mem", "net",
+    "balance", "reserve", "colocate", "separate", "pin", "any",
+})
+
+_PUNCT = {
+    "(": "LPAREN", ")": "RPAREN", "{": "LBRACE", "}": "RBRACE",
+    ",": "COMMA", ";": "SEMI", ".": "DOT", ":": "COLON",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str    # IDENT | NUMBER | COMP | ARROW | punctuation kinds | EOF
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`EplSyntaxError` on bad input."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("=>", i):
+            yield Token("ARROW", "=>", line, column)
+            i += 2
+            column += 2
+            continue
+        if source.startswith(">=", i) or source.startswith("<=", i):
+            yield Token("COMP", source[i:i + 2], line, column)
+            i += 2
+            column += 2
+            continue
+        if ch in "<>":
+            yield Token("COMP", ch, line, column)
+            i += 1
+            column += 1
+            continue
+        if ch in _PUNCT:
+            yield Token(_PUNCT[ch], ch, line, column)
+            i += 1
+            column += 1
+            continue
+        if ch.isdigit():
+            start = i
+            start_col = column
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                i += 1
+                column += 1
+            text = source[start:i]
+            if text.count(".") > 1:
+                raise EplSyntaxError(f"malformed number {text!r}", line,
+                                     start_col)
+            yield Token("NUMBER", text, line, start_col)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = column
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+                column += 1
+            yield Token("IDENT", source[start:i], line, start_col)
+            continue
+        raise EplSyntaxError(f"unexpected character {ch!r}", line, column)
+    yield Token("EOF", "", line, column)

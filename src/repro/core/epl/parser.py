@@ -1,0 +1,247 @@
+"""Recursive-descent parser for the elasticity programming language.
+
+Produces the :mod:`repro.core.epl.ast` node tree.  Whether a bare
+identifier in an actor position is a *type name* or a *variable
+reference* is not decidable syntactically (both are plain identifiers),
+so the parser records it as a type-name pattern and the compiler
+reinterprets identifiers that match a variable bound earlier in the same
+rule — mirroring the paper's implicit inline variable declarations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from .ast import (ActorPattern, AndCond, Balance, CallFeature, Colocate,
+                  CompareCond, Condition, OrCond, Pin, Policy, RefCond,
+                  Reserve, ResourceFeature, Rule, Separate, TrueCond,
+                  CLIENT_CALLER, RESOURCES, SERVER_ENTITY, STATISTICS)
+from .errors import EplSyntaxError
+from .lexer import Token, tokenize
+
+__all__ = ["parse_policy", "Parser"]
+
+_BEHAVIOR_KEYWORDS = frozenset(
+    {"balance", "reserve", "colocate", "separate", "pin"})
+
+
+def parse_policy(source: str) -> Policy:
+    """Parse EPL source text into a :class:`Policy`."""
+    return Parser(tokenize(source)).parse_policy()
+
+
+class Parser:
+    """Token-stream parser.  One instance per parse."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token utilities -----------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: str, what: str = "") -> Token:
+        token = self._next()
+        if token.kind != kind:
+            wanted = what or kind
+            raise EplSyntaxError(
+                f"expected {wanted}, found {token.text!r}",
+                token.line, token.column)
+        return token
+
+    def _expect_ident(self, *texts: str) -> Token:
+        token = self._expect("IDENT")
+        if texts and token.text not in texts:
+            raise EplSyntaxError(
+                f"expected one of {', '.join(texts)}, found {token.text!r}",
+                token.line, token.column)
+        return token
+
+    def _at_ident(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind == "IDENT" and token.text == text
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_policy(self) -> Policy:
+        rules: List[Rule] = []
+        while self._peek().kind != "EOF":
+            rules.append(self.parse_rule())
+        return Policy(rules=rules)
+
+    def parse_rule(self) -> Rule:
+        start = self._peek()
+        priority = None
+        if (start.kind == "IDENT" and start.text == "priority"
+                and self._peek(1).kind == "NUMBER"):
+            self._next()
+            priority_token = self._expect("NUMBER", "priority value")
+            priority = int(float(priority_token.text))
+            self._expect("COLON", "':'")
+        condition = self.parse_condition()
+        self._expect("ARROW", "'=>'")
+        behaviors = [self.parse_behavior()]
+        self._expect("SEMI", "';'")
+        while (self._peek().kind == "IDENT"
+               and self._peek().text in _BEHAVIOR_KEYWORDS):
+            behaviors.append(self.parse_behavior())
+            self._expect("SEMI", "';'")
+        return Rule(condition=condition, behaviors=tuple(behaviors),
+                    line=start.line, priority=priority)
+
+    # conditions, precedence: or < and
+
+    def parse_condition(self) -> Condition:
+        left = self._parse_and()
+        while self._at_ident("or"):
+            self._next()
+            left = OrCond(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Condition:
+        left = self._parse_primary()
+        while self._at_ident("and"):
+            self._next()
+            left = AndCond(left, self._parse_primary())
+        return left
+
+    def _parse_primary(self) -> Condition:
+        token = self._peek()
+        if token.kind == "LPAREN":
+            self._next()
+            inner = self.parse_condition()
+            self._expect("RPAREN", "')'")
+            return inner
+        if token.kind != "IDENT":
+            raise EplSyntaxError(
+                f"expected a condition, found {token.text!r}",
+                token.line, token.column)
+        if token.text == "true":
+            self._next()
+            return TrueCond()
+        if token.text == SERVER_ENTITY:
+            return self._parse_server_feature()
+        if token.text == CLIENT_CALLER:
+            return self._parse_call_feature(CLIENT_CALLER)
+        return self._parse_actor_condition()
+
+    def _parse_server_feature(self) -> Condition:
+        self._next()  # 'server'
+        self._expect("DOT", "'.'")
+        resource = self._expect_ident(*RESOURCES).text
+        self._expect("DOT", "'.'")
+        stat = self._expect_ident(*STATISTICS).text
+        return self._finish_compare(
+            ResourceFeature(entity=SERVER_ENTITY, resource=resource,
+                            stat=stat))
+
+    def _parse_call_feature(
+            self, caller: Union[str, ActorPattern]) -> Condition:
+        if caller == CLIENT_CALLER:
+            self._next()  # 'client'
+            self._expect("DOT", "'.'")
+            self._expect_ident("call")
+        # caller actor path reaches here with 'call' already consumed
+        self._expect("LPAREN", "'('")
+        callee = self.parse_actor_pattern()
+        self._expect("DOT", "'.'")
+        function = self._expect("IDENT", "function name").text
+        self._expect("RPAREN", "')'")
+        self._expect("DOT", "'.'")
+        stat = self._expect_ident(*STATISTICS).text
+        return self._finish_compare(
+            CallFeature(caller=caller, callee=callee, function=function,
+                        stat=stat))
+
+    def _parse_actor_condition(self) -> Condition:
+        pattern = self.parse_actor_pattern()
+        token = self._peek()
+        if token.kind == "IDENT" and token.text == "in":
+            self._next()
+            self._expect_ident("ref")
+            self._expect("LPAREN", "'('")
+            container = self.parse_actor_pattern()
+            self._expect("DOT", "'.'")
+            pname = self._expect("IDENT", "property name").text
+            self._expect("RPAREN", "')'")
+            return RefCond(member=pattern, container=container,
+                           property_name=pname)
+        self._expect("DOT", "'.'")
+        selector = self._expect("IDENT").text
+        if selector == "call":
+            return self._parse_call_feature(pattern)
+        if selector in RESOURCES:
+            self._expect("DOT", "'.'")
+            stat = self._expect_ident(*STATISTICS).text
+            return self._finish_compare(
+                ResourceFeature(entity=pattern, resource=selector, stat=stat))
+        raise EplSyntaxError(
+            f"expected 'call' or a resource (cpu/mem/net), found "
+            f"{selector!r}", token.line, token.column)
+
+    def _finish_compare(self, feature) -> CompareCond:
+        comp = self._expect("COMP", "comparison operator").text
+        value_token = self._expect("NUMBER", "numeric bound")
+        return CompareCond(feature=feature, comparison=comp,
+                           value=float(value_token.text))
+
+    def parse_actor_pattern(self) -> ActorPattern:
+        name_token = self._expect("IDENT", "actor type or variable")
+        var: Optional[str] = None
+        if self._peek().kind == "LPAREN":
+            self._next()
+            var = self._expect("IDENT", "variable name").text
+            self._expect("RPAREN", "')'")
+        return ActorPattern(type_name=name_token.text, var=var)
+
+    # behaviors
+
+    def parse_behavior(self):
+        token = self._expect("IDENT", "behavior")
+        if token.text == "balance":
+            return self._parse_balance()
+        if token.text == "reserve":
+            self._expect("LPAREN", "'('")
+            target = self.parse_actor_pattern()
+            self._expect("COMMA", "','")
+            resource = self._expect_ident(*RESOURCES).text
+            self._expect("RPAREN", "')'")
+            return Reserve(target=target, resource=resource)
+        if token.text in ("colocate", "separate"):
+            self._expect("LPAREN", "'('")
+            first = self.parse_actor_pattern()
+            self._expect("COMMA", "','")
+            second = self.parse_actor_pattern()
+            self._expect("RPAREN", "')'")
+            cls = Colocate if token.text == "colocate" else Separate
+            return cls(first=first, second=second)
+        if token.text == "pin":
+            self._expect("LPAREN", "'('")
+            target = self.parse_actor_pattern()
+            self._expect("RPAREN", "')'")
+            return Pin(target=target)
+        raise EplSyntaxError(
+            f"unknown behavior {token.text!r} (expected balance, reserve, "
+            f"colocate, separate or pin)", token.line, token.column)
+
+    def _parse_balance(self) -> Balance:
+        self._expect("LPAREN", "'('")
+        self._expect("LBRACE", "'{'")
+        types: List[str] = [self._expect("IDENT", "actor type").text]
+        while self._peek().kind == "COMMA":
+            self._next()
+            types.append(self._expect("IDENT", "actor type").text)
+        self._expect("RBRACE", "'}'")
+        self._expect("COMMA", "','")
+        resource = self._expect_ident(*RESOURCES).text
+        self._expect("RPAREN", "')'")
+        return Balance(actor_types=tuple(types), resource=resource)

@@ -1,0 +1,95 @@
+"""EPL pretty-printer (unparser).
+
+Renders an AST back to canonical EPL source.  Round-trip property:
+``parse_policy(format_policy(parse_policy(src)))`` equals
+``parse_policy(src)`` — useful for policy tooling (normalizing user
+policies, emitting policies from programs) and exercised by the
+property-based tests.
+"""
+
+from __future__ import annotations
+
+from .ast import (ActorPattern, AndCond, Balance, Behavior, CallFeature,
+                  Colocate, CompareCond, Condition, OrCond, Pin, Policy,
+                  RefCond, Reserve, ResourceFeature, Rule, Separate,
+                  TrueCond, SERVER_ENTITY)
+
+__all__ = ["format_policy", "format_rule", "format_condition",
+           "format_behavior"]
+
+
+def format_policy(policy: Policy) -> str:
+    """Render a whole policy, one rule per line."""
+    return "\n".join(format_rule(rule) for rule in policy.rules) + "\n" \
+        if policy.rules else ""
+
+
+def format_rule(rule: Rule) -> str:
+    """Render one rule as canonical single-line EPL source."""
+    prefix = f"priority {rule.priority}: " if rule.priority is not None \
+        else ""
+    behaviors = " ".join(f"{format_behavior(b)};" for b in rule.behaviors)
+    return f"{prefix}{format_condition(rule.condition)} => {behaviors}"
+
+
+def _pattern(pattern: ActorPattern) -> str:
+    return pattern.describe()
+
+
+def format_condition(condition: Condition,
+                     parent: str = "or") -> str:
+    """Render a condition; parenthesizes only where precedence needs it."""
+    if isinstance(condition, TrueCond):
+        return "true"
+    if isinstance(condition, OrCond):
+        text = (f"{format_condition(condition.left, 'or')} or "
+                f"{format_condition(condition.right, 'or')}")
+        return f"({text})" if parent == "and" else text
+    if isinstance(condition, AndCond):
+        return (f"{format_condition(condition.left, 'and')} and "
+                f"{format_condition(condition.right, 'and')}")
+    if isinstance(condition, CompareCond):
+        return (f"{_feature(condition.feature)} {condition.comparison} "
+                f"{_number(condition.value)}")
+    if isinstance(condition, RefCond):
+        return (f"{_pattern(condition.member)} in "
+                f"ref({_pattern(condition.container)}."
+                f"{condition.property_name})")
+    raise TypeError(f"unexpected condition {condition!r}")
+
+
+def _feature(feature) -> str:
+    if isinstance(feature, ResourceFeature):
+        entity = SERVER_ENTITY if feature.is_server() \
+            else _pattern(feature.entity)
+        return f"{entity}.{feature.resource}.{feature.stat}"
+    if isinstance(feature, CallFeature):
+        caller = "client" if feature.is_client() \
+            else _pattern(feature.caller)
+        return (f"{caller}.call({_pattern(feature.callee)}."
+                f"{feature.function}).{feature.stat}")
+    raise TypeError(f"unexpected feature {feature!r}")
+
+
+def _number(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def format_behavior(behavior: Behavior) -> str:
+    """Render one behavior (``balance({T}, cpu)``, ``pin(x)``, ...)."""
+    if isinstance(behavior, Balance):
+        types = ", ".join(behavior.actor_types)
+        return f"balance({{{types}}}, {behavior.resource})"
+    if isinstance(behavior, Reserve):
+        return f"reserve({_pattern(behavior.target)}, {behavior.resource})"
+    if isinstance(behavior, Colocate):
+        return (f"colocate({_pattern(behavior.first)}, "
+                f"{_pattern(behavior.second)})")
+    if isinstance(behavior, Separate):
+        return (f"separate({_pattern(behavior.first)}, "
+                f"{_pattern(behavior.second)})")
+    if isinstance(behavior, Pin):
+        return f"pin({_pattern(behavior.target)})"
+    raise TypeError(f"unexpected behavior {behavior!r}")

@@ -1,0 +1,8 @@
+"""Elasticity profiling runtime (EPR): actor & server runtime tracking."""
+
+from .collector import ProfilingRuntime
+from .snapshot import ActorSnapshot, ServerSnapshot
+from .stats import ActorStats
+
+__all__ = ["ProfilingRuntime", "ActorSnapshot", "ServerSnapshot",
+           "ActorStats"]

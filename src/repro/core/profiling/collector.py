@@ -1,0 +1,177 @@
+"""The elasticity profiling runtime (EPR).
+
+Subscribes to the actor runtime's observation hooks and maintains
+windowed statistics for every actor: CPU busy time, network bytes, and
+per-(caller kind, function) message counts/sizes — everything the EPL's
+feature classes [f-ra], [f-rs] and [f-ia] can reference.
+
+Per the paper (§2.2, §5.2), the EPR only *collects*; it never interferes
+with application execution.  Its measured cost is a small per-message
+bookkeeping charge, modelled here as an optional CPU tax submitted to the
+hosting server (``overhead_cpu_ms`` per message).  The Table 3 experiment
+compares runs with the EPR attached vs. a vanilla run without it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...actors import ActorRecord, ActorRef, Message, RuntimeHooks
+from ...cluster import Server
+from ...sim import Simulator
+from .snapshot import ActorSnapshot, ServerSnapshot
+from .stats import ActorStats
+
+__all__ = ["ProfilingRuntime"]
+
+_MS_PER_MIN = 60_000.0
+
+
+class ProfilingRuntime(RuntimeHooks):
+    """Collects actor and server runtime information.
+
+    Parameters
+    ----------
+    window_ms:
+        Profiling window; normally set to the elasticity period so rules
+        observe exactly one period of history.
+    overhead_cpu_ms:
+        CPU cost charged to the hosting server per profiled message
+        (models the measured sub-percent EPR overhead of Table 3).
+    """
+
+    def __init__(self, sim: Simulator, window_ms: float = 60_000.0,
+                 overhead_cpu_ms: float = 0.0) -> None:
+        self.sim = sim
+        self.window_ms = window_ms
+        self.overhead_cpu_ms = overhead_cpu_ms
+        self._stats: Dict[int, ActorStats] = {}
+        self.messages_profiled = 0
+
+    # -- RuntimeHooks ---------------------------------------------------------
+
+    def on_actor_created(self, record: ActorRecord) -> None:
+        self._stats[record.ref.actor_id] = ActorStats(self.sim)
+
+    def on_actor_destroyed(self, record: ActorRecord) -> None:
+        self._stats.pop(record.ref.actor_id, None)
+
+    def on_message_delivered(self, record: ActorRecord,
+                             message: Message) -> None:
+        stats = self._stats.get(record.ref.actor_id)
+        if stats is None:  # actor created before profiling attached
+            stats = ActorStats(self.sim)
+            self._stats[record.ref.actor_id] = stats
+        stats.record_message(message.caller_kind, message.caller_id,
+                             message.function, message.size_bytes)
+        self.messages_profiled += 1
+        if self.overhead_cpu_ms > 0.0:
+            record.server.execute(self.overhead_cpu_ms, owner=self)
+
+    def on_compute(self, record: ActorRecord, busy_ms: float) -> None:
+        stats = self._stats.get(record.ref.actor_id)
+        if stats is not None:
+            stats.cpu.add(busy_ms)
+
+    def on_bytes_sent(self, record: ActorRecord, nbytes: float) -> None:
+        stats = self._stats.get(record.ref.actor_id)
+        if stats is not None:
+            stats.net_out.add(nbytes)
+
+    def on_bytes_received(self, record: ActorRecord, nbytes: float) -> None:
+        stats = self._stats.get(record.ref.actor_id)
+        if stats is not None:
+            stats.net_in.add(nbytes)
+
+    # -- snapshot API (Table 2: getActorsRuntime / getServerRuntime) -----------
+
+    def snapshot_server(self, server: Server,
+                        actor_records: List[ActorRecord]) -> ServerSnapshot:
+        return ServerSnapshot(
+            server=server,
+            cpu_perc=server.cpu_percent(self.window_ms),
+            mem_perc=server.memory_percent(),
+            net_perc=server.net_percent(self.window_ms),
+            actor_count=len(actor_records),
+            vcpus=server.itype.vcpus,
+            instance_type=server.itype.name)
+
+    def snapshot_actors(self,
+                        actor_records: List[ActorRecord]) -> List[ActorSnapshot]:
+        """Snapshot a group of co-located actors.
+
+        The group must be all actors of one server (the LEM's view) so
+        that per-server call percentages are correct.
+        """
+        snapshots = [self._snapshot_one(record) for record in actor_records]
+        self._fill_percentages(snapshots)
+        return snapshots
+
+    def _snapshot_one(self, record: ActorRecord) -> ActorSnapshot:
+        stats = self._stats.get(record.ref.actor_id)
+        server = record.server
+        window = self.window_ms
+        if stats is None:
+            stats = ActorStats(self.sim)
+            self._stats[record.ref.actor_id] = stats
+
+        effective = min(window, max(self.sim.now, 1e-9))
+        cpu_busy = stats.cpu.total(window)
+        cpu_capacity = effective * server.itype.vcpus
+        net_bytes = stats.net_in.total(window) + stats.net_out.total(window)
+        net_capacity = effective * server.itype.net_bytes_per_ms()
+
+        per_min = _MS_PER_MIN / effective
+        snapshot = ActorSnapshot(
+            ref=record.ref,
+            server=server,
+            cpu_perc=100.0 * cpu_busy / cpu_capacity if cpu_capacity else 0.0,
+            cpu_ms_per_min=cpu_busy * per_min,
+            mem_mb=record.instance.state_size_mb,
+            mem_perc=(100.0 * record.instance.state_size_mb
+                      / server.itype.memory_mb),
+            net_bytes_per_min=net_bytes * per_min,
+            net_perc=100.0 * net_bytes / net_capacity if net_capacity else 0.0,
+            call_count_per_min={key: meter.total(window) * per_min
+                                for key, meter in stats.call_counts.items()},
+            call_bytes_per_min={key: meter.total(window) * per_min
+                                for key, meter in stats.call_bytes.items()},
+            pair_count_per_min={key: meter.total(window) * per_min
+                                for key, meter in stats.pair_counts.items()},
+            refs=self._extract_refs(record),
+            pinned=record.pinned,
+            migrating=record.migrating,
+            last_placed_at=record.last_placed_at,
+            state_size_mb=record.instance.state_size_mb)
+        return snapshot
+
+    @staticmethod
+    def _extract_refs(record: ActorRecord) -> Dict[str, tuple]:
+        """Capture every property of the actor that holds actor refs."""
+        refs: Dict[str, tuple] = {}
+        instance_vars = getattr(record.instance, "__dict__", {})
+        for pname in instance_vars:
+            if pname.startswith("_") or pname == "ref":
+                continue  # 'ref' is the actor's own injected handle
+            held = record.instance.property_refs(pname)
+            if held:
+                refs[pname] = tuple(held)
+        return refs
+
+    @staticmethod
+    def _fill_percentages(snapshots: List[ActorSnapshot]) -> None:
+        """Compute call percentages within a same-server actor group.
+
+        perc = this actor's count of (caller, function) / total over all
+        actors *of the same type on the same server* (paper §3.2 (iii)).
+        """
+        totals: Dict[tuple, float] = {}
+        for snap in snapshots:
+            for key, rate in snap.call_count_per_min.items():
+                group = (snap.type_name, key)
+                totals[group] = totals.get(group, 0.0) + rate
+        for snap in snapshots:
+            for key, rate in snap.call_count_per_min.items():
+                group_total = totals.get((snap.type_name, key), 0.0)
+                snap.call_perc[key] = (
+                    100.0 * rate / group_total if group_total > 0 else 0.0)

@@ -1,0 +1,103 @@
+"""Snapshot datatypes exchanged between profiling and elasticity runtimes.
+
+These are the payloads of the paper's Table 2 API: LEMs call
+``getActorsRuntime`` / ``getServerRuntime`` and ship the results to GEMs
+in REPORT messages.  Snapshots are plain data (no references into the
+live runtime other than the server handle used as a location token), so a
+GEM operating on them is structurally unable to mutate application state —
+the same isolation the paper's EMR design prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ...actors import ActorRef
+from ...cluster import Server
+from .stats import CallKey, PairKey
+
+__all__ = ["ActorSnapshot", "ServerSnapshot"]
+
+
+@dataclass
+class ActorSnapshot:
+    """Runtime information for one actor over the profiling window.
+
+    Rates are per *minute* (the paper's example time unit for interaction
+    features).  ``call_perc`` is the percentage of each call type this
+    actor received out of all same-type actors on the same server —
+    computed by the LEM, which sees all local actors.
+    """
+
+    ref: ActorRef
+    server: Server
+    cpu_perc: float                 # share of hosting server's CPU, 0-100
+    cpu_ms_per_min: float
+    mem_mb: float
+    mem_perc: float                 # share of hosting server's memory
+    net_bytes_per_min: float
+    net_perc: float                 # share of hosting server's NIC
+    call_count_per_min: Dict[CallKey, float] = field(default_factory=dict)
+    call_bytes_per_min: Dict[CallKey, float] = field(default_factory=dict)
+    call_perc: Dict[CallKey, float] = field(default_factory=dict)
+    pair_count_per_min: Dict[PairKey, float] = field(default_factory=dict)
+    refs: Dict[str, Tuple[ActorRef, ...]] = field(default_factory=dict)
+    pinned: bool = False
+    migrating: bool = False
+    last_placed_at: float = 0.0
+    state_size_mb: float = 1.0
+
+    @property
+    def actor_id(self) -> int:
+        return self.ref.actor_id
+
+    @property
+    def type_name(self) -> str:
+        return self.ref.type_name
+
+    def resource_perc(self, resource: str) -> float:
+        """Resolve an EPL resource name to this actor's usage percent."""
+        if resource == "cpu":
+            return self.cpu_perc
+        if resource == "mem":
+            return self.mem_perc
+        if resource == "net":
+            return self.net_perc
+        raise ValueError(f"unknown resource {resource!r}")
+
+    def demand(self, resource: str) -> float:
+        """Absolute demand used by admission checks (checkIdleRes)."""
+        if resource == "cpu":
+            return self.cpu_ms_per_min
+        if resource == "mem":
+            return self.mem_mb
+        if resource == "net":
+            return self.net_bytes_per_min
+        raise ValueError(f"unknown resource {resource!r}")
+
+
+@dataclass
+class ServerSnapshot:
+    """Runtime information for one server over the profiling window."""
+
+    server: Server
+    cpu_perc: float
+    mem_perc: float
+    net_perc: float
+    actor_count: int
+    vcpus: int
+    instance_type: str
+
+    @property
+    def name(self) -> str:
+        return self.server.name
+
+    def resource_perc(self, resource: str) -> float:
+        if resource == "cpu":
+            return self.cpu_perc
+        if resource == "mem":
+            return self.mem_perc
+        if resource == "net":
+            return self.net_perc
+        raise ValueError(f"unknown resource {resource!r}")

@@ -1,0 +1,52 @@
+"""Raw per-actor statistics collected by the profiling runtime."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ...cluster import WindowedMeter
+from ...sim import Simulator
+
+__all__ = ["ActorStats", "CallKey", "PairKey"]
+
+#: (caller kind, function name) — caller kind is "client" or an actor type.
+CallKey = Tuple[str, str]
+#: (caller actor id, function name) — per-pair interaction tracking.
+PairKey = Tuple[int, str]
+
+
+class ActorStats:
+    """Meters for one actor: CPU, network, and per-call-type messages.
+
+    Call meters are created lazily on first message of each key, so actors
+    that never receive a given call type pay nothing for it.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self.cpu = WindowedMeter(sim)
+        self.net_in = WindowedMeter(sim)
+        self.net_out = WindowedMeter(sim)
+        self.call_counts: Dict[CallKey, WindowedMeter] = {}
+        self.call_bytes: Dict[CallKey, WindowedMeter] = {}
+        self.pair_counts: Dict[PairKey, WindowedMeter] = {}
+        self.messages_processed = 0
+
+    def record_message(self, caller_kind: str, caller_id, function: str,
+                       size_bytes: float) -> None:
+        key: CallKey = (caller_kind, function)
+        counts = self.call_counts.get(key)
+        if counts is None:
+            counts = WindowedMeter(self._sim)
+            self.call_counts[key] = counts
+            self.call_bytes[key] = WindowedMeter(self._sim)
+        counts.add(1.0)
+        self.call_bytes[key].add(size_bytes)
+        self.messages_processed += 1
+        if caller_id is not None:
+            pair_key: PairKey = (caller_id, function)
+            pair = self.pair_counts.get(pair_key)
+            if pair is None:
+                pair = WindowedMeter(self._sim)
+                self.pair_counts[pair_key] = pair
+            pair.add(1.0)

@@ -1,0 +1,139 @@
+"""Structured elasticity event tracing.
+
+The elasticity runtime's decisions are spread across LEM rounds, GEM
+rounds, admission checks and the provisioner.  :class:`ElasticityTracer`
+collects them into one ordered, structured event log — the first thing
+to read when a policy does something surprising.
+
+Usage::
+
+    tracer = ElasticityTracer(manager)
+    tracer.attach()
+    ... run ...
+    for event in tracer.events:
+        print(event)
+    print(tracer.summary())
+
+The tracer is pure observation: it wraps manager/GEM entry points and
+subscribes to runtime hooks, never altering decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..actors import ActorRecord, RuntimeHooks
+from ..cluster import Server
+
+__all__ = ["TraceEvent", "ElasticityTracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One elasticity decision or lifecycle event."""
+
+    time_ms: float
+    kind: str          # migration | actor-created | actor-destroyed |
+                       # server-joined | server-retired | gem-round |
+                       # scale-out | pin
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{key}={value}"
+                         for key, value in self.detail.items())
+        return f"[{self.time_ms / 1000.0:9.3f}s] {self.kind:<15s} {parts}"
+
+
+class _TracerHooks(RuntimeHooks):
+    def __init__(self, tracer: "ElasticityTracer") -> None:
+        self.tracer = tracer
+
+    def on_actor_created(self, record: ActorRecord) -> None:
+        self.tracer._record("actor-created", actor=str(record.ref),
+                            server=record.server.name)
+
+    def on_actor_destroyed(self, record: ActorRecord) -> None:
+        self.tracer._record("actor-destroyed", actor=str(record.ref),
+                            server=record.server.name)
+
+    def on_actor_migrated(self, record: ActorRecord, old_server: Server,
+                          new_server: Server) -> None:
+        self.tracer._record("migration", actor=str(record.ref),
+                            src=old_server.name, dst=new_server.name)
+
+
+class ElasticityTracer:
+    """Collects a structured event log from a running elasticity manager."""
+
+    def __init__(self, manager, max_events: int = 100_000) -> None:
+        self.manager = manager
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._hooks = _TracerHooks(self)
+        self._attached = False
+        self._original_boot = None
+        self._original_retire = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def attach(self) -> None:
+        if self._attached:
+            return
+        self._attached = True
+        system = self.manager.system
+        system.add_hooks(self._hooks)
+        provisioner = system.provisioner
+        provisioner.add_join_listener(self._on_server_join)
+        self._original_retire = provisioner.retire_server
+
+        def retire_traced(server: Server) -> None:
+            self._record("server-retired", server=server.name)
+            self._original_retire(server)
+
+        provisioner.retire_server = retire_traced  # type: ignore[assignment]
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self._attached = False
+        system = self.manager.system
+        if self._hooks in system.hooks:
+            system.remove_hooks(self._hooks)
+        if self._original_retire is not None:
+            system.provisioner.retire_server = self._original_retire
+
+    # -- event intake -------------------------------------------------------------
+
+    def _record(self, kind: str, **detail: Any) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(
+            time_ms=self.manager.system.sim.now, kind=kind, detail=detail))
+
+    def _on_server_join(self, server: Server) -> None:
+        self._record("server-joined", server=server.name,
+                     type=server.itype.name)
+
+    # -- queries -------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts by kind."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def timeline(self, bucket_ms: float = 60_000.0) -> Dict[int, Dict[str, int]]:
+        """Events per time bucket per kind — a coarse activity picture."""
+        buckets: Dict[int, Dict[str, int]] = {}
+        for event in self.events:
+            bucket = int(event.time_ms // bucket_ms)
+            counts = buckets.setdefault(bucket, {})
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return buckets

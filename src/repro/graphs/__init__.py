@@ -1,0 +1,14 @@
+"""Graph substrate: container, generators, partitioner, PageRank math."""
+
+from .generators import powerlaw_graph, ring_graph, social_graph, uniform_graph
+from .graph import Graph
+from .pagerank import pagerank, pagerank_delta
+from .partition import (PartitionResult, edge_cut, partition_graph,
+                        partition_sizes)
+
+__all__ = [
+    "Graph",
+    "powerlaw_graph", "uniform_graph", "ring_graph", "social_graph",
+    "pagerank", "pagerank_delta",
+    "PartitionResult", "partition_graph", "edge_cut", "partition_sizes",
+]

@@ -1,0 +1,57 @@
+"""Reference PageRank (power iteration).
+
+Ground truth for the distributed actor-based PageRank application: the
+actor implementation must converge to these values, which the
+integration tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .graph import Graph
+
+__all__ = ["pagerank", "pagerank_delta"]
+
+DEFAULT_DAMPING = 0.85
+
+
+def pagerank(graph: Graph, damping: float = DEFAULT_DAMPING,
+             iterations: int = 50, tolerance: float = 1e-10
+             ) -> List[float]:
+    """PageRank scores by power iteration with dangling-mass handling."""
+    n = graph.num_nodes
+    if n == 0:
+        return []
+    rank = [1.0 / n] * n
+    for _ in range(iterations):
+        rank, delta = _step(graph, rank, damping)
+        if delta < tolerance:
+            break
+    return rank
+
+
+def pagerank_delta(graph: Graph, rank: Sequence[float],
+                   damping: float = DEFAULT_DAMPING
+                   ) -> Tuple[List[float], float]:
+    """One PageRank iteration; returns (new rank, L1 change)."""
+    return _step(graph, list(rank), damping)
+
+
+def _step(graph: Graph, rank: Sequence[float],
+          damping: float) -> Tuple[List[float], float]:
+    n = graph.num_nodes
+    contrib = [0.0] * n
+    dangling = 0.0
+    for node in graph.nodes():
+        degree = graph.out_degree(node)
+        if degree == 0:
+            dangling += rank[node]
+            continue
+        share = rank[node] / degree
+        for target in graph.out_edges(node):
+            contrib[target] += share
+    base = (1.0 - damping) / n + damping * dangling / n
+    new_rank = [base + damping * contrib[node] for node in graph.nodes()]
+    delta = sum(abs(new_rank[node] - rank[node]) for node in graph.nodes())
+    return new_rank, delta

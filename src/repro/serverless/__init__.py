@@ -1,0 +1,19 @@
+"""Serverless + storage-tier substrate (paper §2.1's motivation).
+
+The architecture PLASMA argues against for stateful applications:
+stateless functions (:class:`FunctionPlatform`) that must externalize
+all state to a storage tier (:class:`StorageTier`), reproduced so the
+motivation benchmark can measure the gap against the actor runtime.
+"""
+
+from .functions import FunctionPlatform, InvocationStats
+from .pagerank_serverless import (ServerlessPageRank, upload_graph,
+                                  BYTES_PER_EDGE, BYTES_PER_NODE)
+from .store import StorageStats, StorageTier
+
+__all__ = [
+    "FunctionPlatform", "InvocationStats",
+    "StorageTier", "StorageStats",
+    "ServerlessPageRank", "upload_graph",
+    "BYTES_PER_NODE", "BYTES_PER_EDGE",
+]

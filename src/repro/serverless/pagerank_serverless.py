@@ -1,0 +1,203 @@
+"""PageRank on the serverless + storage-tier substrate (paper §2.1).
+
+The paper's motivating measurement: implementing stateful computations
+as stateless functions over a storage tier is "currently impractical"
+— ~25 ms per DynamoDB write, >70 s to load a small 22 MB graph, and the
+distributed PageRank "needs to update ≈1.2 GB data at each round".
+
+This module implements exactly that architecture: each iteration, one
+function per partition *loads* its partition state from the store,
+computes contributions, *writes* them back, and a reduce function folds
+them — every byte of state crossing the storage tier twice per round.
+The motivation benchmark compares it against the actor-based PageRank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..graphs import Graph, partition_graph
+from ..sim import Simulator, Timeout, spawn
+from .functions import FunctionPlatform
+from .store import StorageTier
+
+__all__ = ["ServerlessPageRank", "upload_graph", "BYTES_PER_NODE",
+           "BYTES_PER_EDGE"]
+
+#: Serialized sizes (id + rank / id pair), matching "22 MB graph" scale.
+BYTES_PER_NODE = 16.0
+BYTES_PER_EDGE = 8.0
+COMPUTE_MS_PER_UNIT = 0.4  # same per-unit kernel cost as the actor app
+
+
+def upload_graph(sim: Simulator, store: StorageTier, graph: Graph,
+                 num_partitions: int, partition_seed: int = 5,
+                 bytes_per_node: float = BYTES_PER_NODE,
+                 bytes_per_edge: float = BYTES_PER_EDGE) -> Dict:
+    """Write vertices, edges and partitions into the storage tier
+    (the paper's ">70 s to write ... a small 22 MB graph" step).
+
+    Returns a manifest with the partition layout and upload time.
+    """
+    import random
+    result = partition_graph(graph, num_partitions,
+                             random.Random(partition_seed))
+    nodes_of: List[List[int]] = [[] for _ in range(num_partitions)]
+    for node, part in enumerate(result.assignment):
+        nodes_of[part].append(node)
+
+    started = sim.now
+    finished = []
+
+    def uploader():
+        for part in range(num_partitions):
+            nodes = nodes_of[part]
+            edges = sum(graph.out_degree(n) for n in nodes)
+            size = (len(nodes) * bytes_per_node
+                    + edges * bytes_per_edge)
+            state = {
+                "nodes": nodes,
+                "out_edges": {n: list(graph.out_edges(n)) for n in nodes},
+                "rank": {n: 1.0 / graph.num_nodes for n in nodes},
+            }
+            yield store.put(f"partition/{part}", state, size)
+        yield store.put("manifest",
+                        {"partitions": num_partitions,
+                         "assignment": list(result.assignment)},
+                        graph.num_nodes * 4.0)
+        finished.append(sim.now - started)
+
+    spawn(sim, uploader(), name="graph-upload")
+    while not finished:
+        if sim.peek() is None:
+            raise RuntimeError("upload stalled")
+        sim.run(until=sim.now + 10_000.0)
+    return {"upload_ms": finished[0], "assignment": result.assignment,
+            "nodes_of": nodes_of}
+
+
+@dataclass
+class IterationOutcome:
+    iteration_ms: List[float]
+    storage_ops: int
+    bytes_moved: float
+
+
+class ServerlessPageRank:
+    """The stateless-function PageRank the paper's §2.1 argues against."""
+
+    def __init__(self, sim: Simulator, store: StorageTier,
+                 platform: FunctionPlatform, num_partitions: int,
+                 total_nodes: int, damping: float = 0.85,
+                 bytes_per_node: float = BYTES_PER_NODE,
+                 bytes_per_edge: float = BYTES_PER_EDGE) -> None:
+        self.sim = sim
+        self.store = store
+        self.platform = platform
+        self.num_partitions = num_partitions
+        self.total_nodes = total_nodes
+        self.damping = damping
+        self.bytes_per_node = bytes_per_node
+        self.bytes_per_edge = bytes_per_edge
+        platform.register("compute_partition", self._compute_partition)
+        platform.register("apply_partition", self._apply_partition)
+
+    # -- function bodies (stateless: all state via the store) -------------------
+
+    def _compute_partition(self, platform: FunctionPlatform, part: int):
+        state = yield self.store.get(f"partition/{part}")
+        manifest = yield self.store.get("manifest")
+        assignment = manifest["assignment"]
+        units = (len(state["nodes"])
+                 + sum(len(t) for t in state["out_edges"].values()))
+        yield Timeout(self.sim, COMPUTE_MS_PER_UNIT * units)
+        contribs: Dict[int, Dict[int, float]] = {}
+        dangling = 0.0
+        for node in state["nodes"]:
+            targets = state["out_edges"].get(node, [])
+            if not targets:
+                dangling += state["rank"][node]
+                continue
+            share = state["rank"][node] / len(targets)
+            for target in targets:
+                bucket = contribs.setdefault(assignment[target], {})
+                bucket[target] = bucket.get(target, 0.0) + share
+        for target_part, bucket in contribs.items():
+            size = len(bucket) * self.bytes_per_node
+            yield self.store.put(
+                f"contrib/{part}/{target_part}", bucket, size)
+        return dangling
+
+    def _apply_partition(self, platform: FunctionPlatform, payload):
+        part, dangling_total = payload
+        state = yield self.store.get(f"partition/{part}")
+        incoming: Dict[int, float] = {}
+        for source in range(self.num_partitions):
+            bucket = yield self.store.get(f"contrib/{source}/{part}")
+            if bucket:
+                for node, share in bucket.items():
+                    incoming[node] = incoming.get(node, 0.0) + share
+        base = ((1.0 - self.damping) / self.total_nodes
+                + self.damping * dangling_total / self.total_nodes)
+        for node in state["nodes"]:
+            state["rank"][node] = (base + self.damping
+                                   * incoming.get(node, 0.0))
+        units = len(state["nodes"])
+        size = (units * self.bytes_per_node
+                + sum(len(t) for t in state["out_edges"].values())
+                * self.bytes_per_edge)
+        yield self.store.put(f"partition/{part}", state, size)
+        return True
+
+    # -- driver --------------------------------------------------------------------
+
+    def run(self, iterations: int) -> IterationOutcome:
+        times: List[float] = []
+        finished = []
+
+        def driver():
+            for _ in range(iterations):
+                started = self.sim.now
+                computes = [self.platform.invoke("compute_partition", p)
+                            for p in range(self.num_partitions)]
+                danglings = []
+                for signal in computes:
+                    value = yield signal
+                    danglings.append(value)
+                total_dangling = sum(danglings)
+                applies = [self.platform.invoke(
+                    "apply_partition", (p, total_dangling))
+                    for p in range(self.num_partitions)]
+                for signal in applies:
+                    yield signal
+                times.append(self.sim.now - started)
+            finished.append(True)
+
+        spawn(self.sim, driver(), name="serverless-pagerank")
+        while not finished:
+            if self.sim.peek() is None:
+                raise RuntimeError("serverless driver stalled")
+            self.sim.run(until=self.sim.now + 60_000.0)
+        return IterationOutcome(
+            iteration_ms=times,
+            storage_ops=self.store.stats.operations(),
+            bytes_moved=(self.store.stats.bytes_read
+                         + self.store.stats.bytes_written))
+
+    def collect_ranks(self) -> List[float]:
+        """Read back the final ranks (test use; pays storage reads)."""
+        ranks = [0.0] * self.total_nodes
+        done = []
+
+        def reader():
+            for part in range(self.num_partitions):
+                state = yield self.store.get(f"partition/{part}")
+                for node, value in state["rank"].items():
+                    ranks[node] = value
+            done.append(True)
+
+        spawn(self.sim, reader(), name="rank-reader")
+        while not done:
+            self.sim.run(until=self.sim.now + 10_000.0)
+        return ranks

@@ -1,0 +1,105 @@
+"""Cloud storage tier (the DynamoDB stand-in).
+
+Stateless serverless functions must externalize state to a storage tier
+between invocations.  The paper's §2.1 measures why that's untenable for
+stateful applications: ~25 ms per DynamoDB write and >70 s to persist a
+22 MB graph.  This model reproduces those characteristics: per-request
+base latency, size-dependent transfer time, and a concurrency limit
+(provisioned throughput) that queues excess requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sim import Queue, Signal, Simulator, Timeout, spawn
+
+__all__ = ["StorageTier", "StorageStats"]
+
+
+@dataclass
+class StorageStats:
+    reads: int = 0
+    writes: int = 0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    total_latency_ms: float = 0.0
+
+    def operations(self) -> int:
+        return self.reads + self.writes
+
+
+class StorageTier:
+    """A remote key-value storage service with realistic latency.
+
+    Parameters mirror the paper's measurements: ``write_latency_ms=25``
+    is the DynamoDB average the authors report; reads are cheaper;
+    ``bytes_per_ms`` models the item-size-dependent transfer cost that
+    turns a 22 MB graph into a >70 s upload; ``concurrency`` is the
+    provisioned-throughput limit beyond which requests queue.
+    """
+
+    def __init__(self, sim: Simulator,
+                 read_latency_ms: float = 10.0,
+                 write_latency_ms: float = 25.0,
+                 bytes_per_ms: float = 300.0 * 1024.0 / 1000.0,
+                 concurrency: int = 32) -> None:
+        self.sim = sim
+        self.read_latency_ms = read_latency_ms
+        self.write_latency_ms = write_latency_ms
+        self.bytes_per_ms = bytes_per_ms
+        self.concurrency = concurrency
+        self.stats = StorageStats()
+        self._data: Dict[str, Tuple[Any, float]] = {}
+        self._queue: Queue = Queue(sim)
+        for _ in range(concurrency):
+            spawn(sim, self._worker(), name="storage-worker")
+
+    # -- client API (yield the returned signal) ---------------------------------
+
+    def get(self, key: str) -> Signal:
+        """Read ``key``; the signal resolves to the stored value or None."""
+        done = Signal(self.sim)
+        self._queue.put(("get", key, None, 0.0, done, self.sim.now))
+        return done
+
+    def put(self, key: str, value: Any, size_bytes: float) -> Signal:
+        """Write ``key``; the signal resolves to True when durable."""
+        done = Signal(self.sim)
+        self._queue.put(("put", key, value, size_bytes, done, self.sim.now))
+        return done
+
+    # -- service loop -----------------------------------------------------------
+
+    def _worker(self):
+        while True:
+            op, key, value, size, done, enqueued = yield self._queue.get()
+            if op == "get":
+                stored = self._data.get(key)
+                payload_size = stored[1] if stored else 0.0
+                delay = self.read_latency_ms + payload_size / self.bytes_per_ms
+                yield Timeout(self.sim, delay)
+                self.stats.reads += 1
+                self.stats.bytes_read += payload_size
+                self.stats.total_latency_ms += self.sim.now - enqueued
+                done.trigger(stored[0] if stored else None)
+            else:
+                delay = self.write_latency_ms + size / self.bytes_per_ms
+                yield Timeout(self.sim, delay)
+                self._data[key] = (value, size)
+                self.stats.writes += 1
+                self.stats.bytes_written += size
+                self.stats.total_latency_ms += self.sim.now - enqueued
+                done.trigger(True)
+
+    # -- inspection ---------------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is durably stored (no latency; test use)."""
+        return key in self._data
+
+    def mean_latency_ms(self) -> float:
+        """Mean request latency including queueing, over all requests."""
+        ops = self.stats.operations()
+        return self.stats.total_latency_ms / ops if ops else 0.0

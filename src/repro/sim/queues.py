@@ -1,0 +1,94 @@
+"""Blocking FIFO queues for simulation processes.
+
+:class:`Queue` is the mailbox primitive used throughout the actor runtime:
+``put`` never blocks (mailboxes are unbounded, as in AEON/Orleans) while
+``get`` returns a waitable that resumes the caller with the next item.
+Items are delivered to getters in FIFO order on both sides.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Generic, List, TypeVar
+
+from .engine import Simulator
+from .process import Waitable
+
+__all__ = ["Queue", "QueueGet"]
+
+T = TypeVar("T")
+
+
+class QueueGet(Waitable, Generic[T]):
+    """Waitable returned by :meth:`Queue.get`."""
+
+    def __init__(self, queue: "Queue[T]") -> None:
+        self._queue = queue
+        self._callback: Callable[[Any], None] = lambda value: None
+
+    def _subscribe(self, callback: Callable[[Any], None]) -> None:
+        self._callback = callback
+        self._queue._register_getter(self)
+
+    def _unsubscribe(self, callback: Callable[[Any], None]) -> None:
+        self._queue._drop_getter(self)
+
+    def _deliver(self, item: T) -> None:
+        self._queue._sim.schedule(0.0, self._callback, item)
+
+
+class Queue(Generic[T]):
+    """Unbounded FIFO queue with blocking ``get``.
+
+    >>> # inside a process generator:
+    >>> # item = yield queue.get()
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._items: Deque[T] = deque()
+        self._getters: List[QueueGet[T]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: T) -> None:
+        """Enqueue ``item``, waking the oldest waiting getter if any."""
+        if self._getters:
+            getter = self._getters.pop(0)
+            getter._deliver(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> QueueGet[T]:
+        """Return a waitable that resumes with the next item."""
+        return QueueGet(self)
+
+    def get_nowait(self) -> T:
+        """Dequeue immediately; raises :class:`IndexError` when empty."""
+        return self._items.popleft()
+
+    def peek_all(self) -> List[T]:
+        """Snapshot of queued items without consuming them."""
+        return list(self._items)
+
+    def clear(self) -> List[T]:
+        """Drop and return all queued items (used when draining mailboxes
+        during actor migration)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    # -- plumbing for QueueGet --------------------------------------------
+
+    def _register_getter(self, getter: QueueGet[T]) -> None:
+        if self._items:
+            getter._deliver(self._items.popleft())
+        else:
+            self._getters.append(getter)
+
+    def _drop_getter(self, getter: QueueGet[T]) -> None:
+        try:
+            self._getters.remove(getter)
+        except ValueError:
+            pass

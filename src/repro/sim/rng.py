@@ -1,0 +1,47 @@
+"""Deterministic named random streams.
+
+Every stochastic component of the simulation draws from its own named
+stream derived from a single root seed.  Adding a new consumer therefore
+never perturbs the draws seen by existing ones, which keeps regression
+baselines stable across code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A factory of independent, reproducible ``random.Random`` streams.
+
+    >>> streams = RandomStreams(seed=7)
+    >>> a = streams.stream("clients")
+    >>> b = streams.stream("placement")
+    >>> a is streams.stream("clients")   # streams are cached by name
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        digest = hashlib.sha256(
+            f"{self.seed}:{name}".encode("utf-8")).digest()
+        stream = random.Random(int.from_bytes(digest[:8], "big"))
+        self._streams[name] = stream
+        return stream
+
+    def fork(self, salt: str) -> "RandomStreams":
+        """Derive a new independent family of streams (e.g. per repetition)."""
+        digest = hashlib.sha256(
+            f"{self.seed}:fork:{salt}".encode("utf-8")).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,13 @@
+"""Workload generation: request skews, arrival schedules, client loops."""
+
+from .clients import closed_loop, start_closed_loop
+from .distributions import (WeightedChoice, cascade_split, hot_one_split,
+                            zipf_weights)
+from .schedules import (constant_schedule, normal_wave_schedule,
+                        round_join_schedule)
+
+__all__ = [
+    "closed_loop", "start_closed_loop",
+    "WeightedChoice", "cascade_split", "hot_one_split", "zipf_weights",
+    "constant_schedule", "normal_wave_schedule", "round_join_schedule",
+]

@@ -1,0 +1,47 @@
+"""Reusable closed-loop client drivers.
+
+A closed-loop client issues one request, waits for the reply, thinks,
+and repeats — the model behind every latency figure in the paper.  The
+driver is a plain simulation process so applications can also write their
+own loops when they need richer behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from ..actors import ActorRef, Client
+from ..sim import Process, Simulator, Timeout, spawn
+
+__all__ = ["closed_loop", "start_closed_loop"]
+
+#: Returns (target ref, function name, args tuple) for the next request.
+RequestPicker = Callable[[], Tuple[ActorRef, str, Tuple[Any, ...]]]
+
+
+def closed_loop(client: Client, pick: RequestPicker, think_ms: float,
+                until_ms: float,
+                start_delay_ms: float = 0.0):
+    """Generator body of a closed-loop client.
+
+    Runs until the virtual clock passes ``until_ms``.  Latencies are
+    recorded on the client's latency series by ``timed_call``.
+    """
+    sim = client.system.sim
+    if start_delay_ms > 0:
+        yield Timeout(sim, start_delay_ms)
+    while sim.now < until_ms:
+        ref, function, args = pick()
+        yield from client.timed_call(ref, function, *args)
+        if think_ms > 0:
+            yield Timeout(sim, think_ms)
+
+
+def start_closed_loop(client: Client, pick: RequestPicker, think_ms: float,
+                      until_ms: float,
+                      start_delay_ms: float = 0.0) -> Process:
+    """Spawn a closed-loop client process; returns the process handle."""
+    return spawn(client.system.sim,
+                 closed_loop(client, pick, think_ms, until_ms,
+                             start_delay_ms),
+                 name=f"client/{client.name}")

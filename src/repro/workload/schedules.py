@@ -1,0 +1,49 @@
+"""Client arrival/departure schedules from the paper's experiments."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+__all__ = ["normal_wave_schedule", "round_join_schedule",
+           "constant_schedule"]
+
+
+def normal_wave_schedule(num_clients: int, join_mean_ms: float,
+                         join_sigma_ms: float, leave_mean_ms: float,
+                         leave_sigma_ms: float,
+                         rng: random.Random) -> List[Tuple[float, float]]:
+    """Media Service schedule: clients join and leave at normally
+    distributed times (paper: join N(2 min, 90 s), leave N(19 min, 90 s)).
+
+    Returns one (join_ms, leave_ms) pair per client, clamped so joins are
+    non-negative and every client leaves after it joined.
+    """
+    schedule = []
+    for _ in range(num_clients):
+        join = max(0.0, rng.gauss(join_mean_ms, join_sigma_ms))
+        leave = max(join + 1_000.0, rng.gauss(leave_mean_ms, leave_sigma_ms))
+        schedule.append((join, leave))
+    return schedule
+
+
+def round_join_schedule(num_clients: int, rounds: int, round_ms: float,
+                        rng: random.Random) -> List[float]:
+    """Halo schedule: clients join in ``rounds`` equal batches, each client
+    at a uniformly random time inside its round (paper: 32 clients in 4
+    rounds of 180 s)."""
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    per_round, remainder = divmod(num_clients, rounds)
+    joins: List[float] = []
+    for round_index in range(rounds):
+        count = per_round + (1 if round_index < remainder else 0)
+        start = round_index * round_ms
+        joins.extend(start + rng.random() * round_ms for _ in range(count))
+    joins.sort()
+    return joins
+
+
+def constant_schedule(num_clients: int) -> List[float]:
+    """All clients present from time zero."""
+    return [0.0] * num_clients

@@ -1,0 +1,244 @@
+"""Unit tests for actor creation, messaging, and dispatch semantics."""
+
+import pytest
+
+from repro.actors import Actor, ActorSystem, Client
+from repro.cluster import Provisioner
+from repro.sim import Simulator, Timeout, spawn
+
+
+class Counter(Actor):
+    def __init__(self):
+        self.value = 0
+
+    def bump(self, amount):
+        yield self.compute(1.0)
+        self.value += amount
+        return self.value
+
+    def peek(self):
+        return self.value  # plain (non-generator) handler
+
+
+class Echo(Actor):
+    def shout(self, text):
+        return text.upper()
+
+
+class Forwarder(Actor):
+    def __init__(self, target):
+        self.target = target
+
+    def relay(self, amount):
+        result = yield self.call(self.target, "bump", amount)
+        return result
+
+    def fire_and_forget(self, amount):
+        self.tell(self.target, "bump", amount)
+        return "sent"
+
+
+def make_system(servers=2, itype="m5.large"):
+    sim = Simulator()
+    prov = Provisioner(sim, default_type=itype)
+    for _ in range(servers):
+        prov.boot_server(immediate=True)
+    sim.run()
+    return sim, ActorSystem(sim, prov)
+
+
+def drive(sim, gen):
+    done = []
+
+    def wrapper():
+        result = yield from gen
+        done.append(result)
+
+    spawn(sim, wrapper())
+    sim.run(until=sim.now + 60_000.0)
+    assert done, "driver did not finish"
+    return done[0]
+
+
+def test_create_actor_registers_and_allocates_memory():
+    sim, system = make_system(1)
+    server = system.provisioner.servers[0]
+    before = server.memory_used_mb
+    ref = system.create_actor(Counter)
+    assert system.server_of(ref) is server
+    assert server.memory_used_mb == before + Counter.state_size_mb
+    assert system.directory.count() == 1
+
+
+def test_create_actor_without_servers_fails():
+    sim = Simulator()
+    prov = Provisioner(sim)
+    system = ActorSystem(sim, prov)
+    with pytest.raises(RuntimeError):
+        system.create_actor(Counter)
+
+
+def test_client_call_roundtrip():
+    sim, system = make_system(1)
+    ref = system.create_actor(Counter)
+    client = Client(system)
+
+    def body():
+        result, latency = yield from client.timed_call(ref, "bump", 5)
+        return result, latency
+
+    result, latency = drive(sim, body())
+    assert result == 5
+    assert latency > 0
+
+
+def test_plain_function_handler():
+    sim, system = make_system(1)
+    ref = system.create_actor(Echo)
+    client = Client(system)
+
+    def body():
+        result = yield client.call(ref, "shout", "hi")
+        return result
+
+    assert drive(sim, body()) == "HI"
+
+
+def test_messages_to_one_actor_are_serialized():
+    sim, system = make_system(1)
+    ref = system.create_actor(Counter)
+    client = Client(system)
+    finish_times = []
+
+    def one_call():
+        yield client.call(ref, "bump", 1)
+        finish_times.append(sim.now)
+
+    for _ in range(3):
+        spawn(sim, one_call())
+    sim.run(until=60_000.0)
+    assert len(finish_times) == 3
+    # Each bump computes 1 ms; completions are strictly ordered.
+    assert finish_times == sorted(finish_times)
+    assert finish_times[1] - finish_times[0] >= 1.0
+
+
+def test_actor_to_actor_call():
+    sim, system = make_system(2)
+    counter = system.create_actor(Counter, server=system.provisioner.servers[0])
+    fwd = system.create_actor(Forwarder, counter,
+                              server=system.provisioner.servers[1])
+    client = Client(system)
+
+    def body():
+        result = yield client.call(fwd, "relay", 7)
+        return result
+
+    assert drive(sim, body()) == 7
+
+
+def test_tell_is_fire_and_forget():
+    sim, system = make_system(1)
+    counter = system.create_actor(Counter)
+    fwd = system.create_actor(Forwarder, counter)
+    client = Client(system)
+
+    def body():
+        ack = yield client.call(fwd, "fire_and_forget", 3)
+        yield Timeout(sim, 100.0)  # let the tell land
+        value = yield client.call(counter, "peek")
+        return ack, value
+
+    ack, value = drive(sim, body())
+    assert ack == "sent"
+    assert value == 3
+
+
+def test_call_to_dead_actor_returns_none():
+    sim, system = make_system(1)
+    ref = system.create_actor(Counter)
+    system.destroy_actor(ref)
+    client = Client(system)
+
+    def body():
+        result = yield client.call(ref, "bump", 1)
+        return result
+
+    assert drive(sim, body()) is None
+
+
+def test_destroy_actor_frees_memory_and_is_idempotent():
+    sim, system = make_system(1)
+    server = system.provisioner.servers[0]
+    ref = system.create_actor(Counter)
+    system.destroy_actor(ref)
+    system.destroy_actor(ref)
+    assert server.memory_used_mb == 0.0
+    assert system.directory.count() == 0
+
+
+def test_unknown_function_raises():
+    sim, system = make_system(1)
+    ref = system.create_actor(Counter)
+    client = Client(system)
+    client.call(ref, "does_not_exist")
+    with pytest.raises(AttributeError):
+        sim.run()
+
+
+def test_placement_policy_is_consulted():
+    sim, system = make_system(3)
+    target = system.provisioner.servers[2]
+    calls = []
+
+    def policy(cls, candidates, related):
+        calls.append((cls.__name__, len(candidates), related))
+        return target
+
+    system.placement_policy = policy
+    ref = system.create_actor(Counter)
+    assert system.server_of(ref) is target
+    assert calls == [("Counter", 3, None)]
+
+
+def test_placement_policy_none_falls_back_to_random():
+    sim, system = make_system(3)
+    system.placement_policy = lambda cls, candidates, related: None
+    refs = [system.create_actor(Counter) for _ in range(16)]
+    homes = {system.server_of(ref).server_id for ref in refs}
+    assert len(homes) > 1  # random spread, not a single server
+
+
+def test_related_hint_passed_through():
+    sim, system = make_system(2)
+    anchor = system.create_actor(Counter)
+    seen = []
+
+    def policy(cls, candidates, related):
+        seen.append(related)
+        return None
+
+    system.placement_policy = policy
+    system.create_actor(Counter, related=anchor)
+    assert seen == [anchor]
+
+
+def test_pin_blocks_migration():
+    sim, system = make_system(2)
+    ref = system.create_actor(Counter, server=system.provisioner.servers[0])
+    system.pin(ref)
+    done = system.migrate_actor(ref, system.provisioner.servers[1])
+    sim.run()
+    assert done.value is False
+    assert system.server_of(ref) is system.provisioner.servers[0]
+
+
+def test_force_migration_overrides_pin():
+    sim, system = make_system(2)
+    ref = system.create_actor(Counter, server=system.provisioner.servers[0])
+    system.pin(ref)
+    done = system.migrate_actor(ref, system.provisioner.servers[1],
+                                force=True)
+    sim.run()
+    assert done.value is True
+    assert system.server_of(ref) is system.provisioner.servers[1]

@@ -1,0 +1,99 @@
+"""Unit tests for actor schema extraction and property refs."""
+
+import pytest
+
+from repro.actors import (Actor, ActorRef, ActorSystem, describe_actor_class)
+from repro.cluster import Provisioner
+from repro.sim import Simulator
+
+
+class Folder(Actor):
+    files: list
+    owner: object
+
+    def __init__(self):
+        self.files = []
+        self.owner = None
+
+    def open(self):
+        return 1
+
+    def _private_helper(self):
+        return 2
+
+
+class SubFolder(Folder):
+    tags: list
+
+    def archive(self):
+        return 3
+
+
+def test_schema_extracts_properties_and_functions():
+    schema = describe_actor_class(Folder)
+    assert schema.name == "Folder"
+    assert schema.properties == frozenset({"files", "owner"})
+    assert "open" in schema.functions
+    assert "_private_helper" not in schema.functions
+
+
+def test_schema_excludes_runtime_primitives():
+    schema = describe_actor_class(Folder)
+    for reserved in ("compute", "call", "tell", "sleep", "on_start",
+                     "on_migrated"):
+        assert reserved not in schema.functions
+
+
+def test_subclass_inherits_schema():
+    schema = describe_actor_class(SubFolder)
+    assert schema.properties >= frozenset({"files", "owner", "tags"})
+    assert {"open", "archive"} <= schema.functions
+
+
+def test_non_actor_class_rejected():
+    with pytest.raises(TypeError):
+        describe_actor_class(dict)
+
+
+def _system():
+    sim = Simulator()
+    prov = Provisioner(sim)
+    prov.boot_server(immediate=True)
+    sim.run()
+    return ActorSystem(sim, prov)
+
+
+def test_property_refs_single_and_collections():
+    system = _system()
+    a = system.create_actor(Folder)
+    b = system.create_actor(Folder)
+    c = system.create_actor(Folder)
+    instance = system.actor_instance(a)
+
+    instance.owner = b
+    assert instance.property_refs("owner") == (b,)
+
+    instance.files = [b, c]
+    assert instance.property_refs("files") == (b, c)
+
+    instance.files = {"x": b, "y": c}
+    assert set(instance.property_refs("files")) == {b, c}
+
+
+def test_property_refs_missing_or_non_ref():
+    system = _system()
+    a = system.create_actor(Folder)
+    instance = system.actor_instance(a)
+    assert instance.property_refs("nope") == ()
+    instance.owner = "not a ref"
+    assert instance.property_refs("owner") == ()
+    instance.files = [1, 2, 3]
+    assert instance.property_refs("files") == ()
+
+
+def test_actor_ref_identity():
+    ref_a = ActorRef(actor_id=1, type_name="Folder")
+    ref_b = ActorRef(actor_id=1, type_name="Folder")
+    assert ref_a == ref_b
+    assert hash(ref_a) == hash(ref_b)
+    assert "Folder#1" in repr(ref_a)

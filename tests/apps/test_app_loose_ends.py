@@ -1,0 +1,105 @@
+"""Coverage for app handler paths not exercised by the experiments."""
+
+import pytest
+
+from repro.actors import Client
+from repro.apps.btree import build_btree
+from repro.apps.halo import Player, Session, build_halo
+from repro.apps.media import build_media_service
+from repro.bench import build_cluster
+from repro.sim import spawn
+
+
+def run_gen(bed, gen, until=30_000.0):
+    out = []
+
+    def body():
+        result = yield from gen
+        out.append(result)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=bed.sim.now + until)
+    assert out
+    return out[0]
+
+
+def test_btree_leaf_scan():
+    bed = build_cluster(2)
+    tree = build_btree(bed, fanout=4, leaf_count=4, key_space=400)
+    client = Client(bed.system)
+
+    def ops():
+        for key in (10, 20, 30, 150):
+            yield from tree.put(client, key, key * 2)
+        rows = yield client.call(tree.leaves[0], "scan", 0, 99)
+        return rows
+
+    rows = run_gen(bed, ops())
+    assert rows == {10: 20, 20: 40, 30: 60}
+
+
+def test_halo_session_remove_player():
+    bed = build_cluster(2)
+    deployment = build_halo(bed, num_routers=1, num_sessions=1)
+    session = deployment.sessions[0]
+    player = bed.system.create_actor(Player)
+    client = Client(bed.system)
+
+    def ops():
+        count = yield client.call(session, "add_player", player)
+        assert count == 1
+        count = yield client.call(session, "remove_player", player)
+        return count
+
+    assert run_gen(bed, ops()) == 0
+
+
+def test_halo_router_decrypt_cost():
+    bed = build_cluster(1, instance_type="m1.small")
+    plain = build_halo(bed, num_routers=1, num_sessions=1,
+                       router_cpu_ms=0.0)
+    heavy = build_halo(bed, num_routers=1, num_sessions=1,
+                       router_cpu_ms=10.0)
+    client = Client(bed.system)
+    player = bed.system.create_actor(Player)
+    for deployment in (plain, heavy):
+        bed.system.actor_instance(
+            deployment.sessions[0]).players.append(player)
+    times = {}
+
+    def ops():
+        for name, deployment in (("plain", plain), ("heavy", heavy)):
+            started = bed.sim.now
+            yield client.call(deployment.routers[0], "route",
+                              deployment.sessions[0], player)
+            times[name] = bed.sim.now - started
+        return True
+
+    run_gen(bed, ops())
+    # 10 ms of decrypt demand at half speed: >= 20 ms extra.
+    assert times["heavy"] >= times["plain"] + 19.0
+
+
+def test_media_client_rejoin_after_leave():
+    bed = build_cluster(2, instance_type="m1.small")
+    service = build_media_service(bed)
+    service.client_joined(0)
+    service.client_left(0)
+    actors = service.client_joined(0)
+    client = Client(bed.system)
+
+    def ops():
+        result = yield client.call(actors.frontend, "watch",
+                                   actors.stream, actors.user_info, 1)
+        return result
+
+    result = run_gen(bed, ops())
+    assert result["chunk"] > 0
+    assert service.active_clients() == 1
+
+
+def test_media_unknown_client_leave_is_noop():
+    bed = build_cluster(1, instance_type="m1.small")
+    service = build_media_service(bed)
+    service.client_left(99)  # never joined
+    assert service.active_clients() == 0

@@ -1,0 +1,94 @@
+"""Tests for the B+ tree application (Table 1)."""
+
+import pytest
+
+from repro.actors import Client
+from repro.apps.btree import (BTREE_POLICY, BPlusTree, InnerNode, LeafNode,
+                              build_btree)
+from repro.bench import build_cluster
+from repro.core import ElasticityManager, EmrConfig, compile_source
+from repro.sim import spawn
+
+
+def run_ops(bed, gen):
+    out = []
+
+    def body():
+        result = yield from gen
+        out.append(result)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=bed.sim.now + 30_000.0)
+    return out[0]
+
+
+def test_put_then_get_roundtrip():
+    bed = build_cluster(4)
+    tree = build_btree(bed, fanout=4, leaf_count=16)
+    client = Client(bed.system)
+
+    def ops():
+        for key in (5, 50_001, 99_999):
+            yield from tree.put(client, key, f"v{key}")
+        values = []
+        for key in (5, 50_001, 99_999, 12_345):
+            (value, _lat) = yield from tree.get(client, key)
+        return True
+
+    run_ops(bed, ops())
+    # Verify through direct state: each key landed on exactly one leaf.
+    stored = {}
+    for leaf in tree.leaves:
+        stored.update(bed.system.actor_instance(leaf).data)
+    assert stored == {5: "v5", 50_001: "v50001", 99_999: "v99999"}
+
+
+def test_keys_route_to_correct_leaf_ranges():
+    bed = build_cluster(2)
+    tree = build_btree(bed, fanout=4, leaf_count=8, key_space=800)
+    client = Client(bed.system)
+
+    def ops():
+        for key in range(0, 800, 100):
+            yield from tree.put(client, key, key)
+        return True
+
+    run_ops(bed, ops())
+    # leaf i owns [i*100, (i+1)*100)
+    for index, leaf in enumerate(tree.leaves):
+        data = bed.system.actor_instance(leaf).data
+        assert set(data) == {index * 100}
+
+
+def test_tree_structure_levels():
+    bed = build_cluster(2)
+    tree = build_btree(bed, fanout=4, leaf_count=16)
+    assert len(tree.inner_levels[0]) == 4   # 16 leaves / fanout 4
+    assert len(tree.inner_levels[-1]) == 1  # the root
+    root = bed.system.actor_instance(tree.root)
+    assert not root.children_are_leaves
+    assert len(root.children) == 4
+
+
+def test_policy_compiles_two_rules():
+    compiled = compile_source(BTREE_POLICY, [InnerNode, LeafNode])
+    assert compiled.rule_count() == 2
+    assert len(compiled.actor_rules) == 2   # colocate + separate
+
+
+def test_rules_colocate_inner_nodes_and_spread_leaves():
+    bed = build_cluster(4)
+    tree = build_btree(bed, fanout=4, leaf_count=8)
+    policy = compile_source(BTREE_POLICY, [InnerNode, LeafNode])
+    manager = ElasticityManager(bed.system, policy, EmrConfig(
+        period_ms=4_000.0, gem_wait_ms=300.0))
+    manager.start()
+    bed.run(until_ms=20_000.0)
+    # Parent/child inner nodes share a server.
+    root_home = bed.system.server_of(tree.root)
+    for child in bed.system.actor_instance(tree.root).children:
+        assert bed.system.server_of(child) is root_home
+    # Leaves do not crowd the inner-node server.
+    leaf_homes = {bed.system.server_of(leaf).server_id
+                  for leaf in tree.leaves}
+    assert len(leaf_homes) >= 2

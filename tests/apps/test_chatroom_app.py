@@ -1,0 +1,35 @@
+"""Tests for the chat room microbenchmark (Table 3 substrate)."""
+
+import pytest
+
+from repro.apps.chatroom import run_chatroom
+
+
+def test_messages_flow_and_latency_positive():
+    result = run_chatroom(users=4, duration_ms=5_000.0, think_ms=50.0)
+    assert result.messages_sent > 10
+    assert result.mean_latency_ms > 0
+    assert not result.profiled
+
+
+def test_profiling_overhead_is_small():
+    base = run_chatroom(users=8, duration_ms=10_000.0, profiled=False)
+    prof = run_chatroom(users=8, duration_ms=10_000.0, profiled=True,
+                        profiling_overhead_cpu_ms=0.01)
+    ratio = prof.mean_latency_ms / base.mean_latency_ms
+    # Table 3: overhead stays within a few percent even under pressure.
+    assert ratio < 1.1
+    assert ratio >= 0.99
+
+
+def test_profiled_run_sends_comparable_volume():
+    base = run_chatroom(users=8, duration_ms=10_000.0, profiled=False)
+    prof = run_chatroom(users=8, duration_ms=10_000.0, profiled=True)
+    assert prof.messages_sent == pytest.approx(base.messages_sent,
+                                               rel=0.05)
+
+
+def test_more_users_mean_more_fanout_load():
+    small = run_chatroom(users=4, duration_ms=5_000.0)
+    large = run_chatroom(users=12, duration_ms=5_000.0)
+    assert large.mean_latency_ms >= small.mean_latency_ms

@@ -1,0 +1,64 @@
+"""Tests for the E-Store application (Fig. 9 substrate)."""
+
+import pytest
+
+from repro.actors import Client
+from repro.apps.estore import (ESTORE_POLICY, Partition, build_estore,
+                               run_estore_experiment)
+from repro.bench import build_cluster
+from repro.core.epl import compile_source
+from repro.sim import spawn
+
+
+def test_read_descends_to_one_child():
+    bed = build_cluster(2, instance_type="m1.small")
+    setup = build_estore(bed, num_roots=2, children_per_root=3)
+    client = Client(bed.system)
+    rows = []
+
+    def body():
+        row = yield client.call(setup.roots[0], "read", 7)
+        rows.append(row)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=5_000.0)
+    assert rows == [{"key": 7, "value": 7 * 31}]
+    root = bed.system.actor_instance(setup.roots[0])
+    assert root.reads == 1
+    child = bed.system.actor_instance(setup.children[0][7 % 3])
+    assert child.reads == 1
+
+
+def test_children_start_colocated_with_root():
+    bed = build_cluster(4, instance_type="m1.small")
+    setup = build_estore(bed, num_roots=8, children_per_root=4)
+    for root, kids in zip(setup.roots, setup.children):
+        home = bed.system.server_of(root)
+        assert all(bed.system.server_of(kid) is home for kid in kids)
+
+
+def test_home_servers_limit_respected():
+    bed = build_cluster(5, instance_type="m1.small")
+    setup = build_estore(bed, num_roots=8, num_home_servers=4)
+    extra = bed.servers[4]
+    assert not bed.system.actors_on(extra)
+
+
+def test_policy_splits_into_three_rules():
+    compiled = compile_source(ESTORE_POLICY, [Partition])
+    assert compiled.rule_count() == 3
+    assert len(compiled.resource_rules) == 2  # reserve + balance
+    assert len(compiled.actor_rules) == 1     # parent-child colocate
+
+
+def test_plasma_experiment_improves_latency():
+    result = run_estore_experiment(
+        "plasma", num_clients=24, duration_ms=100_000.0,
+        period_ms=25_000.0)
+    assert result.migrations >= 1
+    assert result.mean_after_ms < result.mean_before_ms * 1.05
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        run_estore_experiment("surprise")

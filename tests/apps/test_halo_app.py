@@ -1,0 +1,89 @@
+"""Tests for the Halo Presence Service (Fig. 11 substrate)."""
+
+import pytest
+
+from repro.actors import Client
+from repro.apps.halo import (HALO_INTERACTION_POLICY, Player, Router,
+                             Session, build_halo,
+                             run_halo_gem_experiment,
+                             run_halo_interaction_experiment)
+from repro.bench import build_cluster
+from repro.core import ElasticityManager, EmrConfig, compile_source
+from repro.sim import spawn
+
+
+def test_heartbeat_path_router_session_player():
+    bed = build_cluster(2, instance_type="m1.small")
+    deployment = build_halo(bed, num_routers=1, num_sessions=1)
+    session = deployment.sessions[0]
+    player = bed.system.create_actor(Player)
+    bed.system.actor_instance(session).players.append(player)
+    client = Client(bed.system)
+    acks = []
+
+    def body():
+        ack = yield client.call(deployment.routers[0], "route",
+                                session, player)
+        acks.append(ack)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=5_000.0)
+    assert acks == [True]
+    assert bed.system.actor_instance(session).heartbeats == 1
+    assert bed.system.actor_instance(player).beats == 1
+
+
+def test_interaction_rule_pins_session_and_colocates_player():
+    bed = build_cluster(4, instance_type="m1.small")
+    deployment = build_halo(bed, num_routers=2, num_sessions=2)
+    policy = compile_source(HALO_INTERACTION_POLICY,
+                            [Router, Session, Player])
+    manager = ElasticityManager(bed.system, policy, EmrConfig(
+        period_ms=5_000.0, gem_wait_ms=300.0))
+    manager.start()
+    session = deployment.sessions[0]
+    # Created with the rule-aware placement hint, as the app does.
+    player = bed.system.create_actor(Player, related=session)
+    bed.system.actor_instance(session).players.append(player)
+    assert bed.system.server_of(player) is bed.system.server_of(session)
+    bed.run(until_ms=12_000.0)
+    assert bed.system.directory.lookup(session.actor_id).pinned
+
+
+def test_interaction_experiment_beats_default_rule():
+    common = dict(num_clients=12, rounds=2, round_ms=30_000.0,
+                  period_ms=10_000.0, heartbeat_ms=200.0)
+    inter = run_halo_interaction_experiment("inter-rule", **common)
+    default = run_halo_interaction_experiment("def-rule", **common)
+    assert inter.mean_latency_ms < default.mean_latency_ms
+    assert inter.migrations == 0  # placement was right from the start
+
+
+def test_gem_experiment_spreads_routers():
+    result = run_halo_gem_experiment(
+        gem_count=1, num_servers=16, num_sessions=16, num_routers=8,
+        num_clients=24, period_ms=15_000.0, duration_ms=120_000.0,
+        router_cpu_ms=8.0, heartbeat_ms=50.0, routers_on_first=2)
+    assert result.migrations >= 1
+    assert result.settle_latency_ms > 0
+    # Latency settles below the initial congested level.
+    early = [lat for t, lat in result.curve if t < 30_000.0]
+    assert result.settle_latency_ms <= sum(early) / len(early)
+
+
+def test_gem_count_variants_all_work():
+    settles = {}
+    for gems in (1, 2):
+        result = run_halo_gem_experiment(
+            gem_count=gems, num_servers=8, num_sessions=8,
+            num_routers=4, num_clients=12, period_ms=15_000.0,
+            duration_ms=90_000.0, router_cpu_ms=8.0, heartbeat_ms=50.0,
+            routers_on_first=1)
+        settles[gems] = result.settle_latency_ms
+    # Using more GEMs has only a modest impact (paper Fig. 11c).
+    assert settles[2] < settles[1] * 2.0
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        run_halo_interaction_experiment("nope")

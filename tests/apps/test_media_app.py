@@ -1,0 +1,102 @@
+"""Tests for the Media Service application (Fig. 10 substrate)."""
+
+import pytest
+
+from repro.actors import Client
+from repro.apps.media import (MEDIA_ACTOR_CLASSES, MEDIA_POLICY,
+                              MediaService, build_media_service,
+                              run_media_experiment)
+from repro.bench import build_cluster
+from repro.core.epl import compile_source
+from repro.sim import spawn
+
+
+def test_eight_actor_types():
+    assert len(MEDIA_ACTOR_CLASSES) == 8
+    names = {cls.__name__ for cls in MEDIA_ACTOR_CLASSES}
+    assert {"FrontEnd", "VideoStream", "UserInfo", "MovieReview",
+            "ReviewEditor", "UserReview", "ReviewChecker",
+            "MovieInfo"} == names
+
+
+def test_policy_has_six_rules_as_in_table1():
+    compiled = compile_source(MEDIA_POLICY, MEDIA_ACTOR_CLASSES)
+    assert compiled.rule_count() == 6
+
+
+def test_clients_share_actors_in_pairs():
+    bed = build_cluster(2, instance_type="m1.small")
+    service = build_media_service(bed)
+    a = service.client_joined(0)
+    b = service.client_joined(1)
+    c = service.client_joined(2)
+    # Clients 0 and 1 share; client 2 starts a new pool.
+    assert a.frontend == b.frontend
+    assert a.stream == b.stream
+    assert c.frontend != a.frontend
+    # Per-client actors are private.
+    assert len({a.user_info, b.user_info, c.user_info}) == 3
+
+
+def test_client_departure_frees_actors():
+    bed = build_cluster(2, instance_type="m1.small")
+    service = build_media_service(bed)
+    a = service.client_joined(0)
+    b = service.client_joined(1)
+    before = bed.system.directory.count()
+    service.client_left(0)
+    # Only client 0's private actors go; shared ones remain for client 1.
+    assert bed.system.directory.count() == before - 2
+    service.client_left(1)
+    assert bed.system.directory.count() == before - 2 - 2 - 3
+    assert service.active_clients() == 0
+
+
+def test_watch_and_review_flows():
+    bed = build_cluster(2, instance_type="m1.small")
+    service = build_media_service(bed)
+    actors = service.client_joined(0)
+    client = Client(bed.system)
+    outputs = []
+
+    def body():
+        watched = yield client.call(actors.frontend, "watch",
+                                    actors.stream, actors.user_info, 3)
+        reviewed = yield client.call(actors.frontend, "review",
+                                     actors.editor, actors.user_review,
+                                     3, 400)
+        outputs.append((watched, reviewed))
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=10_000.0)
+    watched, reviewed = outputs[0]
+    assert watched["info"]["movie"] == 3
+    assert reviewed is True
+    stream = bed.system.actor_instance(actors.stream)
+    assert stream.chunks_streamed == 1
+    user_review = bed.system.actor_instance(actors.user_review)
+    assert user_review.reviews == [(3, 400)]
+
+
+def test_movie_review_actors_get_pinned_by_rule():
+    bed = build_cluster(2, instance_type="m1.small")
+    from repro.core import ElasticityManager, EmrConfig
+    service = build_media_service(bed)
+    policy = compile_source(MEDIA_POLICY, MEDIA_ACTOR_CLASSES)
+    manager = ElasticityManager(bed.system, policy, EmrConfig(
+        period_ms=4_000.0, gem_wait_ms=300.0))
+    manager.start()
+    bed.run(until_ms=10_000.0)
+    for genre in service.genres:
+        assert bed.system.directory.lookup(genre.actor_id).pinned
+
+
+def test_small_wave_experiment_tracks_clients():
+    result = run_media_experiment(
+        period_ms=20_000.0, num_clients=16, initial_servers=2,
+        max_servers=8, join_mean_ms=20_000.0, leave_mean_ms=100_000.0,
+        sigma_ms=10_000.0, duration_ms=150_000.0, think_ms=200.0)
+    peaks = max(v for _t, v in result.client_curve)
+    assert peaks >= 12                      # most clients were active
+    assert result.client_curve[-1][1] <= 2  # and left by the end
+    assert result.mean_latency_ms > 0

@@ -1,0 +1,60 @@
+"""Tests for the Metadata Server application (Fig. 5 substrate)."""
+
+import pytest
+
+from repro.actors import Client
+from repro.apps.metadata import (METADATA_POLICY, File, Folder,
+                                 build_metadata_server,
+                                 run_metadata_experiment)
+from repro.bench import build_cluster
+from repro.core.epl import compile_source
+from repro.sim import spawn
+
+
+def test_open_reads_folder_then_file():
+    bed = build_cluster(1, instance_type="m1.small")
+    setup = build_metadata_server(bed, num_folders=2, files_per_folder=2)
+    client = Client(bed.system)
+    results = []
+
+    def body():
+        meta = yield client.call(setup.folders[0], "open", 1)
+        results.append(meta)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=10_000.0)
+    assert results == [{"size": 4096}]
+    folder = bed.system.actor_instance(setup.folders[0])
+    assert folder.opens == 1
+    file_instance = bed.system.actor_instance(setup.files[0][1])
+    assert file_instance.reads == 1
+
+
+def test_policy_compiles_with_one_rule():
+    compiled = compile_source(METADATA_POLICY, [Folder, File])
+    assert compiled.rule_count() == 1
+    assert len(compiled.actor_rules) == 1    # the colocate part
+    assert len(compiled.resource_rules) == 1  # the reserve part
+
+
+def test_rule_moves_hot_folder_with_its_files():
+    result = run_metadata_experiment(
+        "res-col-rule", num_clients=8, duration_ms=70_000.0,
+        period_ms=20_000.0)
+    # The hot folder (reserve) plus its 8 files (colocate).
+    assert result.migrations == 9
+    assert result.mean_after_ms < result.mean_before_ms
+
+
+def test_no_rule_setup_never_migrates():
+    result = run_metadata_experiment(
+        "no-rule", num_clients=8, duration_ms=50_000.0,
+        period_ms=20_000.0)
+    assert result.migrations == 0
+    assert result.mean_after_ms == pytest.approx(result.mean_before_ms,
+                                                 rel=0.15)
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        run_metadata_experiment("bogus")

@@ -1,0 +1,122 @@
+"""Tests for Piccolo, zExpander, and Cassandra applications (Table 1)."""
+
+import pytest
+
+from repro.actors import Client
+from repro.apps.cassandra import (CASSANDRA_POLICY, Replica,
+                                  build_cassandra, replica_spread)
+from repro.apps.piccolo import (PICCOLO_POLICY, PiccoloWorker, Table,
+                                build_piccolo, run_piccolo_rounds)
+from repro.apps.zexpander import (ZEXPANDER_POLICY, CacheLeaf, IndexNode,
+                                  build_zexpander)
+from repro.bench import build_cluster
+from repro.core import ElasticityManager, EmrConfig, compile_source
+from repro.sim import spawn
+
+
+# -- Piccolo ------------------------------------------------------------------
+
+def test_piccolo_rounds_accumulate_into_tables():
+    bed = build_cluster(2)
+    job = build_piccolo(bed, num_workers=4, keys_per_partition=16)
+    times = run_piccolo_rounds(job, rounds=3)
+    assert len(times) == 3
+    for table in job.tables:
+        store = bed.system.actor_instance(table).store
+        # Deltas compound: +1, +2, +4 over three rounds.
+        assert store[0] == 1.0 + 2.0 + 4.0
+
+
+def test_piccolo_policy_and_colocation():
+    compiled = compile_source(PICCOLO_POLICY, [PiccoloWorker, Table])
+    assert compiled.rule_count() == 2
+    bed = build_cluster(3)
+    job = build_piccolo(bed, num_workers=3)
+    # Workers start away from their tables by construction.
+    assert any(bed.system.server_of(w) is not bed.system.server_of(t)
+               for w, t in zip(job.workers, job.tables))
+    manager = ElasticityManager(bed.system, compiled, EmrConfig(
+        period_ms=4_000.0, gem_wait_ms=300.0))
+    manager.start()
+    bed.run(until_ms=15_000.0)
+    for worker, table in zip(job.workers, job.tables):
+        assert bed.system.server_of(worker) is bed.system.server_of(table)
+
+
+def test_piccolo_work_scales_skew_compute():
+    bed = build_cluster(2)
+    job = build_piccolo(bed, num_workers=2,
+                        work_scales=[1.0, 5.0])
+    heavy = bed.system.actor_instance(job.workers[1])
+    assert heavy.work_scale == 5.0
+
+
+# -- zExpander ------------------------------------------------------------------
+
+def test_zexpander_hot_and_cold_paths():
+    bed = build_cluster(2)
+    cache = build_zexpander(bed, num_leaves=2)
+    client = Client(bed.system)
+    results = []
+
+    def body():
+        yield client.call(cache.index, "put", 1, "hot-value", True)
+        yield client.call(cache.index, "put", 42, "cold-value")
+        hot = yield client.call(cache.index, "get", 1)
+        cold = yield client.call(cache.index, "get", 42)
+        miss = yield client.call(cache.index, "get", 777)
+        results.append((hot, cold, miss))
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=10_000.0)
+    assert results == [("hot-value", "cold-value", None)]
+    index = bed.system.actor_instance(cache.index)
+    assert index.hot_hits == 1
+    assert index.cold_reads == 2
+
+
+def test_zexpander_reserve_rule_moves_leaves_off_crowded_server():
+    bed = build_cluster(3, instance_type="m1.small")
+    cache = build_zexpander(bed, num_leaves=5)
+    # 5 leaves x 256 MB + 32 MB index on one 1.7 GB m1.small: mem > 70%.
+    compiled = compile_source(ZEXPANDER_POLICY, [IndexNode, CacheLeaf])
+    manager = ElasticityManager(bed.system, compiled, EmrConfig(
+        period_ms=4_000.0, gem_wait_ms=300.0))
+    manager.start()
+    bed.run(until_ms=20_000.0)
+    assert manager.migrations_total() >= 1
+    homes = {bed.system.server_of(leaf).server_id
+             for leaf in cache.leaves}
+    assert len(homes) >= 2
+
+
+# -- Cassandra ---------------------------------------------------------------------
+
+def test_cassandra_write_replicates_to_peers():
+    bed = build_cluster(3)
+    table = build_cassandra(bed, num_shards=1, replication_factor=3)
+    group = table.shards[0]
+    client = Client(bed.system)
+
+    def body():
+        yield client.call(group[0], "write", 9, "value")
+        yield from client.timed_call(group[0], "read", 9)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=10_000.0)
+    for replica in group:
+        assert bed.system.actor_instance(replica).store.get(9) == "value"
+
+
+def test_cassandra_separate_rule_spreads_replicas():
+    bed = build_cluster(3)
+    table = build_cassandra(bed, num_shards=2, replication_factor=3,
+                            all_on_first=True)
+    assert replica_spread(table) == {0: 1, 1: 1}  # worst case to start
+    compiled = compile_source(CASSANDRA_POLICY, [Replica])
+    manager = ElasticityManager(bed.system, compiled, EmrConfig(
+        period_ms=4_000.0, gem_wait_ms=300.0))
+    manager.start()
+    bed.run(until_ms=40_000.0)
+    spread = replica_spread(table)
+    assert all(count >= 2 for count in spread.values())

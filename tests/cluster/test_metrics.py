@@ -1,0 +1,78 @@
+"""Unit tests for windowed meters and gauge series."""
+
+import pytest
+
+from repro.cluster import GaugeSeries, WindowedMeter
+from repro.sim import Simulator
+
+
+def advance(sim, to):
+    sim.schedule_at(to, lambda: None)
+    sim.run()
+
+
+def test_total_within_window():
+    sim = Simulator()
+    meter = WindowedMeter(sim, bucket_ms=100.0)
+    meter.add(5.0)
+    advance(sim, 50.0)
+    meter.add(7.0)
+    assert meter.total(1_000.0) == 12.0
+
+
+def test_old_entries_fall_out_of_window():
+    sim = Simulator()
+    meter = WindowedMeter(sim, bucket_ms=100.0)
+    meter.add(5.0)
+    advance(sim, 5_000.0)
+    meter.add(2.0)
+    assert meter.total(1_000.0) == 2.0
+    assert meter.lifetime_total == 7.0
+
+
+def test_rate_clamps_to_elapsed_time():
+    sim = Simulator()
+    meter = WindowedMeter(sim, bucket_ms=100.0)
+    advance(sim, 200.0)
+    meter.add(100.0)
+    # Only 200 ms elapsed; the 60 s window must not dilute the rate.
+    assert meter.rate_per_ms(60_000.0) == pytest.approx(0.5)
+
+
+def test_bucket_eviction_bounds_memory():
+    sim = Simulator()
+    meter = WindowedMeter(sim, bucket_ms=10.0, keep_buckets=5)
+    for step in range(50):
+        advance(sim, (step + 1) * 10.0)
+        meter.add(1.0)
+    assert len(meter._buckets) <= 5
+    assert meter.lifetime_total == 50.0
+
+
+def test_invalid_bucket_size_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        WindowedMeter(sim, bucket_ms=0.0)
+
+
+def test_gauge_series_statistics():
+    series = GaugeSeries("x")
+    for t, v in [(0.0, 1.0), (10.0, 3.0), (20.0, 5.0)]:
+        series.record(t, v)
+    assert series.last() == 5.0
+    assert series.mean() == 3.0
+    assert series.mean_between(5.0, 25.0) == 4.0
+    assert series.values() == [1.0, 3.0, 5.0]
+    assert series.times() == [0.0, 10.0, 20.0]
+    assert len(series) == 3
+
+
+def test_gauge_series_empty_raises():
+    series = GaugeSeries("empty")
+    with pytest.raises(ValueError):
+        series.last()
+    with pytest.raises(ValueError):
+        series.mean()
+    series.record(1.0, 1.0)
+    with pytest.raises(ValueError):
+        series.mean_between(100.0, 200.0)

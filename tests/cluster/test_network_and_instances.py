@@ -1,0 +1,77 @@
+"""Unit tests for the network fabric and the instance-type catalog."""
+
+import pytest
+
+from repro.cluster import (INSTANCE_TYPES, NetworkFabric, Server,
+                           instance_type)
+from repro.sim import Simulator
+
+
+def test_catalog_contains_paper_types():
+    for name in ("m1.small", "m1.medium", "m5.large"):
+        itype = instance_type(name)
+        assert itype.vcpus >= 1
+        assert itype.memory_mb > 0
+
+
+def test_unknown_type_raises_with_suggestions():
+    with pytest.raises(KeyError) as excinfo:
+        instance_type("t2.nano")
+    assert "m5.large" in str(excinfo.value)
+
+
+def test_relative_capacities_match_paper():
+    small = instance_type("m1.small")
+    medium = instance_type("m1.medium")
+    large = instance_type("m5.large")
+    assert small.cpu_capacity_ms_per_ms() < medium.cpu_capacity_ms_per_ms()
+    assert large.vcpus == 2
+    assert large.net_mbps == 10_000.0
+
+
+def test_local_delivery_is_cheap_and_unmetered():
+    sim = Simulator()
+    fabric = NetworkFabric(sim)
+    server = Server(sim, instance_type("m5.large"))
+    delay = fabric.delivery_delay(server, server, 1_000_000.0)
+    assert delay == fabric.local_latency_ms
+    assert server.net_meter.lifetime_total == 0.0
+
+
+def test_remote_delivery_pays_rtt_and_serialization():
+    sim = Simulator()
+    fabric = NetworkFabric(sim, remote_rtt_ms=2.0)
+    a = Server(sim, instance_type("m5.large"))
+    b = Server(sim, instance_type("m5.large"))
+    size = 1_250_000.0  # 1 ms at 10 Gbps
+    delay = fabric.delivery_delay(a, b, size)
+    assert delay == pytest.approx(1.0 + 1.0)  # rtt/2 + serialization
+    assert a.net_meter.lifetime_total == size
+    assert b.net_meter.lifetime_total == size
+
+
+def test_remote_delivery_limited_by_slower_nic():
+    sim = Simulator()
+    fabric = NetworkFabric(sim, remote_rtt_ms=0.0)
+    fast = Server(sim, instance_type("m5.large"))
+    slow = Server(sim, instance_type("m1.small"))
+    size = slow.itype.net_bytes_per_ms() * 10.0
+    assert fabric.delivery_delay(fast, slow, size) == pytest.approx(10.0)
+
+
+def test_client_delivery_charges_only_the_server():
+    sim = Simulator()
+    fabric = NetworkFabric(sim)
+    server = Server(sim, instance_type("m5.large"))
+    fabric.delivery_delay(None, server, 1_000.0)
+    assert server.net_meter.lifetime_total == 1_000.0
+
+
+def test_bulk_transfer_pays_full_rtt():
+    sim = Simulator()
+    fabric = NetworkFabric(sim, remote_rtt_ms=2.0)
+    a = Server(sim, instance_type("m5.large"))
+    b = Server(sim, instance_type("m5.large"))
+    size = 1_250_000.0
+    assert fabric.transfer_delay(a, b, size) == pytest.approx(2.0 + 1.0)
+    assert fabric.transfer_delay(a, a, size) == fabric.local_latency_ms

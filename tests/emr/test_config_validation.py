@@ -1,0 +1,36 @@
+"""Tests for EmrConfig validation."""
+
+import pytest
+
+from repro.core import EmrConfig
+
+
+def test_defaults_are_valid():
+    config = EmrConfig()
+    assert config.period_ms == 60_000.0
+    assert config.stability_window_ms() == config.period_ms
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"period_ms": 0.0},
+    {"period_ms": -5.0},
+    {"gem_count": 0},
+    {"stability_ms": -1.0},
+    {"gem_wait_ms": -1.0},
+    {"gem_reply_timeout_ms": 0.0},
+    {"gem_wait_ms": 5_000.0, "gem_reply_timeout_ms": 4_000.0},
+    {"max_moves_per_server": 0},
+    {"admission_upper": 0.0},
+    {"admission_upper": 150.0},
+    {"min_servers": -1},
+    {"max_scale_out_per_period": 0},
+])
+def test_invalid_configurations_rejected(kwargs):
+    with pytest.raises(ValueError):
+        EmrConfig(**kwargs)
+
+
+def test_explicit_stability_zero_allowed():
+    # Zero stability means "no window" — used by the ablation.
+    config = EmrConfig(stability_ms=0.0)
+    assert config.stability_window_ms() == 0.0

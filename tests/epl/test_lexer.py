@@ -1,0 +1,75 @@
+"""Unit tests for the EPL tokenizer."""
+
+import pytest
+
+from repro.core.epl import EplSyntaxError, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source) if token.kind != "EOF"]
+
+
+def test_simple_rule_tokens():
+    tokens = tokenize("server.cpu.perc > 80 => balance({W}, cpu);")
+    assert [t.kind for t in tokens] == [
+        "IDENT", "DOT", "IDENT", "DOT", "IDENT", "COMP", "NUMBER",
+        "ARROW", "IDENT", "LPAREN", "LBRACE", "IDENT", "RBRACE",
+        "COMMA", "IDENT", "RPAREN", "SEMI", "EOF"]
+
+
+def test_all_comparison_operators():
+    assert texts("< > <= >=") == ["<", ">", "<=", ">="]
+    assert kinds("< > <= >=")[:-1] == ["COMP"] * 4
+
+
+def test_arrow_not_confused_with_comparison():
+    tokens = tokenize("=>")
+    assert tokens[0].kind == "ARROW"
+
+
+def test_numbers_integer_and_decimal():
+    tokens = tokenize("80 3.5 0.25")
+    values = [t.text for t in tokens if t.kind == "NUMBER"]
+    assert values == ["80", "3.5", "0.25"]
+
+
+def test_malformed_number_rejected():
+    with pytest.raises(EplSyntaxError):
+        tokenize("1.2.3")
+
+
+def test_comments_are_skipped():
+    source = """
+    # a hash comment
+    server.cpu.perc > 80 // trailing comment
+    => pin(A);
+    """
+    assert "pin" in texts(source)
+    assert "#" not in texts(source)
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  bb")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_identifiers_with_underscores_and_digits():
+    assert texts("my_var2 _x") == ["my_var2", "_x"]
+
+
+def test_unexpected_character_reports_location():
+    with pytest.raises(EplSyntaxError) as excinfo:
+        tokenize("a @ b")
+    assert excinfo.value.line == 1
+    assert excinfo.value.column == 3
+
+
+def test_empty_source_has_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == "EOF"

@@ -1,0 +1,145 @@
+"""Unit tests for the EPL parser."""
+
+import pytest
+
+from repro.core.epl import (ActorPattern, AndCond, Balance, CallFeature,
+                            Colocate, CompareCond, EplSyntaxError, OrCond,
+                            Pin, RefCond, Reserve, ResourceFeature,
+                            Separate, TrueCond, parse_policy)
+
+
+def only_rule(source):
+    policy = parse_policy(source)
+    assert len(policy) == 1
+    return policy.rules[0]
+
+
+def test_balance_rule():
+    rule = only_rule(
+        "server.cpu.perc > 80 or server.cpu.perc < 60 "
+        "=> balance({Worker}, cpu);")
+    assert isinstance(rule.condition, OrCond)
+    behavior = rule.behaviors[0]
+    assert isinstance(behavior, Balance)
+    assert behavior.actor_types == ("Worker",)
+    assert behavior.resource == "cpu"
+
+
+def test_balance_multiple_types():
+    rule = only_rule("true => balance({A, B, C}, net);")
+    assert rule.behaviors[0].actor_types == ("A", "B", "C")
+
+
+def test_metadata_rule_full_shape():
+    rule = only_rule("""
+        server.cpu.perc > 80 and
+        client.call(Folder(fo).open).perc > 40 and
+        File(fi) in ref(fo.files) =>
+            reserve(fo, cpu); colocate(fo, fi);
+    """)
+    # condition: ((server and call) and ref)
+    assert isinstance(rule.condition, AndCond)
+    ref_cond = rule.condition.right
+    assert isinstance(ref_cond, RefCond)
+    assert ref_cond.member == ActorPattern("File", "fi")
+    assert ref_cond.container == ActorPattern("fo", None)
+    assert ref_cond.property_name == "files"
+    assert isinstance(rule.behaviors[0], Reserve)
+    assert isinstance(rule.behaviors[1], Colocate)
+
+
+def test_client_call_feature():
+    rule = only_rule("client.call(Folder(f).open).perc > 40 => pin(f);")
+    cond = rule.condition
+    assert isinstance(cond, CompareCond)
+    feature = cond.feature
+    assert isinstance(feature, CallFeature)
+    assert feature.is_client()
+    assert feature.callee == ActorPattern("Folder", "f")
+    assert feature.function == "open"
+    assert feature.stat == "perc"
+
+
+def test_actor_caller_call_feature():
+    rule = only_rule(
+        "VideoStream(v).call(UserInfo(u).track).count > 0 "
+        "=> pin(v); colocate(v, u);")
+    feature = rule.condition.feature
+    assert isinstance(feature, CallFeature)
+    assert feature.caller == ActorPattern("VideoStream", "v")
+    assert feature.callee == ActorPattern("UserInfo", "u")
+    assert feature.stat == "count"
+    assert isinstance(rule.behaviors[0], Pin)
+    assert isinstance(rule.behaviors[1], Colocate)
+
+
+def test_actor_resource_feature():
+    rule = only_rule("Partition(p).cpu.perc > 30 => reserve(p, cpu);")
+    feature = rule.condition.feature
+    assert isinstance(feature, ResourceFeature)
+    assert feature.entity == ActorPattern("Partition", "p")
+    assert feature.resource == "cpu"
+
+
+def test_true_condition_and_pin():
+    rule = only_rule("true => pin(MovieReview(m));")
+    assert isinstance(rule.condition, TrueCond)
+    assert rule.behaviors[0].target == ActorPattern("MovieReview", "m")
+
+
+def test_separate_behavior():
+    rule = only_rule("true => separate(A(x), B(y));")
+    behavior = rule.behaviors[0]
+    assert isinstance(behavior, Separate)
+    assert behavior.first == ActorPattern("A", "x")
+    assert behavior.second == ActorPattern("B", "y")
+
+
+def test_multiple_rules_parse():
+    policy = parse_policy("""
+        true => pin(A(a));
+        server.cpu.perc > 90 => balance({B}, cpu);
+    """)
+    assert len(policy) == 2
+    assert policy.rules[0].line < policy.rules[1].line
+
+
+def test_parenthesized_condition():
+    rule = only_rule(
+        "(server.cpu.perc > 80 or server.cpu.perc < 60) and true "
+        "=> balance({W}, mem);")
+    assert isinstance(rule.condition, AndCond)
+    assert isinstance(rule.condition.left, OrCond)
+
+
+def test_precedence_and_binds_tighter_than_or():
+    rule = only_rule(
+        "true or true and server.net.perc > 50 => pin(A(a));")
+    assert isinstance(rule.condition, OrCond)
+    assert isinstance(rule.condition.right, AndCond)
+
+
+def test_decimal_bound():
+    rule = only_rule("server.mem.perc > 0.5 => balance({A}, mem);")
+    assert rule.condition.value == 0.5
+
+
+@pytest.mark.parametrize("bad", [
+    "server.cpu.perc > 80",                      # missing => and behavior
+    "server.cpu.perc 80 => pin(A(a));",          # missing comparison
+    "server.disk.perc > 1 => pin(A(a));",        # unknown resource
+    "true => hover(A(a));",                      # unknown behavior
+    "true => balance(W, cpu);",                  # missing braces
+    "true => pin(A(a))",                         # missing semicolon
+    "A(x) in ref(y) => pin(x);",                 # ref without property
+    "client.call(A.f).total > 1 => pin(A(a));",  # unknown statistic
+])
+def test_syntax_errors(bad):
+    with pytest.raises(EplSyntaxError):
+        parse_policy(bad)
+
+
+def test_error_reports_line_number():
+    with pytest.raises(EplSyntaxError) as excinfo:
+        parse_policy("true => pin(A(a));\ntrue => bogus(A);")
+    assert excinfo.value.line == 2

@@ -1,0 +1,68 @@
+"""Unit tests for the reference PageRank implementation."""
+
+import random
+
+import pytest
+
+from repro.graphs import (Graph, pagerank, pagerank_delta, powerlaw_graph,
+                          ring_graph)
+
+
+def test_ranks_sum_to_one():
+    graph = powerlaw_graph(200, 3, random.Random(1))
+    ranks = pagerank(graph)
+    assert sum(ranks) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_ring_graph_is_uniform():
+    ranks = pagerank(ring_graph(10))
+    assert all(r == pytest.approx(0.1, abs=1e-9) for r in ranks)
+
+
+def test_dangling_mass_redistributed():
+    # 0 -> 1, 1 dangles: total mass must stay 1.
+    graph = Graph(2, edges=[(0, 1)])
+    ranks = pagerank(graph)
+    assert sum(ranks) == pytest.approx(1.0, abs=1e-9)
+    assert ranks[1] > ranks[0]
+
+
+def test_hub_ranks_higher_than_leaf():
+    # Star: everyone points at node 0.
+    graph = Graph(5, edges=[(i, 0) for i in range(1, 5)])
+    ranks = pagerank(graph)
+    assert ranks[0] > max(ranks[1:]) * 3
+
+
+def test_known_two_node_cycle():
+    graph = Graph(2, edges=[(0, 1), (1, 0)])
+    ranks = pagerank(graph)
+    assert ranks[0] == pytest.approx(0.5, abs=1e-9)
+    assert ranks[1] == pytest.approx(0.5, abs=1e-9)
+
+
+def test_delta_decreases_monotonically_late():
+    graph = powerlaw_graph(100, 3, random.Random(2))
+    rank = [1.0 / 100] * 100
+    deltas = []
+    for _ in range(10):
+        rank, delta = pagerank_delta(graph, rank)
+        deltas.append(delta)
+    assert deltas[-1] < deltas[0]
+
+
+def test_convergence_tolerance_stops_early():
+    graph = ring_graph(10)
+    # Uniform start on a ring is the fixed point: one iteration suffices.
+    ranks = pagerank(graph, iterations=50, tolerance=1e-6)
+    assert all(r == pytest.approx(0.1, abs=1e-9) for r in ranks)
+
+
+def test_empty_graph():
+    assert pagerank(Graph(0)) == []
+
+
+def test_damping_extremes():
+    graph = Graph(3, edges=[(0, 1), (1, 2), (2, 0)])
+    no_damping = pagerank(graph, damping=0.0)
+    assert all(r == pytest.approx(1 / 3, abs=1e-9) for r in no_damping)

@@ -1,0 +1,107 @@
+"""Failure injection: server crashes and runtime resilience."""
+
+import pytest
+
+from repro.actors import Actor, Client
+from repro.bench import build_cluster
+from repro.core import ElasticityManager, EmrConfig, compile_source
+from repro.sim import spawn
+
+
+class Spinner(Actor):
+    def spin(self, cpu_ms):
+        yield self.compute(cpu_ms)
+        return True
+
+
+def test_crash_destroys_actors_and_returns_refs():
+    bed = build_cluster(2)
+    victims = [bed.system.create_actor(Spinner, server=bed.servers[0])
+               for _ in range(3)]
+    survivor = bed.system.create_actor(Spinner, server=bed.servers[1])
+    lost = bed.system.crash_server(bed.servers[0])
+    assert set(lost) == set(victims)
+    assert bed.provisioner.fleet_size() == 1
+    assert bed.system.directory.count() == 1
+    assert bed.system.directory.try_lookup(survivor.actor_id) is not None
+
+
+def test_calls_to_crashed_actors_return_none():
+    bed = build_cluster(2)
+    victim = bed.system.create_actor(Spinner, server=bed.servers[0])
+    bed.system.crash_server(bed.servers[0])
+    client = Client(bed.system)
+    results = []
+
+    def body():
+        value = yield client.call(victim, "spin", 1.0)
+        results.append(value)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=5_000.0)
+    assert results == [None]
+
+
+def test_inflight_callers_are_unblocked_on_crash():
+    bed = build_cluster(2)
+    victim = bed.system.create_actor(Spinner, server=bed.servers[0])
+    client = Client(bed.system)
+    results = []
+
+    def body():
+        value = yield client.call(victim, "spin", 10_000.0)
+        results.append(value)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=100.0)           # handler is now mid-compute
+    bed.system.crash_server(bed.servers[0])
+    bed.run(until_ms=30_000.0)
+    assert results == [None]          # caller not stuck forever
+
+
+def test_emr_survives_server_crash_and_keeps_balancing():
+    bed = build_cluster(3)
+    refs = [bed.system.create_actor(Spinner, server=bed.servers[0])
+            for _ in range(6)]
+    policy = compile_source(
+        "server.cpu.perc > 80 or server.cpu.perc < 60 "
+        "=> balance({Spinner}, cpu);", [Spinner])
+    manager = ElasticityManager(bed.system, policy, EmrConfig(
+        period_ms=5_000.0, gem_wait_ms=300.0, lem_stagger_ms=10.0))
+    manager.start()
+    client = Client(bed.system)
+
+    def loop(ref):
+        while bed.sim.now < 40_000.0:
+            reply = yield client.call(ref, "spin", 40.0)
+            if reply is None:
+                return  # our actor died with its server
+
+    for ref in refs:
+        spawn(bed.sim, loop(ref))
+    bed.run(until_ms=12_000.0)
+    # Crash whichever server currently hosts the fewest of our actors.
+    victim = min(bed.provisioner.servers,
+                 key=lambda s: len(bed.system.actors_on(s)))
+    bed.system.crash_server(victim)
+    bed.run(until_ms=40_000.0)
+    # The manager kept running rounds on the surviving servers.
+    alive_lems = [lem for lem in manager.lems.values()
+                  if lem.server.running]
+    assert all(lem.rounds_run >= 2 for lem in alive_lems)
+    # Surviving actors are spread over the two remaining servers.
+    survivors = [ref for ref in refs
+                 if bed.system.directory.try_lookup(ref.actor_id)]
+    homes = {bed.system.server_of(ref).server_id for ref in survivors}
+    assert homes <= {s.server_id for s in bed.provisioner.servers}
+
+
+def test_migration_toward_crashed_server_is_dropped():
+    bed = build_cluster(2)
+    ref = bed.system.create_actor(Spinner, server=bed.servers[0])
+    target = bed.servers[1]
+    bed.system.crash_server(target)
+    done = bed.system.migrate_actor(ref, target)
+    bed.run(until_ms=1_000.0)
+    assert done.value is False
+    assert bed.system.server_of(ref) is bed.servers[0]

@@ -1,0 +1,35 @@
+"""The shipped examples must run end to end (scaled where needed)."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(path, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example("examples/quickstart.py", monkeypatch, capsys)
+    assert "migrations performed:" in out
+    assert "before:" in out and "after:" in out
+
+
+def test_epl_tour(monkeypatch, capsys):
+    out = run_example("examples/epl_tour.py", monkeypatch, capsys)
+    assert "compiler warnings" in out
+    assert "EplValidationError" in out
+
+
+def test_policy_files_compile(monkeypatch, capsys):
+    from repro.cli import main
+    from repro.apps.halo import Player, Router, Session  # noqa: F401
+    assert main(["compile", "examples/policies/halo.epl",
+                 "--classes", "repro.apps.halo:Player,Session,Router"]) == 0
+    assert main(["compile", "examples/policies/metadata.epl",
+                 "--app", "metadata"]) == 0
+    assert main(["compile", "examples/policies/pagerank.epl",
+                 "--app", "pagerank"]) == 0

@@ -1,0 +1,130 @@
+"""Hypothesis state machine over the actor runtime.
+
+Random sequences of create / migrate / pin / destroy / call operations,
+checking the runtime's structural invariants after every step:
+
+- the directory and the per-server views agree;
+- server memory accounting equals the sum of resident actor footprints;
+- a completed call always reaches the actor wherever it currently lives.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (Bundle, RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+from hypothesis import strategies as st
+
+from repro.actors import Actor, ActorSystem, Client
+from repro.cluster import Provisioner
+from repro.sim import Simulator, spawn
+
+
+class Cell(Actor):
+    state_size_mb = 2.0
+
+    def __init__(self):
+        self.hits = 0
+
+    def poke(self):
+        yield self.compute(0.5)
+        self.hits += 1
+        return self.hits
+
+
+class ActorRuntimeMachine(RuleBasedStateMachine):
+    actors = Bundle("actors")
+
+    @initialize()
+    def setup(self):
+        self.sim = Simulator()
+        self.provisioner = Provisioner(self.sim, default_type="m5.large")
+        for _ in range(3):
+            self.provisioner.boot_server(immediate=True)
+        self.sim.run()
+        self.system = ActorSystem(self.sim, self.provisioner)
+        self.client = Client(self.system)
+        self.alive = {}
+        self.expected_hits = {}
+
+    def _settle(self):
+        self.sim.run(until=self.sim.now + 10_000.0)
+
+    @rule(target=actors, server_index=st.integers(min_value=0, max_value=2))
+    def create(self, server_index):
+        ref = self.system.create_actor(
+            Cell, server=self.provisioner.servers[server_index])
+        self.alive[ref.actor_id] = ref
+        self.expected_hits[ref.actor_id] = 0
+        return ref
+
+    @rule(ref=actors, server_index=st.integers(min_value=0, max_value=2))
+    def migrate(self, ref, server_index):
+        if ref.actor_id not in self.alive:
+            return
+        target = self.provisioner.servers[server_index]
+        record = self.system.directory.lookup(ref.actor_id)
+        was_pinned = record.pinned
+        origin = record.server
+        done = self.system.migrate_actor(ref, target)
+        self._settle()
+        if done.value:
+            assert not was_pinned
+            assert self.system.server_of(ref) is target
+        else:
+            assert was_pinned or origin is target
+
+    @rule(ref=actors)
+    def pin(self, ref):
+        if ref.actor_id in self.alive:
+            self.system.pin(ref, True)
+
+    @rule(ref=actors)
+    def unpin(self, ref):
+        if ref.actor_id in self.alive:
+            self.system.pin(ref, False)
+
+    @rule(ref=actors)
+    def call(self, ref):
+        outcomes = []
+
+        def body():
+            value = yield self.client.call(ref, "poke")
+            outcomes.append(value)
+
+        spawn(self.sim, body())
+        self._settle()
+        assert len(outcomes) == 1
+        if ref.actor_id in self.alive:
+            self.expected_hits[ref.actor_id] += 1
+            assert outcomes[0] == self.expected_hits[ref.actor_id]
+        else:
+            assert outcomes[0] is None
+
+    @rule(ref=actors)
+    def destroy(self, ref):
+        self.system.destroy_actor(ref)
+        self.alive.pop(ref.actor_id, None)
+
+    @invariant()
+    def directory_matches_server_views(self):
+        if not hasattr(self, "system"):
+            return
+        listed = {record.ref.actor_id
+                  for server in self.provisioner.servers
+                  for record in self.system.actors_on(server)}
+        assert listed == set(self.alive)
+        assert self.system.directory.count() == len(self.alive)
+
+    @invariant()
+    def memory_accounting_is_exact(self):
+        if not hasattr(self, "system"):
+            return
+        for server in self.provisioner.servers:
+            expected = sum(record.instance.state_size_mb
+                           for record in self.system.actors_on(server))
+            assert server.memory_used_mb == pytest.approx(expected)
+
+
+TestActorRuntimeMachine = ActorRuntimeMachine.TestCase
+TestActorRuntimeMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None)

@@ -1,0 +1,131 @@
+"""Unit tests for the blocking FIFO queue."""
+
+import pytest
+
+from repro.sim import Queue, Simulator, Timeout, spawn
+
+
+def test_put_then_get_returns_item():
+    sim = Simulator()
+    queue = Queue(sim)
+    queue.put("x")
+    seen = []
+
+    def body():
+        item = yield queue.get()
+        seen.append(item)
+
+    spawn(sim, body())
+    sim.run()
+    assert seen == ["x"]
+
+
+def test_get_blocks_until_put():
+    sim = Simulator()
+    queue = Queue(sim)
+    seen = []
+
+    def consumer():
+        item = yield queue.get()
+        seen.append((sim.now, item))
+
+    spawn(sim, consumer())
+    sim.schedule(9.0, queue.put, "late")
+    sim.run()
+    assert seen == [(9.0, "late")]
+
+
+def test_fifo_order_for_items_and_getters():
+    sim = Simulator()
+    queue = Queue(sim)
+    seen = []
+
+    def consumer(name):
+        item = yield queue.get()
+        seen.append((name, item))
+
+    spawn(sim, consumer("g1"))
+    spawn(sim, consumer("g2"))
+    sim.schedule(1.0, queue.put, "first")
+    sim.schedule(2.0, queue.put, "second")
+    sim.run()
+    assert seen == [("g1", "first"), ("g2", "second")]
+
+
+def test_len_and_get_nowait():
+    sim = Simulator()
+    queue = Queue(sim)
+    queue.put(1)
+    queue.put(2)
+    assert len(queue) == 2
+    assert queue.get_nowait() == 1
+    assert len(queue) == 1
+
+
+def test_get_nowait_empty_raises():
+    sim = Simulator()
+    queue = Queue(sim)
+    with pytest.raises(IndexError):
+        queue.get_nowait()
+
+
+def test_clear_returns_and_drops_items():
+    sim = Simulator()
+    queue = Queue(sim)
+    queue.put("a")
+    queue.put("b")
+    assert queue.clear() == ["a", "b"]
+    assert len(queue) == 0
+
+
+def test_peek_all_does_not_consume():
+    sim = Simulator()
+    queue = Queue(sim)
+    queue.put("a")
+    assert queue.peek_all() == ["a"]
+    assert len(queue) == 1
+
+
+def test_producer_consumer_pipeline():
+    sim = Simulator()
+    queue = Queue(sim)
+    consumed = []
+
+    def producer():
+        for index in range(5):
+            yield Timeout(sim, 2.0)
+            queue.put(index)
+
+    def consumer():
+        for _ in range(5):
+            item = yield queue.get()
+            consumed.append((sim.now, item))
+
+    spawn(sim, producer())
+    spawn(sim, consumer())
+    sim.run()
+    assert consumed == [(2.0, 0), (4.0, 1), (6.0, 2), (8.0, 3), (10.0, 4)]
+
+
+def test_interrupted_getter_loses_no_items():
+    sim = Simulator()
+    queue = Queue(sim)
+    seen = []
+
+    def impatient():
+        try:
+            yield queue.get()
+        except BaseException:
+            pass
+
+    def patient():
+        item = yield queue.get()
+        seen.append(item)
+
+    proc = spawn(sim, impatient())
+    spawn(sim, patient())
+    sim.schedule(1.0, proc.interrupt)
+    sim.schedule(2.0, queue.put, "only")
+    sim.run()
+    # The interrupted getter was unsubscribed; the patient one gets it.
+    assert seen == ["only"]

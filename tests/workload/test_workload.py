@@ -1,0 +1,118 @@
+"""Unit tests for workload distributions, schedules and client loops."""
+
+import random
+
+import pytest
+
+from repro.actors import Actor, ActorSystem, Client
+from repro.cluster import Provisioner
+from repro.sim import Simulator
+from repro.workload import (WeightedChoice, cascade_split, constant_schedule,
+                            hot_one_split, normal_wave_schedule,
+                            round_join_schedule, start_closed_loop,
+                            zipf_weights)
+
+
+def test_hot_one_split_shape():
+    weights = hot_one_split(4, 0.5)
+    assert weights[0] == pytest.approx(0.5)
+    assert weights[1:] == [pytest.approx(0.5 / 3)] * 3
+    assert sum(weights) == pytest.approx(1.0)
+
+
+def test_hot_one_split_validation():
+    with pytest.raises(ValueError):
+        hot_one_split(0, 0.5)
+    with pytest.raises(ValueError):
+        hot_one_split(4, 1.5)
+    assert hot_one_split(1, 0.9) == [1.0]
+
+
+def test_cascade_split_matches_paper_description():
+    weights = cascade_split(40, 0.35)
+    # "The first root partition receives 35% of total requests; the
+    # second receives 35% of the remaining 65%..."
+    assert weights[0] == pytest.approx(0.35)
+    assert weights[1] == pytest.approx(0.65 * 0.35)
+    assert weights[2] == pytest.approx(0.65 * 0.65 * 0.35)
+    assert sum(weights) == pytest.approx(1.0)
+
+
+def test_zipf_weights_normalized_and_decreasing():
+    weights = zipf_weights(10, 1.0)
+    assert sum(weights) == pytest.approx(1.0)
+    assert all(a > b for a, b in zip(weights, weights[1:]))
+
+
+def test_weighted_choice_respects_weights():
+    rng = random.Random(3)
+    picker = WeightedChoice(["hot", "cold"], [0.9, 0.1], rng)
+    picks = [picker.pick() for _ in range(2000)]
+    assert 0.85 < picks.count("hot") / len(picks) < 0.95
+
+
+def test_weighted_choice_validation():
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        WeightedChoice([], [], rng)
+    with pytest.raises(ValueError):
+        WeightedChoice(["a"], [1.0, 2.0], rng)
+    with pytest.raises(ValueError):
+        WeightedChoice(["a"], [-1.0], rng)
+    with pytest.raises(ValueError):
+        WeightedChoice(["a", "b"], [0.0, 0.0], rng)
+
+
+def test_normal_wave_schedule_invariants():
+    rng = random.Random(7)
+    schedule = normal_wave_schedule(64, 120_000.0, 90_000.0,
+                                    1_140_000.0, 90_000.0, rng)
+    assert len(schedule) == 64
+    for join, leave in schedule:
+        assert join >= 0.0
+        assert leave > join
+
+
+def test_round_join_schedule_buckets_clients():
+    rng = random.Random(7)
+    joins = round_join_schedule(32, 4, 180_000.0, rng)
+    assert len(joins) == 32
+    assert joins == sorted(joins)
+    for round_index in range(4):
+        start = round_index * 180_000.0
+        in_round = [j for j in joins if start <= j < start + 180_000.0]
+        assert len(in_round) == 8
+
+
+def test_round_join_uneven_split():
+    joins = round_join_schedule(10, 3, 100.0, random.Random(1))
+    assert len(joins) == 10
+    with pytest.raises(ValueError):
+        round_join_schedule(10, 0, 100.0, random.Random(1))
+
+
+def test_constant_schedule():
+    assert constant_schedule(3) == [0.0, 0.0, 0.0]
+
+
+class Echo(Actor):
+    def ping(self):
+        yield self.compute(0.5)
+        return "pong"
+
+
+def test_closed_loop_driver_records_latencies():
+    sim = Simulator()
+    prov = Provisioner(sim)
+    prov.boot_server(immediate=True)
+    sim.run()
+    system = ActorSystem(sim, prov)
+    ref = system.create_actor(Echo)
+    client = Client(system)
+    start_closed_loop(client, lambda: (ref, "ping", ()),
+                      think_ms=10.0, until_ms=1_000.0,
+                      start_delay_ms=100.0)
+    sim.run(until=1_200.0)
+    assert client.completed > 10
+    # First sample happens after the start delay.
+    assert client.latencies.samples[0][0] >= 100.0
