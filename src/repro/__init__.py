@@ -12,10 +12,13 @@ Quick start::
 See README.md and the examples/ directory.
 """
 
-from .actors import (Actor, ActorRef, ActorSystem, Client, RuntimeHooks,
-                     describe_actor_class)
-from .cluster import (INSTANCE_TYPES, GaugeSeries, InstanceType,
-                      NetworkFabric, Provisioner, Server, instance_type)
+from .actors import (Actor, ActorRef, ActorSystem, Client, DeadLetter,
+                     RuntimeHooks, describe_actor_class)
+from .chaos import (ChaosEngine, CrashServer, DegradeNetwork, FaultPlan,
+                    KillGem, SlowServer)
+from .cluster import (INSTANCE_TYPES, AvailabilityMeter, GaugeSeries,
+                      InstanceType, NetworkFabric, Provisioner, Server,
+                      instance_type)
 from .core import (CompiledPolicy, ElasticityManager, EmrConfig,
                    ProfilingRuntime, compile_policy, compile_source,
                    parse_policy)
@@ -24,10 +27,12 @@ from .sim import RandomStreams, Signal, Simulator, Timeout, spawn
 __version__ = "1.0.0"
 
 __all__ = [
-    "Actor", "ActorRef", "ActorSystem", "Client", "RuntimeHooks",
-    "describe_actor_class",
-    "INSTANCE_TYPES", "GaugeSeries", "InstanceType", "NetworkFabric",
-    "Provisioner", "Server", "instance_type",
+    "Actor", "ActorRef", "ActorSystem", "Client", "DeadLetter",
+    "RuntimeHooks", "describe_actor_class",
+    "ChaosEngine", "CrashServer", "DegradeNetwork", "FaultPlan", "KillGem",
+    "SlowServer",
+    "INSTANCE_TYPES", "AvailabilityMeter", "GaugeSeries", "InstanceType",
+    "NetworkFabric", "Provisioner", "Server", "instance_type",
     "CompiledPolicy", "ElasticityManager", "EmrConfig", "ProfilingRuntime",
     "compile_policy", "compile_source", "parse_policy",
     "RandomStreams", "Signal", "Simulator", "Timeout", "spawn",

@@ -12,7 +12,7 @@ Public surface:
 """
 
 from .actor import ANY_TYPE, Actor, ActorTypeSchema, describe_actor_class
-from .client import Client
+from .client import Client, DeadLetter
 from .directory import ActorRecord, Directory
 from .hooks import RuntimeHooks
 from .message import CLIENT_KIND, Message
@@ -28,6 +28,7 @@ __all__ = [
     "ANY_TYPE",
     "CLIENT_KIND",
     "Client",
+    "DeadLetter",
     "Directory",
     "Message",
     "PlacementPolicy",

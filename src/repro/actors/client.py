@@ -5,31 +5,90 @@ paper runs clients on separate m1.medium instances).  Client calls cross
 the network to the target actor's server and the reply crosses back; the
 client records end-to-end latency samples, which is the quantity most of
 the paper's figures plot.
+
+For runs with fault injection, :meth:`Client.reliable_call` adds a
+request deadline and capped exponential-backoff retry: a reply that does
+not arrive within ``timeout_ms`` (lost to a crashed server or a dropped
+message) is retried up to ``max_retries`` times, and requests that
+exhaust their retries land in :attr:`Client.dead_letters`.  Outcomes can
+be recorded into an :class:`~repro.cluster.AvailabilityMeter` so
+benchmarks report availability under faults.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
-from ..cluster import GaugeSeries
-from ..sim import Signal
+from ..cluster import AvailabilityMeter, GaugeSeries
+from ..sim import Signal, Timeout
 from .refs import ActorRef
 from .system import ActorSystem
 
-__all__ = ["Client"]
+__all__ = ["Client", "DeadLetter"]
+
+#: Sentinel a request's reply signal is triggered with when the client's
+#: deadline fires first.  A genuine (late) reply is then ignored because
+#: signals trigger exactly once.
+_TIMED_OUT = object()
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A request abandoned after exhausting its retries."""
+
+    time_ms: float
+    ref: ActorRef
+    function: str
+    attempts: int
+    last_outcome: str  # "failure" | "timeout"
 
 
 class Client:
-    """An external request source with latency recording."""
+    """An external request source with latency recording.
+
+    Parameters
+    ----------
+    timeout_ms:
+        Default deadline for :meth:`reliable_call`; ``None`` disables
+        timeouts (a lost request then blocks its caller forever, which
+        is also the behavior of plain :meth:`call`).
+    max_retries:
+        Retries after the first attempt of a :meth:`reliable_call`.
+    backoff_base_ms / backoff_cap_ms:
+        First retry delay and its cap; the delay doubles per attempt
+        (capped exponential backoff, no jitter — runs stay deterministic).
+    meter:
+        Optional :class:`AvailabilityMeter` receiving one outcome per
+        attempt (success / failure / timeout).
+    """
 
     def __init__(self, system: ActorSystem, name: str = "client",
-                 request_bytes: float = 512.0) -> None:
+                 request_bytes: float = 512.0,
+                 timeout_ms: Optional[float] = None,
+                 max_retries: int = 0,
+                 backoff_base_ms: float = 100.0,
+                 backoff_cap_ms: float = 5_000.0,
+                 meter: Optional[AvailabilityMeter] = None) -> None:
+        if timeout_ms is not None and timeout_ms <= 0:
+            raise ValueError("timeout_ms must be positive (or None)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if backoff_base_ms <= 0 or backoff_cap_ms < backoff_base_ms:
+            raise ValueError("need 0 < backoff_base_ms <= backoff_cap_ms")
         self.system = system
         self.name = name
         self.request_bytes = request_bytes
+        self.timeout_ms = timeout_ms
+        self.max_retries = max_retries
+        self.backoff_base_ms = backoff_base_ms
+        self.backoff_cap_ms = backoff_cap_ms
+        self.meter = meter
         self.latencies = GaugeSeries(name=f"{name}.latency")
         self.completed = 0
         self.failed = 0
+        self.retries_used = 0
+        self.dead_letters: List[DeadLetter] = []
 
     def call(self, ref: ActorRef, function: str, *args: Any,
              size_bytes: Optional[float] = None) -> Signal:
@@ -51,9 +110,61 @@ class Client:
         self.latencies.record(self.system.sim.now, latency)
         if result is None:
             self.failed += 1
+            if self.meter is not None:
+                self.meter.record_failure()
         else:
             self.completed += 1
+            if self.meter is not None:
+                self.meter.record_success()
         return result, latency
+
+    def reliable_call(self, ref: ActorRef, function: str, *args: Any,
+                      size_bytes: Optional[float] = None,
+                      timeout_ms: Optional[float] = None,
+                      max_retries: Optional[int] = None):
+        """Generator: call with deadline + capped exponential backoff.
+
+        Use with ``result = yield from client.reliable_call(...)``.
+        Returns the reply value on success, or ``None`` once retries are
+        exhausted (the request is then appended to :attr:`dead_letters`).
+        A ``None`` reply — the target actor is gone — counts as a failed
+        attempt and is retried too, because a crashed actor may be
+        resurrected by the elasticity runtime between attempts.
+        """
+        sim = self.system.sim
+        deadline = self.timeout_ms if timeout_ms is None else timeout_ms
+        retries = self.max_retries if max_retries is None else max_retries
+        start = sim.now
+        backoff = self.backoff_base_ms
+        outcome = "failure"
+        for attempt in range(1, retries + 2):
+            reply = self.call(ref, function, *args, size_bytes=size_bytes)
+            if deadline is not None:
+                sim.schedule(deadline, reply.trigger, _TIMED_OUT)
+            value = yield reply
+            if value is _TIMED_OUT:
+                outcome = "timeout"
+            elif value is None:
+                outcome = "failure"
+            else:
+                latency = sim.now - start
+                self.latencies.record(sim.now, latency)
+                self.completed += 1
+                if self.meter is not None:
+                    self.meter.record_success()
+                return value
+            if self.meter is not None:
+                self.meter.record(outcome)
+            if attempt >= retries + 1:
+                break
+            self.retries_used += 1
+            yield Timeout(sim, backoff)
+            backoff = min(backoff * 2.0, self.backoff_cap_ms)
+        self.failed += 1
+        self.dead_letters.append(DeadLetter(
+            time_ms=sim.now, ref=ref, function=function,
+            attempts=retries + 1, last_outcome=outcome))
+        return None
 
     def mean_latency(self) -> float:
         return self.latencies.mean()

@@ -35,6 +35,11 @@ class ActorRecord:
     migrating: bool = False
     last_placed_at: float = 0.0
     migrations: int = 0
+    #: Constructor arguments the actor was created with, kept so a crash
+    #: tombstone can resurrect the actor (fresh state; §2.2 leaves state
+    #: recovery to the host language runtime).
+    spawn_args: tuple = ()
+    spawn_kwargs: dict = field(default_factory=dict)
 
     @property
     def type_name(self) -> str:

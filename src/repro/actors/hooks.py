@@ -10,7 +10,7 @@ vanilla configuration.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import List, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cluster import Server
@@ -46,3 +46,20 @@ class RuntimeHooks:
     def on_actor_migrated(self, record: "ActorRecord", old_server: "Server",
                           new_server: "Server") -> None:
         """A live migration of ``record`` completed."""
+
+    def on_migration_aborted(self, record: "ActorRecord", source: "Server",
+                             target: "Server", reason: str) -> None:
+        """A started migration was abandoned mid-transfer.  ``reason`` is
+        ``"actor-lost"`` (the actor died with its source server) or
+        ``"target-crashed"`` (the destination died during the transfer;
+        the actor stays on ``source``)."""
+
+    def on_server_crashed(self, server: "Server",
+                          lost: "List[ActorRecord]") -> None:
+        """``server`` failed.  ``lost`` holds the (now dead) directory
+        records of every actor that was hosted there — consumers such as
+        the elasticity runtime keep them as tombstones for resurrection."""
+
+    def on_actor_resurrected(self, record: "ActorRecord") -> None:
+        """An actor lost to a server crash was re-created (same ref,
+        fresh state) on ``record.server``."""

@@ -119,20 +119,25 @@ class ActorSystem:
 
         record = ActorRecord(
             instance=instance, ref=ref, server=chosen,
-            created_at=self.sim.now, last_placed_at=self.sim.now)
+            created_at=self.sim.now, last_placed_at=self.sim.now,
+            spawn_args=tuple(args), spawn_kwargs=dict(kwargs))
         self.directory.register(record)
         chosen.allocate_memory(instance.state_size_mb)
 
+        self._start_dispatch(record)
+        instance.on_start()
+        for hooks in self.hooks:
+            hooks.on_actor_created(record)
+        return ref
+
+    def _start_dispatch(self, record: ActorRecord) -> None:
+        actor_id = record.ref.actor_id
         mailbox: Queue = Queue(self.sim)
         self._mailboxes[actor_id] = mailbox
         self._busy[actor_id] = False
         self._gates[actor_id] = None
         spawn(self.sim, self._dispatch_loop(record, mailbox),
-              name=f"dispatch/{ref}")
-        instance.on_start()
-        for hooks in self.hooks:
-            hooks.on_actor_created(record)
-        return ref
+              name=f"dispatch/{record.ref}")
 
     def destroy_actor(self, ref: ActorRef) -> None:
         """Remove an actor.  Queued messages are dropped; pending callers
@@ -172,15 +177,71 @@ class ActorSystem:
         §2.2 — PLASMA inherits it); what this exercises is that the
         elasticity runtime and surviving actors keep operating.  Returns
         the refs of the actors that were lost.
+
+        Subscribed hooks receive ``on_server_crashed(server, lost)`` with
+        the dead records as tombstones; the elasticity runtime uses them
+        to cancel the server's LEM immediately (the LEM process dies with
+        its host) and, once its failure detector confirms the silence, to
+        resurrect the lost actors via :meth:`resurrect_actor`.
         """
-        lost = [record.ref for record in self.directory.on_server(server)]
+        lost_records = list(self.directory.on_server(server))
+        lost = [record.ref for record in lost_records]
         for ref in lost:
             self.destroy_actor(ref)
         if server in self.provisioner.servers:
             self.provisioner.retire_server(server)
         else:
             server.shutdown()
+        for hooks in self.hooks:
+            hooks.on_server_crashed(server, lost_records)
         return lost
+
+    def resurrect_actor(self, tombstone: ActorRecord,
+                        server: Optional[Server] = None) -> Optional[ActorRef]:
+        """Re-create an actor lost to a server crash.
+
+        The new instance is built from the tombstone's recorded
+        constructor arguments — application state carried in ``__init__``
+        args survives; everything mutated afterwards is lost, matching
+        the paper's §2.2 division of labour (durable-state recovery
+        belongs to the host language runtime).  The original
+        :class:`ActorRef` is reused so held refs, client handles, and
+        EPL ref-joins keep working; placement goes through the installed
+        placement policy (PLASMA's rule-aware path) unless ``server`` is
+        given.  Returns ``None`` when the ref is already live again or no
+        running server exists.
+        """
+        ref = tombstone.ref
+        if self.directory.try_lookup(ref.actor_id) is not None:
+            return None
+        cls = type(tombstone.instance)
+        candidates = [s for s in self.provisioner.servers if s.running]
+        chosen = server
+        if chosen is None and self.placement_policy is not None:
+            chosen = self.placement_policy(cls, candidates, None)
+        if chosen is None:
+            if not candidates:
+                return None
+            chosen = self._placement_rng.choice(candidates)
+
+        instance = cls(*tombstone.spawn_args, **tombstone.spawn_kwargs)
+        instance.actor_id = ref.actor_id
+        instance.ref = ref
+        instance._system = self
+
+        record = ActorRecord(
+            instance=instance, ref=ref, server=chosen,
+            created_at=self.sim.now, last_placed_at=self.sim.now,
+            spawn_args=tombstone.spawn_args,
+            spawn_kwargs=dict(tombstone.spawn_kwargs))
+        self.directory.register(record)
+        chosen.allocate_memory(instance.state_size_mb)
+
+        self._start_dispatch(record)
+        instance.on_start()
+        for hooks in self.hooks:
+            hooks.on_actor_resurrected(record)
+        return ref
 
     # ------------------------------------------------------------------
     # messaging
@@ -225,7 +286,13 @@ class ActorSystem:
         return Timeout(self.sim, delay_ms)
 
     def _actor_compute(self, actor: Actor, cpu_ms: float) -> Waitable:
-        record = self.directory.lookup(actor.actor_id)
+        record = self.directory.try_lookup(actor.actor_id)
+        if record is None:
+            # The actor died (server crash) while this handler was mid
+            # flight — e.g. between two chunks of a chunked compute.  Its
+            # caller already received a None reply from destroy_actor, so
+            # park the orphaned handler on a signal that never fires.
+            return Signal(self.sim)
         job_done = record.server.execute(cpu_ms, owner=record)
         wrapped = Signal(self.sim)
 
@@ -249,6 +316,10 @@ class ActorSystem:
             return
         src_server = src_record.server if src_record is not None else None
         message.remote = src_server is not target.server
+        if message.remote and self.fabric.drop_message():
+            # Lost in transit (chaos fault): the message never arrives
+            # and no reply fires — recovery is the caller's timeout/retry.
+            return
         delay = self.fabric.delivery_delay(
             src_server, target.server, message.size_bytes)
         if src_record is not None and message.remote:
@@ -265,7 +336,10 @@ class ActorSystem:
             return
         if target.server is not arrived_at and message.forwards < _MAX_FORWARDS:
             # The actor moved while the message was in flight: the old
-            # host forwards it, paying one more network hop.
+            # host forwards it, paying one more network hop (which a
+            # degraded fabric may also lose).
+            if self.fabric.drop_message():
+                return
             message.forwards += 1
             delay = self.fabric.delivery_delay(
                 arrived_at, target.server, message.size_bytes)
@@ -381,8 +455,25 @@ class ActorSystem:
         delay = self.fabric.transfer_delay(source, target, state_bytes)
         yield Timeout(self.sim, delay)
         if self.directory.try_lookup(actor_id) is not record:
+            # The actor died mid-transfer (its source server crashed):
+            # destroy_actor already settled memory and mailbox state.
             gate.trigger()
             done.trigger(False)
+            for hooks in self.hooks:
+                hooks.on_migration_aborted(record, source, target,
+                                           "actor-lost")
+            return
+        if not target.running:
+            # The destination died mid-transfer: abort, the actor stays
+            # live on its source with nothing allocated on the target.
+            record.migrating = False
+            if actor_id in self._gates:
+                self._gates[actor_id] = None
+            gate.trigger()
+            done.trigger(False)
+            for hooks in self.hooks:
+                hooks.on_migration_aborted(record, source, target,
+                                           "target-crashed")
             return
         source.free_memory(record.instance.state_size_mb)
         target.allocate_memory(record.instance.state_size_mb)

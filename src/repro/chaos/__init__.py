@@ -1,0 +1,21 @@
+"""Chaos engineering for the PLASMA reproduction.
+
+Declarative fault plans (:class:`FaultPlan`) executed by a simulation
+process (:class:`ChaosEngine`): fail-stop server crashes, GEM kills,
+transient network degradation, and limping (CPU-slowed) servers — all
+deterministic under a fixed seed so failures are exactly replayable.
+"""
+
+from .engine import ChaosEngine
+from .plan import (CrashServer, DegradeNetwork, Fault, FaultPlan, KillGem,
+                   SlowServer)
+
+__all__ = [
+    "ChaosEngine",
+    "CrashServer",
+    "DegradeNetwork",
+    "Fault",
+    "FaultPlan",
+    "KillGem",
+    "SlowServer",
+]

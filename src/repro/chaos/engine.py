@@ -1,0 +1,201 @@
+"""The chaos engine: executes a :class:`FaultPlan` against a live system.
+
+The engine is a simulation process.  It walks the plan in time order,
+injects each fault through the public runtime surfaces (``crash_server``,
+``GEM.fail``, ``NetworkFabric.degrade``, ``Server.set_speed_factor``) and
+schedules the matching heal when the fault declares one.  Every injection
+and heal is appended to :attr:`ChaosEngine.log` and — when an elasticity
+manager is attached — emitted on its event bus as ``fault-injected`` /
+``fault-healed`` events, so a tracer timeline interleaves faults with the
+runtime's reactions to them.
+
+Determinism: message-drop decisions draw from a dedicated named random
+stream (``chaos-drops`` by default), so attaching the engine never
+perturbs the placement or shuffling streams, and the same seed plus the
+same plan replays the same run exactly.
+
+Faults that cannot be applied (a server index beyond the starting fleet,
+a crash target that is already down, a GEM id that does not exist) are
+skipped and logged as ``fault-skipped`` rather than raising: a chaos run
+should report what it could not do, not die halfway through the plan.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..actors import ActorSystem
+from ..cluster import Server
+from ..sim import Timeout, spawn
+from .plan import (CrashServer, DegradeNetwork, Fault, FaultPlan, KillGem,
+                   SlowServer)
+
+__all__ = ["ChaosEngine"]
+
+
+class ChaosEngine:
+    """Executes a :class:`FaultPlan` as a simulation process.
+
+    Parameters
+    ----------
+    system:
+        The actor system to torment.
+    plan:
+        The faults to inject.
+    manager:
+        Optional :class:`~repro.core.emr.ElasticityManager`; needed for
+        :class:`KillGem` faults and for emitting fault events on the EMR
+        event bus (so tracers see them).
+    rng:
+        Random source for message-drop decisions.  Defaults to the
+        system's dedicated ``chaos-drops`` stream.
+    """
+
+    def __init__(self, system: ActorSystem, plan: FaultPlan,
+                 manager=None, rng: Optional[random.Random] = None) -> None:
+        self.system = system
+        self.plan = plan
+        self.manager = manager
+        self.rng = rng if rng is not None \
+            else system.streams.stream("chaos-drops")
+        self.log: List[Tuple[float, str, Dict[str, Any]]] = []
+        self.faults_injected = 0
+        self.faults_skipped = 0
+        self._fleet: List[Server] = []
+        self._process = None
+
+    def start(self):
+        """Snapshot the fleet and start executing the plan."""
+        if self._process is not None:
+            raise RuntimeError("chaos engine already started")
+        self._fleet = list(self.system.provisioner.servers)
+        self._process = spawn(self.system.sim, self._run(), name="chaos")
+        return self._process
+
+    # ------------------------------------------------------------------
+
+    def _run(self):
+        sim = self.system.sim
+        for fault in self.plan.ordered():
+            delay = fault.at_ms - sim.now
+            if delay > 0:
+                yield Timeout(sim, delay)
+            self._inject(fault)
+
+    def _inject(self, fault: Fault) -> None:
+        if isinstance(fault, CrashServer):
+            self._crash_server(fault)
+        elif isinstance(fault, KillGem):
+            self._kill_gem(fault)
+        elif isinstance(fault, DegradeNetwork):
+            self._degrade_network(fault)
+        elif isinstance(fault, SlowServer):
+            self._slow_server(fault)
+
+    # -- fault handlers --------------------------------------------------
+
+    def _target_server(self, index: int, fault_name: str) -> Optional[Server]:
+        if index >= len(self._fleet):
+            self._skip(fault_name, reason="no-such-server", index=index)
+            return None
+        server = self._fleet[index]
+        if not server.running:
+            self._skip(fault_name, reason="server-already-down",
+                       server=server.name)
+            return None
+        return server
+
+    def _crash_server(self, fault: CrashServer) -> None:
+        server = self._target_server(fault.server_index, "crash-server")
+        if server is None:
+            return
+        lost = self.system.crash_server(server)
+        self.faults_injected += 1
+        self._emit("fault-injected", fault="crash-server",
+                   server=server.name, lost_actors=len(lost))
+        if fault.replace_after_ms is not None:
+            self.system.sim.schedule(fault.replace_after_ms,
+                                     self._boot_replacement, server)
+
+    def _boot_replacement(self, crashed: Server) -> None:
+        done = self.system.provisioner.boot_server(crashed.itype.name,
+                                                   immediate=True)
+
+        def booted(server: Optional[Server]) -> None:
+            if server is None:
+                self._skip("crash-server", reason="fleet-cap-reached",
+                           replacing=crashed.name)
+                return
+            self._emit("fault-healed", fault="crash-server",
+                       crashed=crashed.name, replacement=server.name)
+
+        done._subscribe(booted)
+
+    def _kill_gem(self, fault: KillGem) -> None:
+        if self.manager is None or fault.gem_id >= len(self.manager.gems):
+            self._skip("kill-gem", reason="no-such-gem", gem_id=fault.gem_id)
+            return
+        gem = self.manager.gems[fault.gem_id]
+        if gem.failed:
+            self._skip("kill-gem", reason="gem-already-failed",
+                       gem_id=fault.gem_id)
+            return
+        gem.fail()
+        self.faults_injected += 1
+        self._emit("fault-injected", fault="kill-gem", gem_id=gem.gem_id)
+        if fault.recover_after_ms is not None:
+            self.system.sim.schedule(fault.recover_after_ms,
+                                     self._recover_gem, gem)
+
+    def _recover_gem(self, gem) -> None:
+        gem.recover()
+        self._emit("fault-healed", fault="kill-gem", gem_id=gem.gem_id)
+
+    def _degrade_network(self, fault: DegradeNetwork) -> None:
+        fabric = self.system.fabric
+        fabric.degrade(latency_multiplier=fault.latency_multiplier,
+                       drop_probability=fault.drop_probability,
+                       rng=self.rng if fault.drop_probability > 0 else None)
+        self.faults_injected += 1
+        self._emit("fault-injected", fault="degrade-network",
+                   latency_multiplier=fault.latency_multiplier,
+                   drop_probability=fault.drop_probability,
+                   duration_ms=fault.duration_ms)
+        self.system.sim.schedule(fault.duration_ms, self._heal_network)
+
+    def _heal_network(self) -> None:
+        # Overlapping DegradeNetwork windows do not stack: the newest
+        # degradation replaces the current one, and the earliest heal
+        # clears whatever is active.
+        self.system.fabric.heal()
+        self._emit("fault-healed", fault="degrade-network")
+
+    def _slow_server(self, fault: SlowServer) -> None:
+        server = self._target_server(fault.server_index, "slow-server")
+        if server is None:
+            return
+        server.set_speed_factor(fault.speed_factor)
+        self.faults_injected += 1
+        self._emit("fault-injected", fault="slow-server", server=server.name,
+                   speed_factor=fault.speed_factor,
+                   duration_ms=fault.duration_ms)
+        self.system.sim.schedule(fault.duration_ms,
+                                 self._restore_speed, server)
+
+    def _restore_speed(self, server: Server) -> None:
+        if not server.running:
+            return  # crashed while limping; nothing to restore
+        server.set_speed_factor(1.0)
+        self._emit("fault-healed", fault="slow-server", server=server.name)
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _emit(self, kind: str, **detail: Any) -> None:
+        self.log.append((self.system.sim.now, kind, detail))
+        if self.manager is not None:
+            self.manager.emit(kind, **detail)
+
+    def _skip(self, fault_name: str, **detail: Any) -> None:
+        self.faults_skipped += 1
+        self._emit("fault-skipped", fault=fault_name, **detail)

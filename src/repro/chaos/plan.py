@@ -1,0 +1,138 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a validated, immutable list of faults with
+virtual-time injection points.  Plans are data, not code: the same plan
+object can be replayed against different seeds (or the same seed, for
+deterministic reproduction of an incident) and serialized into test
+parametrizations.
+
+Fault types
+-----------
+
+- :class:`CrashServer` — fail-stop a server (its actors die with it);
+  optionally boot a replacement after ``replace_after_ms``.
+- :class:`KillGem` — stop a global elasticity manager from replying to
+  REPORTs; optionally recover it later.
+- :class:`DegradeNetwork` — multiply remote latencies and/or drop a
+  fraction of remote messages for ``duration_ms``.
+- :class:`SlowServer` — scale a server's effective CPU speed (a
+  "limping" server) for ``duration_ms``.
+
+Server-targeting faults refer to servers by *index into the fleet as it
+stood when the chaos engine started*, so a plan's meaning does not shift
+when earlier faults add or remove servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+__all__ = ["CrashServer", "KillGem", "DegradeNetwork", "SlowServer",
+           "FaultPlan", "Fault"]
+
+
+@dataclass(frozen=True)
+class CrashServer:
+    """Fail-stop one server at ``at_ms``."""
+
+    at_ms: float
+    server_index: int = 0
+    #: Boot a same-type replacement this long after the crash (``None``
+    #: leaves the fleet permanently smaller).
+    replace_after_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ValueError("at_ms must be non-negative")
+        if self.server_index < 0:
+            raise ValueError("server_index must be non-negative")
+        if self.replace_after_ms is not None and self.replace_after_ms < 0:
+            raise ValueError("replace_after_ms must be non-negative")
+
+
+@dataclass(frozen=True)
+class KillGem:
+    """Stop GEM ``gem_id`` from replying to REPORTs at ``at_ms``."""
+
+    at_ms: float
+    gem_id: int = 0
+    recover_after_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ValueError("at_ms must be non-negative")
+        if self.gem_id < 0:
+            raise ValueError("gem_id must be non-negative")
+        if self.recover_after_ms is not None and self.recover_after_ms <= 0:
+            raise ValueError("recover_after_ms must be positive")
+
+
+@dataclass(frozen=True)
+class DegradeNetwork:
+    """Degrade all remote traffic for ``duration_ms``."""
+
+    at_ms: float
+    duration_ms: float
+    latency_multiplier: float = 1.0
+    drop_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ValueError("at_ms must be non-negative")
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if self.latency_multiplier < 1.0:
+            raise ValueError("latency_multiplier must be >= 1")
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if self.latency_multiplier == 1.0 and self.drop_probability == 0.0:
+            raise ValueError("a DegradeNetwork fault must degrade something")
+
+
+@dataclass(frozen=True)
+class SlowServer:
+    """Run one server at ``speed_factor`` of nominal CPU speed."""
+
+    at_ms: float
+    duration_ms: float
+    server_index: int = 0
+    speed_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ValueError("at_ms must be non-negative")
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if self.server_index < 0:
+            raise ValueError("server_index must be non-negative")
+        if self.speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+
+
+Fault = Union[CrashServer, KillGem, DegradeNetwork, SlowServer]
+
+_FAULT_TYPES = (CrashServer, KillGem, DegradeNetwork, SlowServer)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-ordered set of faults to inject."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, _FAULT_TYPES):
+                raise TypeError(f"not a fault: {fault!r}")
+
+    def ordered(self) -> List[Fault]:
+        """Faults sorted by injection time (stable on ties)."""
+        return sorted(self.faults, key=lambda fault: fault.at_ms)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)

@@ -5,7 +5,7 @@ See DESIGN.md §2 for the substitution rationale.
 """
 
 from .instances import INSTANCE_TYPES, InstanceType, instance_type
-from .metrics import GaugeSeries, WindowedMeter
+from .metrics import AvailabilityMeter, GaugeSeries, WindowedMeter
 from .network import NetworkFabric
 from .provisioner import Provisioner
 from .server import CpuJob, Server
@@ -20,4 +20,5 @@ __all__ = [
     "Provisioner",
     "WindowedMeter",
     "GaugeSeries",
+    "AvailabilityMeter",
 ]

@@ -8,11 +8,11 @@ N ms" is O(buckets) to answer and old history is forgotten automatically.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..sim import Simulator
 
-__all__ = ["WindowedMeter", "GaugeSeries"]
+__all__ = ["WindowedMeter", "GaugeSeries", "AvailabilityMeter"]
 
 
 class WindowedMeter:
@@ -112,3 +112,100 @@ class GaugeSeries:
 
     def __len__(self) -> int:
         return len(self.samples)
+
+
+class AvailabilityMeter:
+    """Per-window request-outcome accounting for availability reporting.
+
+    Clients (or any request source) record each request as ``success``,
+    ``failure`` (error reply — typically the target actor is gone), or
+    ``timeout`` (no reply within the caller's deadline).  Outcomes are
+    bucketed into fixed-width time windows so benchmarks can report
+    availability *during* a fault window separately from availability
+    after recovery, plus how long the disruption lasted.
+    """
+
+    OUTCOMES = ("success", "failure", "timeout")
+
+    def __init__(self, sim: Simulator, window_ms: float = 5_000.0) -> None:
+        if window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+        self.sim = sim
+        self.window_ms = window_ms
+        self._samples: List[Tuple[float, str]] = []
+        self.totals: Dict[str, int] = {o: 0 for o in self.OUTCOMES}
+        self._first_disruption: Optional[float] = None
+        self._last_disruption: Optional[float] = None
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, outcome: str, at: Optional[float] = None) -> None:
+        if outcome not in self.OUTCOMES:
+            raise ValueError(f"unknown outcome {outcome!r}; "
+                             f"expected one of {self.OUTCOMES}")
+        when = self.sim.now if at is None else at
+        self._samples.append((when, outcome))
+        self.totals[outcome] += 1
+        if outcome != "success":
+            if self._first_disruption is None:
+                self._first_disruption = when
+            self._last_disruption = when
+
+    def record_success(self) -> None:
+        self.record("success")
+
+    def record_failure(self) -> None:
+        self.record("failure")
+
+    def record_timeout(self) -> None:
+        self.record("timeout")
+
+    # -- queries -------------------------------------------------------------
+
+    def counts_between(self, start_ms: float,
+                       end_ms: float) -> Dict[str, int]:
+        """Outcome counts over samples with ``start_ms <= t < end_ms``."""
+        counts = {o: 0 for o in self.OUTCOMES}
+        for when, outcome in self._samples:
+            if start_ms <= when < end_ms:
+                counts[outcome] += 1
+        return counts
+
+    def availability_between(self, start_ms: float, end_ms: float) -> float:
+        """Fraction of requests in the interval that succeeded.
+
+        An interval with no samples reports 1.0 — no request was denied.
+        """
+        counts = self.counts_between(start_ms, end_ms)
+        total = sum(counts.values())
+        if total == 0:
+            return 1.0
+        return counts["success"] / total
+
+    def availability(self) -> float:
+        """Lifetime success fraction (1.0 when nothing was recorded)."""
+        total = sum(self.totals.values())
+        if total == 0:
+            return 1.0
+        return self.totals["success"] / total
+
+    def per_window(self) -> List[Tuple[float, Dict[str, int]]]:
+        """(window start, outcome counts) for every non-empty window."""
+        buckets: Dict[int, Dict[str, int]] = {}
+        for when, outcome in self._samples:
+            index = int(when // self.window_ms)
+            counts = buckets.setdefault(index,
+                                        {o: 0 for o in self.OUTCOMES})
+            counts[outcome] += 1
+        return [(index * self.window_ms, buckets[index])
+                for index in sorted(buckets)]
+
+    def recovery_time_ms(self) -> Optional[float]:
+        """Span from the first to the last non-success outcome — how long
+        the service was visibly degraded.  ``None`` if it never was."""
+        if self._first_disruption is None:
+            return None
+        return self._last_disruption - self._first_disruption
+
+    def __len__(self) -> int:
+        return len(self._samples)

@@ -9,10 +9,18 @@ network meters — that charge is what server-level ``net`` rules observe.
 The local/remote asymmetry is the entire economic basis of the paper's
 ``colocate`` behavior, so its ratio (default 0.05 ms vs ~0.5 ms+)
 matches intra-host vs intra-AZ messaging on EC2.
+
+Fault injection: the chaos engine can :meth:`degrade` the fabric —
+a latency multiplier applied to every remote delay, and a message-drop
+probability sampled per remote send.  Drops model request loss in
+transit: the message simply never arrives, so a caller without a timeout
+waits forever (which is why :class:`repro.actors.Client` grows a
+timeout + retry path).  In-process messages are never degraded.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Optional
 
 from ..sim import Simulator
@@ -29,6 +37,60 @@ class NetworkFabric:
         self.sim = sim
         self.local_latency_ms = local_latency_ms
         self.remote_rtt_ms = remote_rtt_ms
+        # Fault-injection state (see degrade()/heal()).
+        self.latency_multiplier = 1.0
+        self.drop_probability = 0.0
+        self.messages_dropped = 0
+        self._drop_rng: Optional[random.Random] = None
+
+    # -- fault injection -----------------------------------------------------
+
+    def degrade(self, latency_multiplier: float = 1.0,
+                drop_probability: float = 0.0,
+                rng: Optional[random.Random] = None) -> None:
+        """Degrade remote messaging until :meth:`heal` is called.
+
+        ``latency_multiplier`` scales every remote delay (>= 1);
+        ``drop_probability`` loses each remote message independently with
+        that probability, drawn from ``rng`` (required when > 0 so runs
+        stay deterministic).  Calling again replaces the previous
+        degradation; degradations do not stack.
+        """
+        if latency_multiplier < 1.0:
+            raise ValueError("latency_multiplier must be >= 1")
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if drop_probability > 0.0 and rng is None:
+            raise ValueError("drop_probability > 0 requires an rng "
+                             "(use a named RandomStreams stream)")
+        self.latency_multiplier = latency_multiplier
+        self.drop_probability = drop_probability
+        self._drop_rng = rng
+
+    def heal(self) -> None:
+        """Restore the fabric to its healthy state."""
+        self.latency_multiplier = 1.0
+        self.drop_probability = 0.0
+        self._drop_rng = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.latency_multiplier > 1.0 or self.drop_probability > 0.0
+
+    def drop_message(self) -> bool:
+        """Decide whether one remote message is lost in transit.
+
+        Consumes RNG only while a drop probability is active, so enabling
+        chaos never perturbs the draws of a fault-free run.
+        """
+        if self.drop_probability <= 0.0:
+            return False
+        dropped = self._drop_rng.random() < self.drop_probability
+        if dropped:
+            self.messages_dropped += 1
+        return dropped
+
+    # -- delays --------------------------------------------------------------
 
     def delivery_delay(self, src: Optional[Server], dst: Server,
                        size_bytes: float) -> float:
@@ -45,7 +107,8 @@ class NetworkFabric:
             bandwidths.append(src.itype.net_bytes_per_ms())
             src.net_meter.add(size_bytes)
         serialization = size_bytes / min(bandwidths)
-        return self.remote_rtt_ms / 2.0 + serialization
+        return self.latency_multiplier * (
+            self.remote_rtt_ms / 2.0 + serialization)
 
     def transfer_delay(self, src: Server, dst: Server,
                        size_bytes: float) -> float:
@@ -57,4 +120,5 @@ class NetworkFabric:
         dst.net_meter.add(size_bytes)
         bandwidth = min(src.itype.net_bytes_per_ms(),
                         dst.itype.net_bytes_per_ms())
-        return self.remote_rtt_ms + size_bytes / bandwidth
+        return self.latency_multiplier * (
+            self.remote_rtt_ms + size_bytes / bandwidth)

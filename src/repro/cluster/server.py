@@ -56,6 +56,9 @@ class Server:
         self.name = name or f"{itype.name}-{self.server_id}"
         self.started_at = sim.now
         self.running = True
+        #: Chaos "limping server" multiplier: effective core speed is
+        #: ``itype.cpu_speed * speed_factor``.  1.0 = healthy.
+        self.speed_factor = 1.0
 
         self._run_queue: Queue[CpuJob] = Queue(sim)
         self.cpu_meter = WindowedMeter(sim)
@@ -88,7 +91,8 @@ class Server:
             job = yield self._run_queue.get()
             if job is None:  # shutdown sentinel
                 return
-            scaled = job.demand_ms / self.itype.cpu_speed
+            scaled = job.demand_ms / (self.itype.cpu_speed
+                                      * self.speed_factor)
             if scaled > 0:
                 yield Timeout(self.sim, scaled)
             if self.running:
@@ -144,6 +148,14 @@ class Server:
         """Unused CPU capacity, in CPU-ms per ms (used by admission checks)."""
         used_fraction = self.cpu_percent(window_ms) / 100.0
         return (1.0 - used_fraction) * self.itype.cpu_capacity_ms_per_ms()
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Scale core speed (chaos "limping server" fault).  Applies to
+        jobs dequeued from now on; a job already on a core finishes at
+        the speed it started with."""
+        if factor <= 0:
+            raise ValueError(f"speed_factor must be positive: {factor!r}")
+        self.speed_factor = factor
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -51,6 +51,20 @@ class EmrConfig:
     control_latency_ms: float = 1.0
     #: CPU charged per profiled message (EPR overhead model, Table 3).
     profiling_overhead_cpu_ms: float = 0.0
+    #: Failure detection: a server whose LEM has not reported for this
+    #: long is suspected dead and its lost actors are resurrected.
+    #: ``None`` (the default) disables detection; when set it must exceed
+    #: ``period_ms``, because healthy LEMs report once per period.
+    suspicion_timeout_ms: Optional[float] = None
+    #: Re-create actors lost to a confirmed server failure through the
+    #: rule-aware placement path (only effective with detection on).
+    resurrect_lost_actors: bool = True
+    #: Defaults for Client retry/backoff under faults (consumed by
+    #: benchmarks wiring clients; the EMR itself never retries).
+    client_timeout_ms: Optional[float] = None
+    client_max_retries: int = 3
+    client_backoff_base_ms: float = 100.0
+    client_backoff_cap_ms: float = 5_000.0
 
     def __post_init__(self) -> None:
         if self.period_ms <= 0:
@@ -71,6 +85,27 @@ class EmrConfig:
             raise ValueError("admission_upper must be in (0, 100]")
         if self.min_servers < 0 or self.max_scale_out_per_period < 1:
             raise ValueError("invalid fleet scaling bounds")
+        if self.lem_stagger_ms < 0:
+            raise ValueError("lem_stagger_ms must be non-negative")
+        if self.control_latency_ms < 0:
+            raise ValueError("control_latency_ms must be non-negative")
+        if self.profiling_overhead_cpu_ms < 0:
+            raise ValueError("profiling_overhead_cpu_ms must be "
+                             "non-negative")
+        if (self.suspicion_timeout_ms is not None
+                and self.suspicion_timeout_ms <= self.period_ms):
+            raise ValueError(
+                "suspicion_timeout_ms must exceed period_ms: LEMs report "
+                "once per period, so a shorter timeout suspects every "
+                "healthy server")
+        if self.client_timeout_ms is not None and self.client_timeout_ms <= 0:
+            raise ValueError("client_timeout_ms must be positive (or None)")
+        if self.client_max_retries < 0:
+            raise ValueError("client_max_retries must be non-negative")
+        if (self.client_backoff_base_ms <= 0
+                or self.client_backoff_cap_ms < self.client_backoff_base_ms):
+            raise ValueError(
+                "need 0 < client_backoff_base_ms <= client_backoff_cap_ms")
 
     def stability_window_ms(self) -> float:
         return self.period_ms if self.stability_ms is None else self.stability_ms

@@ -52,6 +52,11 @@ class LEM:
         sim = self.manager.system.sim
         self._process = spawn(sim, self._run(), name=f"lem/{self.server.name}")
 
+    def cancel(self) -> None:
+        """Stop this LEM's period timer (its host server crashed)."""
+        if self._process is not None and not self._process.finished:
+            self._process.interrupt()
+
     # ------------------------------------------------------------------
 
     def _run(self):
@@ -76,6 +81,10 @@ class LEM:
         config = self.manager.config
         self.rounds_run += 1
         self._reserved_perc = {}
+        # Heartbeat for failure detection: a round starting is proof the
+        # server is alive, even under policies with no resource rules
+        # (where no REPORT would otherwise reach a GEM).
+        self.manager.note_report(self.server)
 
         records = self.manager.system.actors_on(self.server)
         actor_snaps = self.manager.profiler.snapshot_actors(records)

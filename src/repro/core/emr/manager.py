@@ -19,9 +19,9 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
-from ...actors import ActorRef, ActorSystem
+from ...actors import ActorRecord, ActorRef, ActorSystem, RuntimeHooks
 from ...cluster import Server
 from ...sim import Timeout, spawn
 from ..epl import CompiledPolicy
@@ -52,6 +52,22 @@ class MigrationEvent:
     rule_line: int = -1
 
 
+class _EmrSystemHooks(RuntimeHooks):
+    """Feeds actor-runtime crash events into the elasticity manager.
+
+    A LEM runs *on* its server, so it dies with the host immediately;
+    GEM-side awareness of the failure only comes later, when the
+    heartbeat silence exceeds the suspicion timeout.
+    """
+
+    def __init__(self, manager: "ElasticityManager") -> None:
+        self.manager = manager
+
+    def on_server_crashed(self, server: Server,
+                          lost: List[ActorRecord]) -> None:
+        self.manager._note_server_crash(server, lost)
+
+
 class ElasticityManager:
     """PLASMA's elasticity management runtime (EMR)."""
 
@@ -72,6 +88,11 @@ class ElasticityManager:
         self._draining: Set[int] = set()
         self._lem_counter = 0
         self._gem_rng = system.streams.stream("lem-gem-shuffle")
+        self._listeners: List[Callable[[str, dict], None]] = []
+        self._last_report: Dict[Server, float] = {}
+        self._lost_actors: Dict[int, List[ActorRecord]] = {}
+        self._failed_gems_noted: Set[int] = set()
+        self._system_hooks = _EmrSystemHooks(self)
         system.provisioner.add_join_listener(self._on_server_join)
 
     # ------------------------------------------------------------------
@@ -82,10 +103,14 @@ class ElasticityManager:
             return
         self.running = True
         self.system.add_hooks(self.profiler)
+        self.system.add_hooks(self._system_hooks)
         self.system.placement_policy = self.placement
         for server in self.system.provisioner.servers:
             self._add_lem(server)
         spawn(self.system.sim, self._janitor(), name="emr/janitor")
+        if self.config.suspicion_timeout_ms is not None:
+            spawn(self.system.sim, self._failure_detector(),
+                  name="emr/failure-detector")
 
     def stop(self) -> None:
         """Stop elasticity management (profiling detaches too)."""
@@ -94,6 +119,8 @@ class ElasticityManager:
         self.running = False
         if self.profiler in self.system.hooks:
             self.system.remove_hooks(self.profiler)
+        if self._system_hooks in self.system.hooks:
+            self.system.remove_hooks(self._system_hooks)
         if self.system.placement_policy is self.placement:
             self.system.placement_policy = None
 
@@ -103,6 +130,9 @@ class ElasticityManager:
         lem = LEM(self, server, self._lem_counter)
         self._lem_counter += 1
         self.lems[server.server_id] = lem
+        # Baseline heartbeat: a server that never manages a first round
+        # must still become suspect once the timeout elapses.
+        self._last_report[server] = self.system.sim.now
         lem.start()
 
     def _on_server_join(self, server: Server) -> None:
@@ -115,6 +145,104 @@ class ElasticityManager:
         while self.running:
             yield Timeout(self.system.sim, self.config.period_ms / 2.0)
             self._maybe_retire()
+
+    # ------------------------------------------------------------------
+    # elasticity event bus (consumed by the tracer and the chaos engine)
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[str, dict], None]) -> None:
+        """Subscribe to EMR events: ``listener(kind, detail_dict)``."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[str, dict], None]) -> None:
+        """Unsubscribe a listener added with :meth:`add_listener`."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def emit(self, kind: str, **detail) -> None:
+        """Broadcast an elasticity event to every listener."""
+        for listener in list(self._listeners):
+            listener(kind, detail)
+
+    # ------------------------------------------------------------------
+    # failure detection and recovery
+    # ------------------------------------------------------------------
+
+    def note_report(self, server: Server) -> None:
+        """Heartbeat: a LEM round on ``server`` just started."""
+        self._last_report[server] = self.system.sim.now
+
+    def _note_server_crash(self, server: Server,
+                           lost: List[ActorRecord]) -> None:
+        """The actor runtime lost a server: its LEM dies with it, and the
+        records of the actors it hosted become resurrection tombstones.
+        GEM-side suspicion (and recovery) follows via missed heartbeats.
+        """
+        lem = self.lems.pop(server.server_id, None)
+        if lem is not None:
+            lem.cancel()
+        self._draining.discard(server.server_id)
+        if lost:
+            self._lost_actors[server.server_id] = list(lost)
+
+    def _failure_detector(self):
+        """GEM-side failure detection (runs only when
+        ``suspicion_timeout_ms`` is configured): a server whose LEM has
+        been silent for longer than the suspicion timeout is declared
+        dead, and the actors it hosted are re-created through rule-aware
+        placement on the surviving servers.  Failed GEMs are detected on
+        the same tick and their servers adopted by a surviving (or
+        freshly respawned) GEM.
+        """
+        sim = self.system.sim
+        timeout = self.config.suspicion_timeout_ms
+        while self.running:
+            yield Timeout(sim, timeout / 2.0)
+            if not self.running:
+                return
+            now = sim.now
+            for server, last in list(self._last_report.items()):
+                if now - last > timeout:
+                    del self._last_report[server]
+                    self._on_server_suspected(server, now - last)
+            self._check_gems()
+
+    def _on_server_suspected(self, server: Server, silence_ms: float) -> None:
+        lost = self._lost_actors.pop(server.server_id, [])
+        self.emit("server-suspected", server=server.name,
+                  silence_ms=silence_ms, lost_actors=len(lost))
+        if not self.config.resurrect_lost_actors:
+            return
+        for record in lost:
+            self.system.resurrect_actor(record)
+
+    def _check_gems(self) -> None:
+        """Note newly failed GEMs and hand their servers to a survivor.
+
+        Adoption is implicit in the shuffling process of §4.3 — LEMs pick
+        a random healthy GEM every round — so the adopter recorded here is
+        the deterministic first survivor, purely for accounting.  When no
+        GEM survives, a replacement is respawned so reports have
+        somewhere to go next period.
+        """
+        for gem in list(self.gems):
+            if not gem.failed:
+                self._failed_gems_noted.discard(gem.gem_id)
+                continue
+            if gem.gem_id in self._failed_gems_noted:
+                continue
+            self._failed_gems_noted.add(gem.gem_id)
+            survivors = [g for g in self.gems if not g.failed]
+            adopter = survivors[0] if survivors else self.respawn_gem()
+            self.emit("gem-failover", failed_gem=gem.gem_id,
+                      adopter=adopter.gem_id,
+                      respawned=not survivors)
+
+    def respawn_gem(self) -> GEM:
+        """Boot a replacement GEM (used when every GEM has failed)."""
+        gem = GEM(self, len(self.gems))
+        self.gems.append(gem)
+        return gem
 
     # ------------------------------------------------------------------
     # services used by LEMs and GEMs
@@ -213,6 +341,8 @@ class ElasticityManager:
                 continue
             self._draining.discard(server.server_id)
             self.lems.pop(server.server_id, None)
+            # Deliberately retired, not crashed: stop monitoring it.
+            self._last_report.pop(server, None)
             provisioner.retire_server(server)
 
     # -- statistics --------------------------------------------------------------

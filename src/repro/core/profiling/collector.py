@@ -56,6 +56,11 @@ class ProfilingRuntime(RuntimeHooks):
     def on_actor_destroyed(self, record: ActorRecord) -> None:
         self._stats.pop(record.ref.actor_id, None)
 
+    def on_actor_resurrected(self, record: ActorRecord) -> None:
+        # A resurrected actor restarts from fresh state, so its profile
+        # restarts too — pre-crash rates must not drive post-crash rules.
+        self._stats[record.ref.actor_id] = ActorStats(self.sim)
+
     def on_message_delivered(self, record: ActorRecord,
                              message: Message) -> None:
         stats = self._stats.get(record.ref.actor_id)

@@ -36,7 +36,10 @@ class TraceEvent:
     time_ms: float
     kind: str          # migration | actor-created | actor-destroyed |
                        # server-joined | server-retired | gem-round |
-                       # scale-out | pin
+                       # scale-out | pin | server-crashed |
+                       # server-suspected | actor-resurrected |
+                       # migration-aborted | gem-failover |
+                       # fault-injected | fault-healed
     detail: Dict[str, Any] = field(default_factory=dict)
 
     def __str__(self) -> str:
@@ -61,6 +64,19 @@ class _TracerHooks(RuntimeHooks):
                           new_server: Server) -> None:
         self.tracer._record("migration", actor=str(record.ref),
                             src=old_server.name, dst=new_server.name)
+
+    def on_migration_aborted(self, record: ActorRecord, source: Server,
+                             target: Server, reason: str) -> None:
+        self.tracer._record("migration-aborted", actor=str(record.ref),
+                            src=source.name, dst=target.name, reason=reason)
+
+    def on_server_crashed(self, server: Server, lost) -> None:
+        self.tracer._record("server-crashed", server=server.name,
+                            lost_actors=len(lost))
+
+    def on_actor_resurrected(self, record: ActorRecord) -> None:
+        self.tracer._record("actor-resurrected", actor=str(record.ref),
+                            server=record.server.name)
 
 
 class ElasticityTracer:
@@ -93,6 +109,8 @@ class ElasticityTracer:
             self._original_retire(server)
 
         provisioner.retire_server = retire_traced  # type: ignore[assignment]
+        if hasattr(self.manager, "add_listener"):
+            self.manager.add_listener(self._on_emr_event)
 
     def detach(self) -> None:
         if not self._attached:
@@ -103,6 +121,8 @@ class ElasticityTracer:
             system.remove_hooks(self._hooks)
         if self._original_retire is not None:
             system.provisioner.retire_server = self._original_retire
+        if hasattr(self.manager, "remove_listener"):
+            self.manager.remove_listener(self._on_emr_event)
 
     # -- event intake -------------------------------------------------------------
 
@@ -116,6 +136,10 @@ class ElasticityTracer:
     def _on_server_join(self, server: Server) -> None:
         self._record("server-joined", server=server.name,
                      type=server.itype.name)
+
+    def _on_emr_event(self, kind: str, detail: Dict[str, Any]) -> None:
+        """EMR event-bus intake (server-suspected, gem-failover, faults)."""
+        self._record(kind, **detail)
 
     # -- queries -------------------------------------------------------------
 

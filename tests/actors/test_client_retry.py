@@ -1,0 +1,159 @@
+"""Client timeout, retry/backoff, and dead-letter behaviour."""
+
+import pytest
+
+from repro.actors import Actor, Client
+from repro.bench import build_cluster
+from repro.cluster import AvailabilityMeter
+from repro.sim import spawn
+
+
+class Echo(Actor):
+    def ping(self, value):
+        yield self.compute(1.0)
+        return value
+
+
+class Slow(Actor):
+    def ping(self, value):
+        yield self.sleep(10_000.0)
+        return value
+
+
+def test_client_parameter_validation():
+    bed = build_cluster(1)
+    with pytest.raises(ValueError):
+        Client(bed.system, timeout_ms=0.0)
+    with pytest.raises(ValueError):
+        Client(bed.system, max_retries=-1)
+    with pytest.raises(ValueError):
+        Client(bed.system, backoff_base_ms=200.0, backoff_cap_ms=100.0)
+
+
+def test_reliable_call_succeeds_first_try():
+    bed = build_cluster(2)
+    ref = bed.system.create_actor(Echo, server=bed.servers[1])
+    meter = AvailabilityMeter(bed.sim)
+    client = Client(bed.system, timeout_ms=1_000.0, max_retries=3,
+                    meter=meter)
+    out = []
+
+    def body():
+        value = yield from client.reliable_call(ref, "ping", 7)
+        out.append(value)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=5_000.0)
+    assert out == [7]
+    assert client.completed == 1 and client.retries_used == 0
+    assert meter.totals == {"success": 1, "failure": 0, "timeout": 0}
+    assert len(client.latencies) == 1
+
+
+def test_timeout_outcome_and_dead_letter():
+    bed = build_cluster(2)
+    ref = bed.system.create_actor(Slow, server=bed.servers[1])
+    meter = AvailabilityMeter(bed.sim)
+    client = Client(bed.system, timeout_ms=100.0, max_retries=2,
+                    backoff_base_ms=50.0, backoff_cap_ms=400.0, meter=meter)
+    out = []
+
+    def body():
+        value = yield from client.reliable_call(ref, "ping", 1)
+        out.append(value)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=30_000.0)
+    assert out == [None]
+    assert client.failed == 1
+    assert client.retries_used == 2
+    assert meter.totals["timeout"] == 3
+    [letter] = client.dead_letters
+    assert letter.attempts == 3
+    assert letter.last_outcome == "timeout"
+    assert letter.function == "ping"
+
+
+def test_backoff_doubles_and_caps():
+    # 3 attempts timing: t0=0, timeout@100, backoff 50 -> attempt@150,
+    # timeout@250, backoff 100 (doubled) -> attempt@350, timeout@450.
+    bed = build_cluster(2)
+    bed.system.crash_server(bed.servers[1])
+    dead = bed.system.create_actor(Slow, server=bed.servers[0])
+    bed.system.crash_server(bed.servers[0])
+    client = Client(bed.system, timeout_ms=100.0, max_retries=2,
+                    backoff_base_ms=50.0, backoff_cap_ms=60.0)
+    finished = []
+
+    def body():
+        yield from client.reliable_call(dead, "ping", 1)
+        finished.append(bed.sim.now)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=5_000.0)
+    # Calls to a destroyed actor fail instantly (None reply), so elapsed
+    # time is just the backoffs: 50 then min(100, cap=60).
+    assert finished == [pytest.approx(110.0, abs=1.0)]
+
+
+def test_failure_outcome_for_dead_actor_is_retried():
+    bed = build_cluster(2)
+    ref = bed.system.create_actor(Echo, server=bed.servers[0])
+    bed.system.crash_server(bed.servers[0])
+    meter = AvailabilityMeter(bed.sim)
+    client = Client(bed.system, timeout_ms=500.0, max_retries=1, meter=meter)
+    out = []
+
+    def body():
+        value = yield from client.reliable_call(ref, "ping", 1)
+        out.append(value)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=10_000.0)
+    assert out == [None]
+    assert meter.totals["failure"] == 2
+    assert client.dead_letters[0].last_outcome == "failure"
+
+
+def test_retry_bridges_actor_resurrection():
+    # The actor dies, the caller keeps retrying, the elasticity runtime
+    # resurrects it, and the retry then succeeds: availability dips, then
+    # recovers — the core claim of the chaos benchmarks in miniature.
+    bed = build_cluster(2)
+    ref = bed.system.create_actor(Echo, server=bed.servers[0])
+    tombstone = bed.system.directory.lookup(ref.actor_id)
+    bed.system.crash_server(bed.servers[0])
+    bed.sim.schedule(700.0, bed.system.resurrect_actor, tombstone)
+    meter = AvailabilityMeter(bed.sim)
+    client = Client(bed.system, timeout_ms=200.0, max_retries=5,
+                    backoff_base_ms=200.0, backoff_cap_ms=800.0, meter=meter)
+    out = []
+
+    def body():
+        value = yield from client.reliable_call(ref, "ping", 42)
+        out.append(value)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=20_000.0)
+    assert out == [42]
+    assert client.retries_used >= 1
+    assert meter.totals["failure"] >= 1
+    assert meter.totals["success"] == 1
+    assert client.dead_letters == []
+
+
+def test_plain_call_and_timed_call_unchanged():
+    bed = build_cluster(1)
+    ref = bed.system.create_actor(Echo)
+    client = Client(bed.system)
+    out = []
+
+    def body():
+        result, latency = yield from client.timed_call(ref, "ping", 3)
+        out.append((result, latency))
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=5_000.0)
+    assert out[0][0] == 3
+    assert out[0][1] > 0.0
+    assert client.completed == 1

@@ -1,0 +1,135 @@
+"""Chaos engine: fault injection through the public runtime surfaces."""
+
+from repro.actors import Actor, Client
+from repro.bench import build_cluster
+from repro.chaos import (ChaosEngine, CrashServer, DegradeNetwork,
+                         FaultPlan, KillGem, SlowServer)
+from repro.core import ElasticityManager, EmrConfig, compile_source
+from repro.sim import spawn
+
+
+class Spinner(Actor):
+    def spin(self, cpu_ms):
+        yield self.compute(cpu_ms)
+        return True
+
+
+def kinds(engine):
+    return [kind for _t, kind, _d in engine.log]
+
+
+def test_crash_server_fault_kills_actors():
+    bed = build_cluster(2)
+    victim = bed.system.create_actor(Spinner, server=bed.servers[0])
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        CrashServer(at_ms=1_000.0, server_index=0),)))
+    engine.start()
+    bed.run(until_ms=2_000.0)
+    assert engine.faults_injected == 1
+    assert bed.system.directory.try_lookup(victim.actor_id) is None
+    assert not bed.servers[0].running
+    assert kinds(engine) == ["fault-injected"]
+
+
+def test_crash_server_with_replacement_restores_fleet_size():
+    bed = build_cluster(2)
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        CrashServer(at_ms=1_000.0, server_index=1,
+                    replace_after_ms=3_000.0),)))
+    engine.start()
+    bed.run(until_ms=2_000.0)
+    assert bed.provisioner.fleet_size() == 1
+    bed.run(until_ms=6_000.0)
+    assert bed.provisioner.fleet_size() == 2
+    assert kinds(engine) == ["fault-injected", "fault-healed"]
+
+
+def test_degrade_network_slows_and_drops_then_heals():
+    bed = build_cluster(2)
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        DegradeNetwork(at_ms=500.0, duration_ms=1_000.0,
+                       latency_multiplier=4.0, drop_probability=1.0),)))
+    engine.start()
+    bed.run(until_ms=600.0)
+    assert bed.system.fabric.degraded
+    assert bed.system.fabric.latency_multiplier == 4.0
+    # With drop probability 1.0 every remote call is lost: no reply.
+    target = bed.system.create_actor(Spinner, server=bed.servers[1])
+    client = Client(bed.system)
+    replies = []
+
+    def body():
+        value = yield from client.reliable_call(
+            target, "spin", 1.0, timeout_ms=200.0, max_retries=0)
+        replies.append(value)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=1_000.0)
+    assert replies == [None]
+    assert bed.system.fabric.messages_dropped >= 1
+    bed.run(until_ms=2_000.0)
+    assert not bed.system.fabric.degraded
+    assert kinds(engine) == ["fault-injected", "fault-healed"]
+
+
+def test_slow_server_limps_and_recovers():
+    bed = build_cluster(1)
+    server = bed.servers[0]
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        SlowServer(at_ms=100.0, duration_ms=1_000.0, speed_factor=0.25),)))
+    engine.start()
+    bed.run(until_ms=200.0)
+    assert server.speed_factor == 0.25
+    bed.run(until_ms=2_000.0)
+    assert server.speed_factor == 1.0
+    assert kinds(engine) == ["fault-injected", "fault-healed"]
+
+
+def test_kill_gem_and_recover_via_manager():
+    bed = build_cluster(2)
+    policy = compile_source(
+        "server.cpu.perc > 80 or server.cpu.perc < 60 "
+        "=> balance({Spinner}, cpu);", [Spinner])
+    manager = ElasticityManager(bed.system, policy, EmrConfig(
+        period_ms=5_000.0, gem_wait_ms=300.0, gem_count=2))
+    manager.start()
+    events = []
+    manager.add_listener(lambda kind, detail: events.append((kind, detail)))
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        KillGem(at_ms=1_000.0, gem_id=0, recover_after_ms=2_000.0),)),
+        manager=manager)
+    engine.start()
+    bed.run(until_ms=1_500.0)
+    assert manager.gems[0].failed
+    bed.run(until_ms=4_000.0)
+    assert not manager.gems[0].failed
+    assert [kind for kind, _ in events] == ["fault-injected", "fault-healed"]
+
+
+def test_unappliable_faults_are_skipped_not_fatal():
+    bed = build_cluster(1)
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        CrashServer(at_ms=100.0, server_index=0),
+        CrashServer(at_ms=200.0, server_index=0),   # already down
+        CrashServer(at_ms=300.0, server_index=7),   # never existed
+        SlowServer(at_ms=400.0, duration_ms=50.0, server_index=0),
+        KillGem(at_ms=500.0, gem_id=0),             # no manager attached
+    )))
+    engine.start()
+    bed.run(until_ms=1_000.0)
+    assert engine.faults_injected == 1
+    assert engine.faults_skipped == 4
+    assert kinds(engine) == ["fault-injected"] + ["fault-skipped"] * 4
+
+
+def test_fleet_snapshot_keeps_indices_stable():
+    # A replacement server must not shift the meaning of later indices.
+    bed = build_cluster(3)
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        CrashServer(at_ms=100.0, server_index=0, replace_after_ms=100.0),
+        CrashServer(at_ms=1_000.0, server_index=2),)))
+    engine.start()
+    original_third = bed.servers[2]
+    bed.run(until_ms=2_000.0)
+    assert not original_third.running
+    assert engine.faults_injected == 2

@@ -1,0 +1,48 @@
+"""FaultPlan construction and validation."""
+
+import pytest
+
+from repro.chaos import (CrashServer, DegradeNetwork, FaultPlan, KillGem,
+                         SlowServer)
+
+
+def test_plan_orders_faults_by_time():
+    plan = FaultPlan(faults=(
+        SlowServer(at_ms=9_000.0, duration_ms=1_000.0),
+        CrashServer(at_ms=3_000.0),
+        KillGem(at_ms=3_000.0, gem_id=1),
+    ))
+    ordered = plan.ordered()
+    assert [type(f) for f in ordered] == [CrashServer, KillGem, SlowServer]
+    assert len(plan) == 3
+    assert list(plan)  # iterable
+
+
+def test_plan_is_immutable_and_typed():
+    plan = FaultPlan(faults=[CrashServer(at_ms=0.0)])  # list is coerced
+    assert isinstance(plan.faults, tuple)
+    with pytest.raises(TypeError):
+        FaultPlan(faults=("crash at noon",))
+
+
+@pytest.mark.parametrize("build", [
+    lambda: CrashServer(at_ms=-1.0),
+    lambda: CrashServer(at_ms=0.0, server_index=-1),
+    lambda: CrashServer(at_ms=0.0, replace_after_ms=-5.0),
+    lambda: KillGem(at_ms=-1.0),
+    lambda: KillGem(at_ms=0.0, gem_id=-1),
+    lambda: KillGem(at_ms=0.0, recover_after_ms=0.0),
+    lambda: DegradeNetwork(at_ms=0.0, duration_ms=0.0,
+                           latency_multiplier=2.0),
+    lambda: DegradeNetwork(at_ms=0.0, duration_ms=100.0,
+                           latency_multiplier=0.5),
+    lambda: DegradeNetwork(at_ms=0.0, duration_ms=100.0,
+                           drop_probability=1.5),
+    lambda: DegradeNetwork(at_ms=0.0, duration_ms=100.0),  # degrades nothing
+    lambda: SlowServer(at_ms=0.0, duration_ms=0.0),
+    lambda: SlowServer(at_ms=0.0, duration_ms=100.0, speed_factor=0.0),
+    lambda: SlowServer(at_ms=0.0, duration_ms=100.0, server_index=-2),
+])
+def test_invalid_faults_rejected(build):
+    with pytest.raises(ValueError):
+        build()

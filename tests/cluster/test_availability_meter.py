@@ -1,0 +1,72 @@
+"""AvailabilityMeter: windowed outcome accounting."""
+
+import pytest
+
+from repro.cluster import AvailabilityMeter
+from repro.sim import Simulator
+
+
+def test_rejects_bad_window_and_outcome():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        AvailabilityMeter(sim, window_ms=0.0)
+    meter = AvailabilityMeter(sim)
+    with pytest.raises(ValueError):
+        meter.record("dropped")
+
+
+def test_lifetime_and_interval_availability():
+    sim = Simulator()
+    meter = AvailabilityMeter(sim, window_ms=1_000.0)
+    assert meter.availability() == 1.0          # nothing recorded yet
+    meter.record("success", at=100.0)
+    meter.record("success", at=200.0)
+    meter.record("timeout", at=1_100.0)
+    meter.record("failure", at=1_200.0)
+    meter.record("success", at=2_500.0)
+    assert meter.availability() == pytest.approx(3 / 5)
+    assert meter.availability_between(0.0, 1_000.0) == 1.0
+    assert meter.availability_between(1_000.0, 2_000.0) == 0.0
+    assert meter.availability_between(2_000.0, 3_000.0) == 1.0
+    assert meter.availability_between(5_000.0, 6_000.0) == 1.0  # empty
+    assert len(meter) == 5
+
+
+def test_counts_use_half_open_intervals():
+    sim = Simulator()
+    meter = AvailabilityMeter(sim, window_ms=1_000.0)
+    meter.record("success", at=1_000.0)
+    assert meter.counts_between(0.0, 1_000.0)["success"] == 0
+    assert meter.counts_between(1_000.0, 2_000.0)["success"] == 1
+
+
+def test_per_window_buckets():
+    sim = Simulator()
+    meter = AvailabilityMeter(sim, window_ms=1_000.0)
+    meter.record("success", at=100.0)
+    meter.record("failure", at=1_500.0)
+    meter.record("timeout", at=1_700.0)
+    windows = meter.per_window()
+    assert [start for start, _counts in windows] == [0.0, 1_000.0]
+    assert windows[1][1] == {"success": 0, "failure": 1, "timeout": 1}
+
+
+def test_recovery_time_spans_disruptions():
+    sim = Simulator()
+    meter = AvailabilityMeter(sim)
+    assert meter.recovery_time_ms() is None
+    meter.record("success", at=100.0)
+    assert meter.recovery_time_ms() is None
+    meter.record("timeout", at=2_000.0)
+    meter.record("failure", at=7_500.0)
+    meter.record("success", at=9_000.0)
+    assert meter.recovery_time_ms() == pytest.approx(5_500.0)
+
+
+def test_records_at_sim_now_by_default():
+    sim = Simulator()
+    meter = AvailabilityMeter(sim)
+    sim.schedule(300.0, meter.record_timeout)
+    sim.run(until=1_000.0)
+    assert meter.counts_between(0.0, 1_000.0)["timeout"] == 1
+    assert meter.recovery_time_ms() == 0.0

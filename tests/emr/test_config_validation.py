@@ -24,10 +24,35 @@ def test_defaults_are_valid():
     {"admission_upper": 150.0},
     {"min_servers": -1},
     {"max_scale_out_per_period": 0},
+    {"lem_stagger_ms": -1.0},
+    {"control_latency_ms": -0.5},
+    {"profiling_overhead_cpu_ms": -0.01},
+    {"suspicion_timeout_ms": 0.0},
+    {"suspicion_timeout_ms": 60_000.0},          # == period: always suspect
+    {"period_ms": 5_000.0, "suspicion_timeout_ms": 4_000.0},
+    {"client_timeout_ms": 0.0},
+    {"client_timeout_ms": -10.0},
+    {"client_max_retries": -1},
+    {"client_backoff_base_ms": 0.0},
+    {"client_backoff_base_ms": 500.0, "client_backoff_cap_ms": 100.0},
 ])
 def test_invalid_configurations_rejected(kwargs):
     with pytest.raises(ValueError):
         EmrConfig(**kwargs)
+
+
+def test_failure_detection_knobs_accepted():
+    config = EmrConfig(period_ms=5_000.0, suspicion_timeout_ms=6_000.0,
+                       resurrect_lost_actors=False,
+                       client_timeout_ms=2_000.0, client_max_retries=5,
+                       client_backoff_base_ms=50.0,
+                       client_backoff_cap_ms=1_000.0)
+    assert config.suspicion_timeout_ms == 6_000.0
+    assert config.resurrect_lost_actors is False
+
+
+def test_detection_disabled_by_default():
+    assert EmrConfig().suspicion_timeout_ms is None
 
 
 def test_explicit_stability_zero_allowed():

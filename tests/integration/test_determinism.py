@@ -7,6 +7,9 @@ of its seeds.
 
 from repro.actors import Actor, Client
 from repro.bench import build_cluster
+from repro.chaos import (ChaosEngine, CrashServer, DegradeNetwork,
+                         FaultPlan)
+from repro.cluster import AvailabilityMeter
 from repro.core import ElasticityManager, EmrConfig, compile_source
 from repro.sim import spawn
 
@@ -66,3 +69,74 @@ def test_different_seed_different_execution():
     b = run_once(2)
     # Placement draws differ, so *something* must differ.
     assert a != b
+
+
+CHAOS_PLAN = FaultPlan(faults=(
+    CrashServer(at_ms=9_000.0, server_index=0),
+    DegradeNetwork(at_ms=14_000.0, duration_ms=4_000.0,
+                   latency_multiplier=3.0, drop_probability=0.1),
+))
+
+
+def run_chaos_once(seed):
+    """One faulty run; returns every observable that must be replayable."""
+    bed = build_cluster(3, seed=seed)
+    rng = bed.streams.stream("load")
+    refs = [bed.system.create_actor(Spinner) for _ in range(9)]
+    policy = compile_source(
+        "server.cpu.perc > 80 or server.cpu.perc < 60 "
+        "=> balance({Spinner}, cpu);", [Spinner])
+    manager = ElasticityManager(bed.system, policy, EmrConfig(
+        period_ms=5_000.0, gem_wait_ms=300.0, lem_stagger_ms=10.0,
+        suspicion_timeout_ms=6_000.0))
+    manager.start()
+    emr_events = []
+    manager.add_listener(
+        lambda kind, detail: emr_events.append((bed.sim.now, kind)))
+    meter = AvailabilityMeter(bed.sim, window_ms=5_000.0)
+    client = Client(bed.system, timeout_ms=1_000.0, max_retries=3,
+                    backoff_base_ms=100.0, backoff_cap_ms=2_000.0,
+                    meter=meter)
+    engine = ChaosEngine(bed.system, CHAOS_PLAN, manager=manager)
+    engine.start()
+
+    def loop(ref):
+        while bed.sim.now < 30_000.0:
+            yield from client.reliable_call(
+                ref, "spin", 20.0 + rng.random() * 40.0)
+
+    for ref in refs:
+        spawn(bed.sim, loop(ref))
+    bed.run(until_ms=30_000.0)
+
+    actor_index = {ref.actor_id: i for i, ref in enumerate(refs)}
+    server_by_name = {server.name: i
+                      for i, server in enumerate(bed.servers)}
+    migrations = tuple(
+        (e.time_ms, actor_index[e.actor.actor_id],
+         server_by_name[e.src], server_by_name[e.dst])
+        for e in manager.migration_log)
+    availability = tuple(
+        (start, counts["success"], counts["failure"], counts["timeout"])
+        for start, counts in meter.per_window())
+    chaos_log = tuple((t, kind) for t, kind, _d in engine.log)
+    events = tuple(emr_events)
+    return (migrations, availability, meter.recovery_time_ms(),
+            chaos_log, events, bed.system.fabric.messages_dropped,
+            len(client.dead_letters), client.retries_used)
+
+
+def test_same_seed_same_chaos_execution():
+    # Satellite requirement: same seed + same FaultPlan => identical
+    # migration logs and availability numbers.
+    first = run_chaos_once(42)
+    second = run_chaos_once(42)
+    assert first == second
+
+
+def test_chaos_run_actually_disrupted_something():
+    result = run_chaos_once(42)
+    migrations, availability, recovery, chaos_log, events, dropped, *_ = result
+    assert any(kind == "fault-injected" for _t, kind in chaos_log)
+    assert any(kind == "server-suspected" for _t, kind in events)
+    assert recovery is not None and recovery > 0.0

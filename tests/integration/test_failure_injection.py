@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.actors import Actor, Client
+from repro.actors import Actor, Client, RuntimeHooks
 from repro.bench import build_cluster
 from repro.core import ElasticityManager, EmrConfig, compile_source
 from repro.sim import spawn
@@ -12,6 +12,23 @@ class Spinner(Actor):
     def spin(self, cpu_ms):
         yield self.compute(cpu_ms)
         return True
+
+
+class Heavy(Actor):
+    # 64 MB over a 10 Gbps link: the state transfer takes ~55 ms, long
+    # enough to crash a server mid-migration deterministically.
+    state_size_mb = 64.0
+
+    def noop(self):
+        return True
+
+
+class AbortWatch(RuntimeHooks):
+    def __init__(self):
+        self.aborted = []
+
+    def on_migration_aborted(self, record, source, target, reason):
+        self.aborted.append((record.ref, source.name, target.name, reason))
 
 
 def test_crash_destroys_actors_and_returns_refs():
@@ -57,6 +74,32 @@ def test_inflight_callers_are_unblocked_on_crash():
     bed.system.crash_server(bed.servers[0])
     bed.run(until_ms=30_000.0)
     assert results == [None]          # caller not stuck forever
+
+
+def test_chunked_compute_handler_is_parked_on_crash():
+    # A handler that computes in many chunks must not blow up when its
+    # server dies between chunks: the caller gets None and the orphaned
+    # handler simply never resumes.
+    class Chunky(Actor):
+        def grind(self):
+            for _ in range(200):
+                yield self.compute(50.0)
+            return True
+
+    bed = build_cluster(2)
+    ref = bed.system.create_actor(Chunky, server=bed.servers[0])
+    client = Client(bed.system)
+    results = []
+
+    def body():
+        value = yield client.call(ref, "grind")
+        results.append(value)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=120.0)           # a few chunks in
+    bed.system.crash_server(bed.servers[0])
+    bed.run(until_ms=30_000.0)
+    assert results == [None]
 
 
 def test_emr_survives_server_crash_and_keeps_balancing():
@@ -105,3 +148,80 @@ def test_migration_toward_crashed_server_is_dropped():
     bed.run(until_ms=1_000.0)
     assert done.value is False
     assert bed.system.server_of(ref) is bed.servers[0]
+
+
+def test_source_crash_mid_migration_aborts_cleanly():
+    bed = build_cluster(2)
+    watch = AbortWatch()
+    bed.system.add_hooks(watch)
+    source, target = bed.servers
+    ref = bed.system.create_actor(Heavy, server=source)
+    done = bed.system.migrate_actor(ref, target)
+    bed.run(until_ms=20.0)            # transfer (~55 ms) is in flight
+    bed.system.crash_server(source)
+    bed.run(until_ms=1_000.0)
+    assert done.value is False
+    # No ghost registration anywhere: the actor died with its source.
+    assert bed.system.directory.try_lookup(ref.actor_id) is None
+    assert bed.system.actors_on(target) == []
+    # Memory settled: nothing was ever allocated on the target, and the
+    # crash freed the source's allocation.
+    assert target.memory_used_mb == 0.0
+    assert source.memory_used_mb == 0.0
+    assert watch.aborted == [(ref, source.name, target.name, "actor-lost")]
+
+
+def test_target_crash_mid_migration_keeps_actor_on_source():
+    bed = build_cluster(2)
+    watch = AbortWatch()
+    bed.system.add_hooks(watch)
+    source, target = bed.servers
+    ref = bed.system.create_actor(Heavy, server=source)
+    done = bed.system.migrate_actor(ref, target)
+    bed.run(until_ms=20.0)
+    bed.system.crash_server(target)
+    bed.run(until_ms=1_000.0)
+    assert done.value is False
+    record = bed.system.directory.lookup(ref.actor_id)
+    assert record.server is source
+    assert record.migrating is False
+    assert record.migrations == 0
+    assert source.memory_used_mb == Heavy.state_size_mb
+    assert watch.aborted == [(ref, source.name, target.name,
+                              "target-crashed")]
+    # The actor still processes messages on its source afterwards.
+    client = Client(bed.system)
+    out = []
+
+    def body():
+        out.append((yield client.call(ref, "noop")))
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=2_000.0)
+    assert out == [True]
+
+
+def test_aborted_migration_appears_in_tracer():
+    from repro.core.tracing import ElasticityTracer
+
+    bed = build_cluster(2)
+    policy = compile_source(
+        "server.cpu.perc > 80 or server.cpu.perc < 60 "
+        "=> balance({Spinner}, cpu);", [Spinner])
+    manager = ElasticityManager(bed.system, policy,
+                                EmrConfig(period_ms=5_000.0,
+                                          gem_wait_ms=300.0))
+    tracer = ElasticityTracer(manager)
+    tracer.attach()
+    source, target = bed.servers
+    ref = bed.system.create_actor(Heavy, server=source)
+    bed.system.migrate_actor(ref, target)
+    bed.run(until_ms=20.0)
+    bed.system.crash_server(target)
+    bed.run(until_ms=1_000.0)
+    aborted = tracer.of_kind("migration-aborted")
+    assert len(aborted) == 1
+    assert aborted[0].detail["reason"] == "target-crashed"
+    crashed = tracer.of_kind("server-crashed")
+    assert len(crashed) == 1
+    assert crashed[0].detail["server"] == target.name
