@@ -1,0 +1,276 @@
+"""Hot-path micro-benchmarks: EPR profiling, GEM evaluation, sim kernel.
+
+Each benchmark times the incremental elasticity path against the
+full-recompute reference path *in the same process* and records both
+absolute numbers and machine-independent ratios into ``BENCH_perf.json``
+(repo root, or ``$BENCH_PERF_PATH``).  CI's benchmark-smoke job reruns
+this file and fails when a ``*_ratio`` regresses more than 20% against
+the committed baseline — the lock that keeps the profiling/evaluation
+pipeline from quietly sliding back to O(everything) per period.
+
+The asserted ≥2x speedups are deliberately far below the measured
+margins (typically 5-50x) so shared-runner noise cannot flake them.
+"""
+
+from repro.actors import Actor, Message
+from repro.bench import build_cluster, record_metrics, time_ops
+from repro.core import compile_source
+from repro.core.emr.evaluate import (EvaluationScope, colocate_groups,
+                                     evaluate_rule)
+from repro.core.profiling import ActorStats, ProfilingRuntime
+from repro.sim import Queue, Simulator
+
+WINDOW_MS = 60_000.0
+NUM_ACTORS = 128
+CALL_KEYS = 6
+# Long enough that every per-call-key meter reaches WindowedMeter's
+# 720-bucket retention cap — the steady state a long-running cluster
+# sits in, where the legacy scan cost is at its worst.
+HISTORY_MS = 2_160_000.0
+PUMP_STEP_MS = 500.0   # one event per bucket: steady-state meter density
+STEP_MS = 2_000.0      # virtual time between profiling periods
+
+
+class Shard(Actor):
+    children: list
+    state_size_mb = 2.0
+
+    def __init__(self):
+        self.children = []
+
+    def read(self):
+        yield self.compute(1.0)
+        return 1
+
+
+# ---------------------------------------------------------------------------
+# shared scenario plumbing
+# ---------------------------------------------------------------------------
+
+
+def _build_bed():
+    bed = build_cluster(2, "m5.large", seed=7)
+    refs = []
+    for index in range(NUM_ACTORS):
+        server = bed.servers[index % 2]
+        refs.append(bed.system.create_actor(Shard, server=server))
+    # A few heavyweight shards: the selective `mem.perc > 50` atom binds
+    # only these, which is what makes indexed candidate lookup matter.
+    memory_mb = bed.servers[0].itype.memory_mb
+    for ref in refs[:4]:
+        bed.system.actor_instance(ref).state_size_mb = 0.6 * memory_mb
+    # Ref joins: every shard holds the next one as a child.
+    for left, right in zip(refs, refs[1:]):
+        bed.system.actor_instance(left).children.append(right)
+    return bed, refs
+
+
+def _messages():
+    """One reusable Message per call key (record_message only reads the
+    caller fields, so reuse avoids timing dataclass construction)."""
+    return {
+        key: Message(target_id=0, function=f"fn{key}", args=(),
+                     caller_kind="client", caller_id=None,
+                     size_bytes=256.0, reply=None)
+        for key in range(CALL_KEYS)}
+
+
+def _profiled_pair():
+    """Two identically pumped profiling runtimes over one cluster: the
+    incremental path and the full-recompute reference."""
+    bed, refs = _build_bed()
+    records = [bed.system.directory.lookup(ref.actor_id) for ref in refs]
+    incremental = ProfilingRuntime(bed.sim, window_ms=WINDOW_MS,
+                                   incremental=True)
+    full = ProfilingRuntime(bed.sim, window_ms=WINDOW_MS, incremental=False)
+    for profiler in (incremental, full):
+        for record in records:
+            profiler.on_actor_created(record)
+    messages = _messages()
+    active = NUM_ACTORS // 2  # the other half stays idle (cold actors)
+    sim_until = HISTORY_MS
+    step = 0
+    while bed.sim.now < sim_until:
+        bed.sim.run(until=min(sim_until, bed.sim.now + PUMP_STEP_MS))
+        for record in records[:active]:
+            message = messages[step % CALL_KEYS]
+            for profiler in (incremental, full):
+                profiler.on_message_delivered(record, message)
+                profiler.on_compute(record, 0.5)
+                profiler.on_bytes_received(record, 128.0)
+        step += 1
+    return bed, records, incremental, full, messages, active
+
+
+# ---------------------------------------------------------------------------
+# benchmarks
+# ---------------------------------------------------------------------------
+
+
+def test_profiling_ingest_ops(report):
+    """Per-event bookkeeping cost: ring meters vs scan meters."""
+    events = 50_000
+    results = {}
+    for label, use_ring in (("incremental", True), ("full", False)):
+
+        def ingest(use_ring=use_ring):
+            # Self-contained per repeat: fresh meters, monotonic clock so
+            # both implementations rotate through many buckets.
+            sim = Simulator()
+            stats = ActorStats(sim, window_ms=WINDOW_MS, use_ring=use_ring)
+            for index in range(events):
+                if not index % 50:
+                    sim.run(until=index * 10.0)
+                stats.record_message("client", None, "read", 256.0)
+                stats.cpu.add(0.5)
+
+        results[label] = time_ops(ingest, ops=2 * events, repeats=3)
+    incremental, full = results["incremental"], results["full"]
+    ratio = incremental.best_s / full.best_s
+    report.add(f"ingest incremental: {incremental.ops_per_sec:,.0f} ops/s")
+    report.add(f"ingest full:        {full.ops_per_sec:,.0f} ops/s")
+    report.add(f"ingest latency ratio (incremental/full): {ratio:.3f}")
+    record_metrics("profiling_ingest", {
+        "incremental_ops_per_sec": incremental.ops_per_sec,
+        "full_ops_per_sec": full.ops_per_sec,
+        "ingest_latency_ratio": ratio,
+    })
+    report.write("perf_profiling_ingest")
+    # Ingest must not get *slower* than the reference path by much; the
+    # win here is bounded memory + O(1) totals, not per-add speed.
+    assert ratio < 1.5
+
+
+def test_profiling_snapshot_speedup(report):
+    """Per-period snapshot cost over a long-history, half-idle fleet."""
+    bed, records, incremental, full, messages, active = _profiled_pair()
+    rounds = 3
+
+    def snapshot_rounds(profiler):
+        def run():
+            for _ in range(rounds):
+                bed.sim.run(until=bed.sim.now + STEP_MS)
+                for record in records[:active]:
+                    profiler.on_message_delivered(record, messages[0])
+                for server in bed.servers:
+                    group = [r for r in records if r.server is server]
+                    profiler.snapshot_actors(group)
+        return run
+
+    full_timing = time_ops(snapshot_rounds(full), ops=rounds, repeats=3)
+    inc_timing = time_ops(snapshot_rounds(incremental), ops=rounds,
+                          repeats=3)
+    ratio = inc_timing.best_s / full_timing.best_s
+    speedup = 1.0 / ratio if ratio > 0 else float("inf")
+    report.add(f"snapshot full:        {full_timing.ms_per_op:.2f} ms/round")
+    report.add(f"snapshot incremental: {inc_timing.ms_per_op:.2f} ms/round")
+    report.add(f"speedup: {speedup:.1f}x  (cache hits: "
+               f"{incremental.snapshot_cache_hits})")
+    record_metrics("profiling_snapshot", {
+        "full_ms_per_round": full_timing.ms_per_op,
+        "incremental_ms_per_round": inc_timing.ms_per_op,
+        "snapshot_latency_ratio": ratio,
+        "speedup": speedup,
+    })
+    report.write("perf_profiling_snapshot")
+    assert incremental.snapshot_cache_hits > 0  # idle actors were reused
+    assert speedup >= 2.0
+
+
+def test_gem_decision_latency(report):
+    """Full decision pipeline per period: snapshot + rule evaluation.
+
+    The incremental path pairs cached/ring snapshots with the indexed
+    evaluation scope; the reference pairs full recompute with the linear
+    scan.  Both must produce identical matches (asserted) — only the
+    latency may differ.
+    """
+    bed, records, incremental, full, messages, active = _profiled_pair()
+    policy = compile_source(
+        """
+        server.cpu.perc >= 0 and Shard(a).cpu.perc >= 0 and
+        Shard(b).mem.perc > 50 => separate(a, b);
+        Shard(c) in ref(Shard(p).children) => colocate(p, c);
+        server.cpu.perc > 101 => balance({Shard}, cpu);
+        """, [Shard])
+    rules = list(policy.resource_rules) + list(policy.actor_rules)
+
+    def decision_round(profiler, indexed):
+        def run():
+            bed.sim.run(until=bed.sim.now + STEP_MS)
+            for record in records[:active]:
+                profiler.on_message_delivered(record, messages[0])
+            snaps = []
+            server_snaps = []
+            for server in bed.servers:
+                group = [r for r in records if r.server is server]
+                snaps.extend(profiler.snapshot_actors(group))
+                server_snaps.append(profiler.snapshot_server(server, group))
+            by_id = {snap.actor_id: snap for snap in snaps}
+            scope = EvaluationScope(
+                servers=server_snaps, actors=snaps,
+                resolve_ref=lambda ref: by_id.get(ref.actor_id),
+                indexed=indexed)
+            keys = []
+            for rule in rules:
+                keys.extend(match.key() for match in
+                            evaluate_rule(rule, scope))
+            groups = colocate_groups(policy.actor_rules, scope)
+            return keys, groups
+        return run
+
+    full_keys, full_groups = decision_round(full, indexed=False)()
+    inc_keys, inc_groups = decision_round(incremental, indexed=True)()
+    assert inc_keys == full_keys      # decisions identical, only faster
+    assert inc_groups == full_groups
+
+    full_timing = time_ops(decision_round(full, indexed=False), ops=1,
+                           repeats=3)
+    inc_timing = time_ops(decision_round(incremental, indexed=True), ops=1,
+                          repeats=3)
+    ratio = inc_timing.best_s / full_timing.best_s
+    speedup = 1.0 / ratio if ratio > 0 else float("inf")
+    report.add(f"decision full:        {full_timing.ms_per_op:.2f} ms")
+    report.add(f"decision incremental: {inc_timing.ms_per_op:.2f} ms")
+    report.add(f"matches per round: {len(full_keys)}")
+    report.add(f"speedup: {speedup:.1f}x")
+    record_metrics("gem_decision", {
+        "full_ms_per_round": full_timing.ms_per_op,
+        "incremental_ms_per_round": inc_timing.ms_per_op,
+        "decision_latency_ratio": ratio,
+        "speedup": speedup,
+    })
+    report.write("perf_gem_decision")
+    assert speedup >= 2.0
+
+
+def test_sim_kernel_throughput(report):
+    """Event-loop and mailbox throughput (absolute trajectory numbers)."""
+    events = 100_000
+
+    def run_engine():
+        sim = Simulator()
+        sink = [].append
+        for index in range(events):
+            sim.schedule(float(index % 64), sink, index)
+        sim.run()
+
+    engine = time_ops(run_engine, ops=events, repeats=3)
+
+    def run_queue():
+        sim = Simulator()
+        queue = Queue(sim)
+        for index in range(events):
+            queue.put(index)
+        for _ in range(events):
+            queue.get_nowait()
+
+    mailbox = time_ops(run_queue, ops=2 * events, repeats=3)
+    report.add(f"engine: {engine.ops_per_sec:,.0f} events/s")
+    report.add(f"queue:  {mailbox.ops_per_sec:,.0f} ops/s")
+    record_metrics("sim_kernel", {
+        "engine_events_per_sec": engine.ops_per_sec,
+        "queue_ops_per_sec": mailbox.ops_per_sec,
+    })
+    report.write("perf_sim_kernel")
+    assert engine.ops_per_sec > 50_000

@@ -51,6 +51,12 @@ class EmrConfig:
     control_latency_ms: float = 1.0
     #: CPU charged per profiled message (EPR overhead model, Table 3).
     profiling_overhead_cpu_ms: float = 0.0
+    #: Incremental profiling: ring-buffer meters with O(1) windowed
+    #: totals plus snapshot-payload reuse for unchanged/idle actors.
+    #: ``False`` selects the full-recompute reference path; both produce
+    #: byte-identical decision traces (the A/B equivalence tests rely on
+    #: this flag).
+    incremental_profiling: bool = True
     #: Failure detection: a server whose LEM has not reported for this
     #: long is suspected dead and its lost actors are resurrected.
     #: ``None`` (the default) disables detection; when set it must exceed

@@ -74,23 +74,64 @@ class EvaluationScope:
     the installed resolver widens the view (LEMs use the manager's global
     resolver so colocation with remote actors works, matching the
     QUERY/QREPLY protocol's reach).
+
+    ``actors_of_type`` is the inner loop of every rule evaluation, so the
+    scope lazily indexes its actors by type and by (type, server) on
+    first use.  The index preserves ``actors`` order exactly, which keeps
+    binding enumeration — and therefore every decision — identical to a
+    linear scan.  ``indexed=False`` keeps the original scan (the A/B
+    reference used by the perf benchmarks).  Callers must treat returned
+    lists as read-only, and must not mutate ``actors`` after the first
+    ``actors_of_type`` call.
     """
 
     servers: List[ServerSnapshot]
     actors: List[ActorSnapshot]
     resolve_ref: Callable[[ActorRef], Optional[ActorSnapshot]]
+    indexed: bool = True
+    _by_type: Optional[Dict[str, List[ActorSnapshot]]] = field(
+        default=None, init=False, repr=False, compare=False)
+    _by_server: Optional[Dict[int, List[ActorSnapshot]]] = field(
+        default=None, init=False, repr=False, compare=False)
+    _by_type_server: Optional[Dict[Tuple[str, int], List[ActorSnapshot]]] = \
+        field(default=None, init=False, repr=False, compare=False)
+
+    def _build_index(self) -> None:
+        by_type: Dict[str, List[ActorSnapshot]] = {}
+        by_server: Dict[int, List[ActorSnapshot]] = {}
+        by_type_server: Dict[Tuple[str, int], List[ActorSnapshot]] = {}
+        for snap in self.actors:
+            server_id = snap.server.server_id
+            by_type.setdefault(snap.type_name, []).append(snap)
+            by_server.setdefault(server_id, []).append(snap)
+            by_type_server.setdefault(
+                (snap.type_name, server_id), []).append(snap)
+        self._by_type = by_type
+        self._by_server = by_server
+        self._by_type_server = by_type_server
 
     def actors_of_type(self, type_name: str,
                        server: Optional[ServerSnapshot] = None
                        ) -> List[ActorSnapshot]:
-        result = []
-        for snap in self.actors:
-            if type_name != "any" and snap.type_name != type_name:
-                continue
-            if server is not None and snap.server is not server.server:
-                continue
-            result.append(snap)
-        return result
+        if not self.indexed:
+            result = []
+            for snap in self.actors:
+                if type_name != "any" and snap.type_name != type_name:
+                    continue
+                if server is not None and snap.server is not server.server:
+                    continue
+                result.append(snap)
+            return result
+        if self._by_type is None:
+            self._build_index()
+        if server is None:
+            if type_name == "any":
+                return self.actors
+            return self._by_type.get(type_name, [])
+        server_id = server.server.server_id
+        if type_name == "any":
+            return self._by_server.get(server_id, [])
+        return self._by_type_server.get((type_name, server_id), [])
 
 
 def evaluate_rule(rule: CompiledRule,

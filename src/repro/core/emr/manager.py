@@ -79,7 +79,8 @@ class ElasticityManager:
         self.running = False
         self.profiler = ProfilingRuntime(
             system.sim, window_ms=self.config.period_ms,
-            overhead_cpu_ms=self.config.profiling_overhead_cpu_ms)
+            overhead_cpu_ms=self.config.profiling_overhead_cpu_ms,
+            incremental=self.config.incremental_profiling)
         self.placement = PlasmaPlacement(self)
         self.gems: List[GEM] = [GEM(self, i)
                                 for i in range(self.config.gem_count)]

@@ -1,8 +1,9 @@
 """Elasticity profiling runtime (EPR): actor & server runtime tracking."""
 
 from .collector import ProfilingRuntime
+from .ring import RingMeter
 from .snapshot import ActorSnapshot, ServerSnapshot
 from .stats import ActorStats
 
 __all__ = ["ProfilingRuntime", "ActorSnapshot", "ServerSnapshot",
-           "ActorStats"]
+           "ActorStats", "RingMeter"]

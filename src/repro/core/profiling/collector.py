@@ -10,6 +10,35 @@ with application execution.  Its measured cost is a small per-message
 bookkeeping charge, modelled here as an optional CPU tax submitted to the
 hosting server (``overhead_cpu_ms`` per message).  The Table 3 experiment
 compares runs with the EPR attached vs. a vanilla run without it.
+
+Incremental vs. full-recompute profiling
+----------------------------------------
+With ``incremental=True`` (the default) the EPR maintains ring-buffer
+meters with O(1) windowed totals and caches each actor's meter-derived
+snapshot payload, reusing it when the actor is provably unchanged:
+
+* **same-instant reuse** — rule evaluation re-snapshots actors many
+  times at one virtual timestamp (ref joins, ``colocate_groups``); if no
+  meter mutated since the cached payload was computed at the same
+  ``sim.now`` on the same server, the numbers are identical by
+  construction and are reused;
+* **idle reuse across periods** — an actor with zero in-window activity
+  and no events since its last snapshot still has zero activity later
+  (the window only slides forward), so its all-zero payload stays valid
+  at *any* later time.  Cold actors therefore cost O(1) per period, the
+  property that keeps decision latency flat as actor counts grow.
+
+Fields that can change without a profiling hook firing (server, pinned,
+migrating, state size, property refs, placement time) are read fresh
+from the live record on every snapshot, cached or not.  The cached rate
+dictionaries are shared between snapshots and must never be mutated;
+``call_perc`` is always a fresh dict (it is filled per server group).
+
+With ``incremental=False`` every snapshot recomputes everything from
+scan-based :class:`WindowedMeter` buckets — the original implementation,
+kept as the reference for A/B equivalence testing.  Both paths produce
+bit-identical snapshots and therefore byte-identical decision traces
+(enforced by ``tests/profiling/test_incremental_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -27,6 +56,15 @@ __all__ = ["ProfilingRuntime"]
 _MS_PER_MIN = 60_000.0
 
 
+class _SnapEntry:
+    """Cached meter-derived snapshot payload for one actor."""
+
+    __slots__ = ("now", "version", "server_id", "idle", "cpu_perc",
+                 "cpu_ms_per_min", "net_bytes_per_min", "net_perc",
+                 "call_count_per_min", "call_bytes_per_min",
+                 "pair_count_per_min")
+
+
 class ProfilingRuntime(RuntimeHooks):
     """Collects actor and server runtime information.
 
@@ -38,34 +76,49 @@ class ProfilingRuntime(RuntimeHooks):
     overhead_cpu_ms:
         CPU cost charged to the hosting server per profiled message
         (models the measured sub-percent EPR overhead of Table 3).
+    incremental:
+        Maintain O(1) ring-buffer meters and reuse snapshot payloads for
+        unchanged actors (see module docstring).  ``False`` selects the
+        full-recompute reference path.
     """
 
     def __init__(self, sim: Simulator, window_ms: float = 60_000.0,
-                 overhead_cpu_ms: float = 0.0) -> None:
+                 overhead_cpu_ms: float = 0.0,
+                 incremental: bool = True) -> None:
         self.sim = sim
         self.window_ms = window_ms
         self.overhead_cpu_ms = overhead_cpu_ms
+        self.incremental = incremental
         self._stats: Dict[int, ActorStats] = {}
+        self._snap_cache: Dict[int, _SnapEntry] = {}
         self.messages_profiled = 0
+        self.snapshot_cache_hits = 0
+        self.snapshot_cache_misses = 0
+
+    def _new_stats(self) -> ActorStats:
+        return ActorStats(self.sim, window_ms=self.window_ms,
+                          use_ring=self.incremental)
 
     # -- RuntimeHooks ---------------------------------------------------------
 
     def on_actor_created(self, record: ActorRecord) -> None:
-        self._stats[record.ref.actor_id] = ActorStats(self.sim)
+        self._stats[record.ref.actor_id] = self._new_stats()
 
     def on_actor_destroyed(self, record: ActorRecord) -> None:
         self._stats.pop(record.ref.actor_id, None)
+        self._snap_cache.pop(record.ref.actor_id, None)
 
     def on_actor_resurrected(self, record: ActorRecord) -> None:
         # A resurrected actor restarts from fresh state, so its profile
         # restarts too — pre-crash rates must not drive post-crash rules.
-        self._stats[record.ref.actor_id] = ActorStats(self.sim)
+        self._stats[record.ref.actor_id] = self._new_stats()
+        self._snap_cache.pop(record.ref.actor_id, None)
 
     def on_message_delivered(self, record: ActorRecord,
                              message: Message) -> None:
         stats = self._stats.get(record.ref.actor_id)
         if stats is None:  # actor created before profiling attached
-            stats = ActorStats(self.sim)
+            stats = self._new_stats()
             self._stats[record.ref.actor_id] = stats
         stats.record_message(message.caller_kind, message.caller_id,
                              message.function, message.size_bytes)
@@ -76,17 +129,17 @@ class ProfilingRuntime(RuntimeHooks):
     def on_compute(self, record: ActorRecord, busy_ms: float) -> None:
         stats = self._stats.get(record.ref.actor_id)
         if stats is not None:
-            stats.cpu.add(busy_ms)
+            stats.add_cpu(busy_ms)
 
     def on_bytes_sent(self, record: ActorRecord, nbytes: float) -> None:
         stats = self._stats.get(record.ref.actor_id)
         if stats is not None:
-            stats.net_out.add(nbytes)
+            stats.add_net_out(nbytes)
 
     def on_bytes_received(self, record: ActorRecord, nbytes: float) -> None:
         stats = self._stats.get(record.ref.actor_id)
         if stats is not None:
-            stats.net_in.add(nbytes)
+            stats.add_net_in(nbytes)
 
     # -- snapshot API (Table 2: getActorsRuntime / getServerRuntime) -----------
 
@@ -114,11 +167,48 @@ class ProfilingRuntime(RuntimeHooks):
 
     def _snapshot_one(self, record: ActorRecord) -> ActorSnapshot:
         stats = self._stats.get(record.ref.actor_id)
+        if stats is None:
+            stats = self._new_stats()
+            self._stats[record.ref.actor_id] = stats
+        if self.incremental:
+            entry = self._snap_cache.get(record.ref.actor_id)
+            if (entry is not None and entry.version == stats.version
+                    and (entry.idle
+                         or (entry.now == self.sim.now
+                             and entry.server_id
+                             == record.server.server_id))):
+                self.snapshot_cache_hits += 1
+            else:
+                entry = self._compute_entry(record, stats)
+                self._snap_cache[record.ref.actor_id] = entry
+                self.snapshot_cache_misses += 1
+        else:
+            entry = self._compute_entry(record, stats)
+        server = record.server
+        return ActorSnapshot(
+            ref=record.ref,
+            server=server,
+            cpu_perc=entry.cpu_perc,
+            cpu_ms_per_min=entry.cpu_ms_per_min,
+            mem_mb=record.instance.state_size_mb,
+            mem_perc=(100.0 * record.instance.state_size_mb
+                      / server.itype.memory_mb),
+            net_bytes_per_min=entry.net_bytes_per_min,
+            net_perc=entry.net_perc,
+            call_count_per_min=entry.call_count_per_min,
+            call_bytes_per_min=entry.call_bytes_per_min,
+            pair_count_per_min=entry.pair_count_per_min,
+            refs=self._extract_refs(record),
+            pinned=record.pinned,
+            migrating=record.migrating,
+            last_placed_at=record.last_placed_at,
+            state_size_mb=record.instance.state_size_mb)
+
+    def _compute_entry(self, record: ActorRecord,
+                       stats: ActorStats) -> _SnapEntry:
+        """Recompute the meter-derived snapshot payload for one actor."""
         server = record.server
         window = self.window_ms
-        if stats is None:
-            stats = ActorStats(self.sim)
-            self._stats[record.ref.actor_id] = stats
 
         effective = min(window, max(self.sim.now, 1e-9))
         cpu_busy = stats.cpu.total(window)
@@ -126,29 +216,35 @@ class ProfilingRuntime(RuntimeHooks):
         net_bytes = stats.net_in.total(window) + stats.net_out.total(window)
         net_capacity = effective * server.itype.net_bytes_per_ms()
 
-        per_min = _MS_PER_MIN / effective
-        snapshot = ActorSnapshot(
-            ref=record.ref,
-            server=server,
-            cpu_perc=100.0 * cpu_busy / cpu_capacity if cpu_capacity else 0.0,
-            cpu_ms_per_min=cpu_busy * per_min,
-            mem_mb=record.instance.state_size_mb,
-            mem_perc=(100.0 * record.instance.state_size_mb
-                      / server.itype.memory_mb),
-            net_bytes_per_min=net_bytes * per_min,
-            net_perc=100.0 * net_bytes / net_capacity if net_capacity else 0.0,
-            call_count_per_min={key: meter.total(window) * per_min
-                                for key, meter in stats.call_counts.items()},
-            call_bytes_per_min={key: meter.total(window) * per_min
-                                for key, meter in stats.call_bytes.items()},
-            pair_count_per_min={key: meter.total(window) * per_min
-                                for key, meter in stats.pair_counts.items()},
-            refs=self._extract_refs(record),
-            pinned=record.pinned,
-            migrating=record.migrating,
-            last_placed_at=record.last_placed_at,
-            state_size_mb=record.instance.state_size_mb)
-        return snapshot
+        # Zero-length window (window_ms=0, or a degenerate effective
+        # coverage): every total is zero, so rates are zero — dividing by
+        # the zero coverage would raise instead.
+        per_min = _MS_PER_MIN / effective if effective > 0.0 else 0.0
+        entry = _SnapEntry()
+        entry.now = self.sim.now
+        entry.version = stats.version
+        entry.server_id = server.server_id
+        entry.cpu_perc = (100.0 * cpu_busy / cpu_capacity
+                          if cpu_capacity else 0.0)
+        entry.cpu_ms_per_min = cpu_busy * per_min
+        entry.net_bytes_per_min = net_bytes * per_min
+        entry.net_perc = (100.0 * net_bytes / net_capacity
+                          if net_capacity else 0.0)
+        entry.call_count_per_min = {
+            key: meter.total(window) * per_min
+            for key, meter in stats.call_counts.items()}
+        entry.call_bytes_per_min = {
+            key: meter.total(window) * per_min
+            for key, meter in stats.call_bytes.items()}
+        entry.pair_count_per_min = {
+            key: meter.total(window) * per_min
+            for key, meter in stats.pair_counts.items()}
+        entry.idle = (
+            cpu_busy == 0.0 and net_bytes == 0.0
+            and not any(entry.call_count_per_min.values())
+            and not any(entry.call_bytes_per_min.values())
+            and not any(entry.pair_count_per_min.values()))
+        return entry
 
     @staticmethod
     def _extract_refs(record: ActorRecord) -> Dict[str, tuple]:
@@ -169,6 +265,8 @@ class ProfilingRuntime(RuntimeHooks):
 
         perc = this actor's count of (caller, function) / total over all
         actors *of the same type on the same server* (paper §3.2 (iii)).
+        A group whose total is zero (no calls anywhere in the window)
+        yields 0.0 for every member rather than dividing by zero.
         """
         totals: Dict[tuple, float] = {}
         for snap in snapshots:
@@ -179,4 +277,4 @@ class ProfilingRuntime(RuntimeHooks):
             for key, rate in snap.call_count_per_min.items():
                 group_total = totals.get((snap.type_name, key), 0.0)
                 snap.call_perc[key] = (
-                    100.0 * rate / group_total if group_total > 0 else 0.0)
+                    100.0 * rate / group_total if group_total > 0.0 else 0.0)

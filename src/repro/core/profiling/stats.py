@@ -6,6 +6,7 @@ from typing import Dict, Tuple
 
 from ...cluster import WindowedMeter
 from ...sim import Simulator
+from .ring import RingMeter
 
 __all__ = ["ActorStats", "CallKey", "PairKey"]
 
@@ -20,26 +21,49 @@ class ActorStats:
 
     Call meters are created lazily on first message of each key, so actors
     that never receive a given call type pay nothing for it.
+
+    ``use_ring`` selects the meter implementation: ring-buffer meters
+    (:class:`RingMeter`, O(1) windowed totals — the incremental path) or
+    the original :class:`WindowedMeter` (per-query bucket scan — the
+    full-recompute reference path).  Both produce bit-identical totals.
+
+    ``version`` counts mutations; the profiling runtime compares it
+    against the version captured with a cached snapshot to decide whether
+    the actor is dirty.
     """
 
-    def __init__(self, sim: Simulator) -> None:
+    __slots__ = ("_sim", "_window_ms", "_use_ring", "cpu", "net_in",
+                 "net_out", "call_counts", "call_bytes", "pair_counts",
+                 "messages_processed", "version")
+
+    def __init__(self, sim: Simulator, window_ms: float = 60_000.0,
+                 use_ring: bool = True) -> None:
         self._sim = sim
-        self.cpu = WindowedMeter(sim)
-        self.net_in = WindowedMeter(sim)
-        self.net_out = WindowedMeter(sim)
-        self.call_counts: Dict[CallKey, WindowedMeter] = {}
-        self.call_bytes: Dict[CallKey, WindowedMeter] = {}
-        self.pair_counts: Dict[PairKey, WindowedMeter] = {}
+        self._window_ms = window_ms
+        self._use_ring = use_ring
+        self.cpu = self._new_meter()
+        self.net_in = self._new_meter()
+        self.net_out = self._new_meter()
+        self.call_counts: Dict[CallKey, object] = {}
+        self.call_bytes: Dict[CallKey, object] = {}
+        self.pair_counts: Dict[PairKey, object] = {}
         self.messages_processed = 0
+        self.version = 0
+
+    def _new_meter(self):
+        if self._use_ring:
+            return RingMeter(self._sim, self._window_ms)
+        return WindowedMeter(self._sim)
 
     def record_message(self, caller_kind: str, caller_id, function: str,
                        size_bytes: float) -> None:
+        self.version += 1
         key: CallKey = (caller_kind, function)
         counts = self.call_counts.get(key)
         if counts is None:
-            counts = WindowedMeter(self._sim)
+            counts = self._new_meter()
             self.call_counts[key] = counts
-            self.call_bytes[key] = WindowedMeter(self._sim)
+            self.call_bytes[key] = self._new_meter()
         counts.add(1.0)
         self.call_bytes[key].add(size_bytes)
         self.messages_processed += 1
@@ -47,6 +71,18 @@ class ActorStats:
             pair_key: PairKey = (caller_id, function)
             pair = self.pair_counts.get(pair_key)
             if pair is None:
-                pair = WindowedMeter(self._sim)
+                pair = self._new_meter()
                 self.pair_counts[pair_key] = pair
             pair.add(1.0)
+
+    def add_cpu(self, busy_ms: float) -> None:
+        self.version += 1
+        self.cpu.add(busy_ms)
+
+    def add_net_in(self, nbytes: float) -> None:
+        self.version += 1
+        self.net_in.add(nbytes)
+
+    def add_net_out(self, nbytes: float) -> None:
+        self.version += 1
+        self.net_out.add(nbytes)

@@ -15,7 +15,6 @@ signals and queues.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = ["Simulator", "SimulationError", "StopSimulation"]
@@ -45,9 +44,11 @@ class Simulator:
     5.0
     """
 
+    __slots__ = ("_heap", "_counter", "_now", "_running", "_stopped")
+
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, Callable[..., Any], tuple]] = []
-        self._counter = itertools.count()
+        self._counter = 0
         self._now = 0.0
         self._running = False
         self._stopped = False
@@ -67,8 +68,8 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay!r}")
-        heapq.heappush(
-            self._heap, (self._now + delay, next(self._counter), callback, args))
+        self._counter = seq = self._counter + 1
+        heapq.heappush(self._heap, (self._now + delay, seq, callback, args))
 
     def schedule_at(self, when: float, callback: Callable[..., Any],
                     *args: Any) -> None:
@@ -76,8 +77,8 @@ class Simulator:
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when!r}, current time is {self._now!r}")
-        heapq.heappush(
-            self._heap, (when, next(self._counter), callback, args))
+        self._counter = seq = self._counter + 1
+        heapq.heappush(self._heap, (when, seq, callback, args))
 
     def stop(self) -> None:
         """Halt the simulation after the current callback returns."""
@@ -94,12 +95,17 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
+        # Hot loop: hoist attribute lookups; an infinite limit folds the
+        # bounded and unbounded variants into a single comparison.
+        heap = self._heap
+        heappop = heapq.heappop
+        limit = float("inf") if until is None else until
         try:
-            while self._heap and not self._stopped:
-                when, _seq, callback, args = self._heap[0]
-                if until is not None and when > until:
+            while heap and not self._stopped:
+                when = heap[0][0]
+                if when > limit:
                     break
-                heapq.heappop(self._heap)
+                _when, _seq, callback, args = heappop(heap)
                 self._now = when
                 try:
                     callback(*args)

@@ -22,6 +22,8 @@ T = TypeVar("T")
 class QueueGet(Waitable, Generic[T]):
     """Waitable returned by :meth:`Queue.get`."""
 
+    __slots__ = ("_queue", "_callback")
+
     def __init__(self, queue: "Queue[T]") -> None:
         self._queue = queue
         self._callback: Callable[[Any], None] = lambda value: None
@@ -44,10 +46,14 @@ class Queue(Generic[T]):
     >>> # item = yield queue.get()
     """
 
+    __slots__ = ("_sim", "_items", "_getters")
+
     def __init__(self, sim: Simulator) -> None:
         self._sim = sim
         self._items: Deque[T] = deque()
-        self._getters: List[QueueGet[T]] = []
+        # A deque so waking the oldest getter is O(1); mailboxes with a
+        # deep backlog of waiters used to pay O(n) per put.
+        self._getters: Deque[QueueGet[T]] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -55,7 +61,7 @@ class Queue(Generic[T]):
     def put(self, item: T) -> None:
         """Enqueue ``item``, waking the oldest waiting getter if any."""
         if self._getters:
-            getter = self._getters.pop(0)
+            getter = self._getters.popleft()
             getter._deliver(item)
         else:
             self._items.append(item)

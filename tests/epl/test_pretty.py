@@ -1,7 +1,7 @@
 """Tests for the EPL pretty-printer, including round-trip properties."""
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.apps import (ESTORE_POLICY, HALO_INTERACTION_POLICY,
                         MEDIA_POLICY, METADATA_POLICY, PAGERANK_POLICY)
@@ -105,3 +105,85 @@ def random_rule_source(draw):
 def test_round_trip_property(source):
     rendered = format_policy(parse_policy(source))
     assert format_policy(parse_policy(rendered)) == rendered
+
+
+# -- richer corpus: every construct the grammar offers ----------------------
+
+_stat = st.sampled_from(["count", "size", "perc"])
+
+
+@st.composite
+def rich_rule_source(draw):
+    """One rule drawing from the full grammar: server and per-actor
+    resource features, client and actor-to-actor call features, ref
+    joins, parenthesized or-groups, priorities, and every behavior
+    (including separate and multi-type balance)."""
+    type_a, type_b = draw(_ident), draw(_ident)
+    if type_a == type_b:
+        type_b += "B"
+    var_a, var_b = draw(_var), draw(_var)
+    if var_a == var_b:
+        var_b += "x"
+    atom_pool = [
+        "true",
+        f"server.{draw(_res)}.{draw(_stat)} {draw(_comp)} {draw(_value)}",
+        f"{type_a}({var_a}).{draw(_res)}.perc {draw(_comp)} {draw(_value)}",
+        f"client.call({type_a}({var_a}).go).{draw(_stat)} "
+        f"{draw(_comp)} {draw(_value)}",
+        f"{type_a}({var_a}).call({type_b}({var_b}).sync).{draw(_stat)} "
+        f"{draw(_comp)} {draw(_value)}",
+        f"{type_b}({var_b}) in ref({type_a}({var_a}).items)",
+        f"(server.cpu.perc > {draw(_value)} or "
+        f"server.net.perc < {draw(_value)})",
+    ]
+    count = draw(st.integers(min_value=1, max_value=4))
+    picked = draw(st.permutations(atom_pool))[:count]
+    glue = draw(st.lists(st.sampled_from([" and ", " or "]),
+                         min_size=count - 1, max_size=count - 1))
+    condition = picked[0]
+    for connective, atom in zip(glue, picked[1:]):
+        condition += connective + atom
+    behavior_pool = [
+        f"balance({{{type_a}}}, {draw(_res)});",
+        f"balance({{{type_a}, {type_b}}}, {draw(_res)});",
+        f"pin({type_a}({var_a}));",
+        f"reserve({var_a}, {draw(_res)});",
+        f"colocate({var_a}, {var_b});",
+        f"separate({var_a}, {var_b});",
+    ]
+    behaviors = " ".join(draw(st.permutations(behavior_pool))[
+        :draw(st.integers(min_value=1, max_value=2))])
+    prefix = ""
+    if draw(st.booleans()):
+        prefix = f"priority {draw(st.integers(0, 9))}: "
+    return f"{prefix}{condition} => {behaviors}"
+
+
+@st.composite
+def random_policy_source(draw):
+    """Whole policies: several rules, mixed whitespace between them."""
+    rules = draw(st.lists(rich_rule_source(), min_size=1, max_size=4))
+    separator = draw(st.sampled_from(["\n", "\n\n", " "]))
+    return separator.join(rules)
+
+
+@settings(derandomize=True, max_examples=150, deadline=None)
+@given(rich_rule_source())
+def test_rich_rule_round_trip_property(source):
+    # pretty(parse(src)) is a fixed point: parsing the rendering and
+    # rendering again must reproduce it byte for byte.
+    rendered = format_policy(parse_policy(source))
+    assert format_policy(parse_policy(rendered)) == rendered
+
+
+@settings(derandomize=True, max_examples=100, deadline=None)
+@given(random_policy_source())
+def test_multi_rule_policy_round_trip_property(source):
+    policy = parse_policy(source)
+    rendered = format_policy(policy)
+    reparsed = parse_policy(rendered)
+    assert format_policy(reparsed) == rendered
+    # Structure survives, not just text: rule count and priorities.
+    assert len(reparsed.rules) == len(policy.rules)
+    assert [rule.priority for rule in reparsed.rules] == \
+        [rule.priority for rule in policy.rules]

@@ -182,6 +182,60 @@ def test_destroyed_actor_stats_dropped():
     assert shard.actor_id not in profiler._stats
 
 
+@pytest.mark.parametrize("incremental", [True, False])
+def test_zero_window_profiler_does_not_divide_by_zero(incremental):
+    # Regression: window_ms=0 made the per-minute scaling divide by an
+    # effective window of zero and raise ZeroDivisionError.
+    sim, system, _ = setup(profiled=False)
+    profiler = ProfilingRuntime(sim, window_ms=0.0, incremental=incremental)
+    system.add_hooks(profiler)
+    shard = system.create_actor(Shard, server=system.provisioner.servers[0])
+    run_calls(sim, system, shard, "read", 3)
+    snap = profiler.snapshot_actors(
+        [system.directory.lookup(shard.actor_id)])[0]
+    assert snap.cpu_ms_per_min == 0.0
+    assert snap.cpu_perc == 0.0
+    assert all(v == 0.0 for v in snap.call_count_per_min.values())
+
+
+@pytest.mark.parametrize("incremental", [True, False])
+def test_zero_group_total_percentages_are_zero(incremental):
+    # A group whose windowed call counts all decayed to zero must produce
+    # 0% shares, not a divide-by-zero (the _fill_percentages guard).
+    sim, system, _ = setup(profiled=False)
+    profiler = ProfilingRuntime(sim, window_ms=10_000.0,
+                                incremental=incremental)
+    system.add_hooks(profiler)
+    server = system.provisioner.servers[0]
+    first = system.create_actor(Shard, server=server)
+    second = system.create_actor(Shard, server=server)
+    run_calls(sim, system, first, "read", 4)
+    run_calls(sim, system, second, "read", 2)
+    sim.run(until=sim.now + 800_000.0)  # far past every retained bucket
+    snaps = profiler.snapshot_actors(system.actors_on(server))
+    for snap in snaps:
+        for value in snap.call_perc.values():
+            assert value == 0.0
+
+
+def test_snapshot_cache_counters():
+    sim, system, profiler = setup()
+    server = system.provisioner.servers[0]
+    shard = system.create_actor(Shard, server=server)
+    run_calls(sim, system, shard, "read", 3)
+    record = system.directory.lookup(shard.actor_id)
+    profiler.snapshot_actors([record])
+    misses = profiler.snapshot_cache_misses
+    # Same instant, nothing changed: served from cache.
+    profiler.snapshot_actors([record])
+    assert profiler.snapshot_cache_hits >= 1
+    assert profiler.snapshot_cache_misses == misses
+    # New traffic dirties the actor: recomputed.
+    run_calls(sim, system, shard, "read", 1)
+    profiler.snapshot_actors([record])
+    assert profiler.snapshot_cache_misses > misses
+
+
 def test_resource_perc_accessors_validate():
     sim, system, profiler = setup()
     shard = system.create_actor(Shard)
