@@ -8,7 +8,7 @@ deterministic under a fixed seed so failures are exactly replayable.
 
 from .engine import ChaosEngine
 from .plan import (CrashServer, DegradeNetwork, Fault, FaultPlan, KillGem,
-                   SlowServer)
+                   SlowServer, fault_from_dict, fault_to_dict)
 
 __all__ = [
     "ChaosEngine",
@@ -18,4 +18,6 @@ __all__ = [
     "FaultPlan",
     "KillGem",
     "SlowServer",
+    "fault_from_dict",
+    "fault_to_dict",
 ]

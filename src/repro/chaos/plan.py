@@ -25,11 +25,11 @@ when earlier faults add or remove servers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 __all__ = ["CrashServer", "KillGem", "DegradeNetwork", "SlowServer",
-           "FaultPlan", "Fault"]
+           "FaultPlan", "Fault", "fault_to_dict", "fault_from_dict"]
 
 
 @dataclass(frozen=True)
@@ -114,6 +114,42 @@ Fault = Union[CrashServer, KillGem, DegradeNetwork, SlowServer]
 
 _FAULT_TYPES = (CrashServer, KillGem, DegradeNetwork, SlowServer)
 
+_FAULT_NAMES: Dict[str, type] = {
+    "crash-server": CrashServer,
+    "kill-gem": KillGem,
+    "degrade-network": DegradeNetwork,
+    "slow-server": SlowServer,
+}
+
+
+def fault_to_dict(fault: Fault) -> Dict[str, Any]:
+    """Serialize one fault to a JSON-able dict (``{"fault": name, ...}``).
+
+    The inverse of :func:`fault_from_dict`; fuzz scenarios and replay
+    artifacts store fault plans in this form.
+    """
+    for name, cls in _FAULT_NAMES.items():
+        if isinstance(fault, cls):
+            return {"fault": name, **asdict(fault)}
+    raise TypeError(f"not a fault: {fault!r}")
+
+
+def fault_from_dict(data: Dict[str, Any]) -> Fault:
+    """Rebuild a fault from :func:`fault_to_dict` output.  Validation in
+    ``__post_init__`` runs again, so a hand-edited artifact that names an
+    impossible fault fails loudly instead of injecting garbage."""
+    payload = dict(data)
+    name = payload.pop("fault", None)
+    cls = _FAULT_NAMES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown fault kind {name!r}; "
+                         f"expected one of {sorted(_FAULT_NAMES)}")
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ValueError(f"unknown fields for {name!r}: {sorted(unknown)}")
+    return cls(**payload)
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -130,6 +166,15 @@ class FaultPlan:
     def ordered(self) -> List[Fault]:
         """Faults sorted by injection time (stable on ties)."""
         return sorted(self.faults, key=lambda fault: fault.at_ms)
+
+    def to_jsonable(self) -> List[Dict[str, Any]]:
+        """The plan as a list of JSON-able fault dicts."""
+        return [fault_to_dict(fault) for fault in self.faults]
+
+    @classmethod
+    def from_jsonable(cls, data: List[Dict[str, Any]]) -> "FaultPlan":
+        """Rebuild a plan serialized with :meth:`to_jsonable`."""
+        return cls(faults=tuple(fault_from_dict(item) for item in data))
 
     def __len__(self) -> int:
         return len(self.faults)

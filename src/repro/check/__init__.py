@@ -1,0 +1,19 @@
+"""Runtime invariant checking for the elasticity stack.
+
+:class:`InvariantChecker` attaches to a running
+:class:`~repro.core.emr.ElasticityManager` and continuously re-derives
+the correctness properties of the paper's Algorithms 1 and 2 from the
+runtime's observable events — placement stability, pin/priority
+discipline, majority-vote fleet scaling, actor conservation across
+crashes and migrations, and resource accounting.  Violations are
+collected (or raised, in strict mode) with enough context to be
+replayed.
+
+The checker is the assertion half of the simulation-testing layer; the
+scenario fuzzer in :mod:`repro.fuzz` is the input half.
+"""
+
+from .checker import InvariantChecker
+from .invariants import INVARIANTS, Violation
+
+__all__ = ["InvariantChecker", "INVARIANTS", "Violation"]

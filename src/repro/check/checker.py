@@ -1,0 +1,533 @@
+"""The runtime invariant checker.
+
+:class:`InvariantChecker` subscribes to the same observation surfaces
+the tracer uses — actor-runtime hooks and the elasticity manager's event
+bus — plus a periodic sweep on the simulation clock, and re-derives the
+elasticity stack's correctness properties *independently* of the code
+that is supposed to enforce them.  It deliberately reads raw
+configuration fields (``period_ms``, ``stability_ms``) rather than the
+helper methods the runtime itself calls, so a mutation that weakens the
+runtime's own guard (the classic one-line ``stability_window_ms``
+regression) is caught rather than mirrored.
+
+Usage::
+
+    checker = InvariantChecker(manager, meters=[meter], tracer=tracer)
+    checker.attach()
+    ... run the simulation ...
+    checker.final_check()
+    assert not checker.violations, checker.report()
+
+Attaching sets ``manager.debug_events = True`` so LEMs and GEMs emit the
+verbose per-round events (``lem-round``, ``actions-resolved``,
+``gem-vote``) the checker consumes; detaching restores the previous
+value.  The checker never mutates runtime decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from ..actors import ActorRecord, RuntimeHooks
+from ..cluster import AvailabilityMeter, Server
+from .invariants import INVARIANTS, InvariantError, Violation
+
+__all__ = ["InvariantChecker"]
+
+_EPS = 1e-6
+_PERC_EPS = 1e-6
+_MEM_EPS_MB = 1e-6
+
+
+class _CheckerHooks(RuntimeHooks):
+    """Actor-runtime hook adapter (same shape as the tracer's)."""
+
+    def __init__(self, checker: "InvariantChecker") -> None:
+        self.checker = checker
+
+    def on_actor_created(self, record: ActorRecord) -> None:
+        self.checker._on_created(record)
+
+    def on_actor_destroyed(self, record: ActorRecord) -> None:
+        self.checker._on_destroyed(record)
+
+    def on_actor_migrated(self, record: ActorRecord, old_server: Server,
+                          new_server: Server) -> None:
+        self.checker._on_migrated(record, old_server, new_server)
+
+    def on_migration_aborted(self, record: ActorRecord, source: Server,
+                             target: Server, reason: str) -> None:
+        self.checker._on_migration_aborted(record, source, target, reason)
+
+    def on_server_crashed(self, server: Server,
+                          lost: List[ActorRecord]) -> None:
+        self.checker._on_server_crashed(server, lost)
+
+    def on_actor_resurrected(self, record: ActorRecord) -> None:
+        self.checker._on_resurrected(record)
+
+
+class InvariantChecker:
+    """Continuously checks the invariant catalogue against a live run.
+
+    Parameters
+    ----------
+    manager:
+        The :class:`~repro.core.emr.ElasticityManager` under test.
+    meters:
+        Optional :class:`AvailabilityMeter` instances fed by the
+        scenario's clients; used by ``availability-consistency``.
+    tracer:
+        Optional :class:`~repro.core.tracing.ElasticityTracer`; when
+        given, each violation carries the tail of the trace as context.
+    strict:
+        Raise :class:`InvariantError` at the first violation instead of
+        collecting.
+    sweep_interval_ms:
+        Period of the placement/accounting sweep (default: half the
+        elasticity period).
+    """
+
+    def __init__(self, manager, meters: Sequence[AvailabilityMeter] = (),
+                 tracer=None, strict: bool = False,
+                 sweep_interval_ms: Optional[float] = None,
+                 max_violations: int = 200) -> None:
+        self.manager = manager
+        self.meters = list(meters)
+        self.tracer = tracer
+        self.strict = strict
+        self.max_violations = max_violations
+        self.sweep_interval_ms = (
+            sweep_interval_ms if sweep_interval_ms is not None
+            else manager.config.period_ms / 2.0)
+        self.violations: List[Violation] = []
+        self.dropped = 0
+        self.checks_run = 0
+        self._hooks = _CheckerHooks(self)
+        self._attached = False
+        self._cancel_sweep = None
+        self._prev_debug_events = False
+        # -- derived runtime state ------------------------------------
+        self._alive: Dict[int, str] = {}          # actor id -> type name
+        self._lost: Dict[int, str] = {}           # crashed, resurrectable
+        self._placed_at: Dict[int, float] = {}    # last placement time
+        self._server_of: Dict[int, str] = {}      # actor id -> server name
+        self._inflight: Dict[int, Dict[str, Any]] = {}
+        self._last_vote: Optional[Dict[str, Any]] = None
+        self._first_fault_ms: Optional[float] = None
+        self._crashed_servers: Set[str] = set()
+
+    # -- expected stability window ------------------------------------
+
+    def _expected_stability_ms(self) -> float:
+        """One stability window, derived from raw config fields (NOT from
+        ``EmrConfig.stability_window_ms`` — the checker must not inherit a
+        bug in the runtime's own helper)."""
+        config = self.manager.config
+        if config.stability_ms is not None:
+            return config.stability_ms
+        return config.period_ms
+
+    # -- lifecycle -----------------------------------------------------
+
+    def attach(self) -> None:
+        if self._attached:
+            return
+        self._attached = True
+        system = self.manager.system
+        # Adopt the state of a run already in progress, so attaching
+        # mid-run never reports pre-existing actors as duplicates.
+        for record in system.directory.records():
+            actor_id = record.ref.actor_id
+            self._alive[actor_id] = record.ref.type_name
+            self._placed_at[actor_id] = record.last_placed_at
+            self._server_of[actor_id] = record.server.name
+        system.add_hooks(self._hooks)
+        self.manager.add_listener(self._on_emr_event)
+        self._prev_debug_events = self.manager.debug_events
+        self.manager.debug_events = True
+        self._cancel_sweep = system.sim.every(self.sweep_interval_ms,
+                                              self._sweep)
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self._attached = False
+        system = self.manager.system
+        if self._hooks in system.hooks:
+            system.remove_hooks(self._hooks)
+        self.manager.remove_listener(self._on_emr_event)
+        self.manager.debug_events = self._prev_debug_events
+        if self._cancel_sweep is not None:
+            self._cancel_sweep()
+            self._cancel_sweep = None
+
+    # -- reporting -----------------------------------------------------
+
+    def _violate(self, invariant: str, message: str, **detail: Any) -> None:
+        assert invariant in INVARIANTS, f"unknown invariant {invariant!r}"
+        if self.tracer is not None:
+            detail = dict(detail)
+            detail["trace_tail"] = [str(event)
+                                    for event in self.tracer.tail(12)]
+        violation = Violation(invariant=invariant,
+                              time_ms=self.manager.system.sim.now,
+                              message=message, detail=detail)
+        if self.strict:
+            raise InvariantError(violation)
+        if len(self.violations) >= self.max_violations:
+            self.dropped += 1
+            return
+        self.violations.append(violation)
+
+    def report(self) -> str:
+        """Human-readable summary of every collected violation."""
+        if not self.violations:
+            return "no invariant violations"
+        lines = [f"{len(self.violations)} invariant violation(s)"
+                 + (f" (+{self.dropped} dropped)" if self.dropped else "")]
+        lines.extend(str(violation) for violation in self.violations)
+        return "\n".join(lines)
+
+    def violations_of(self, invariant: str) -> List[Violation]:
+        return [violation for violation in self.violations
+                if violation.invariant == invariant]
+
+    def assert_clean(self) -> None:
+        """Run :meth:`final_check` and raise ``AssertionError`` with the
+        full report if any invariant was violated.  The one-liner test
+        suites call after driving a simulation."""
+        self.final_check()
+        if self.violations:
+            raise AssertionError(self.report())
+
+    # -- actor-runtime hooks -------------------------------------------
+
+    def _on_created(self, record: ActorRecord) -> None:
+        actor_id = record.ref.actor_id
+        now = self.manager.system.sim.now
+        if actor_id in self._alive:
+            self._violate(
+                "actor-conservation",
+                f"actor id {actor_id} created while already alive",
+                actor=str(record.ref))
+        self._alive[actor_id] = record.ref.type_name
+        self._lost.pop(actor_id, None)
+        self._placed_at[actor_id] = now
+        self._server_of[actor_id] = record.server.name
+
+    def _on_destroyed(self, record: ActorRecord) -> None:
+        actor_id = record.ref.actor_id
+        if actor_id not in self._alive:
+            self._violate(
+                "actor-conservation",
+                f"actor id {actor_id} destroyed but was not alive",
+                actor=str(record.ref))
+        self._alive.pop(actor_id, None)
+        self._server_of.pop(actor_id, None)
+        self._placed_at.pop(actor_id, None)
+        self._inflight.pop(actor_id, None)
+
+    def _on_migrated(self, record: ActorRecord, old_server: Server,
+                     new_server: Server) -> None:
+        actor_id = record.ref.actor_id
+        now = self.manager.system.sim.now
+        start = self._inflight.pop(actor_id, None)
+        if start is not None and start["src"] != old_server.name:
+            self._violate(
+                "migration-sanity",
+                f"migration of {record.ref} completed from "
+                f"{old_server.name} but started from {start['src']}",
+                actor=str(record.ref))
+        if start is None:
+            # No start event (a direct migrate_actor call, outside the
+            # EMR): fall back to the completion time, which is >= the
+            # start time, so this can only under-report — never a false
+            # positive.
+            placed = self._placed_at.get(actor_id)
+            stability = self._expected_stability_ms()
+            if placed is not None and now - placed < stability - _EPS:
+                self._violate(
+                    "stability-window",
+                    f"{record.ref} migrated {now - placed:.1f}ms after "
+                    f"placement; stability window is {stability:.1f}ms",
+                    actor=str(record.ref), placed_at=placed)
+        self._placed_at[actor_id] = now
+        self._server_of[actor_id] = new_server.name
+        self.checks_run += 1
+
+    def _on_migration_aborted(self, record: ActorRecord, source: Server,
+                              target: Server, reason: str) -> None:
+        self._inflight.pop(record.ref.actor_id, None)
+
+    def _on_server_crashed(self, server: Server,
+                           lost: List[ActorRecord]) -> None:
+        self._crashed_servers.add(server.name)
+        if self._first_fault_ms is None:
+            self._first_fault_ms = self.manager.system.sim.now
+        for record in lost:
+            # crash_server destroys the lost actors (firing the destroy
+            # hook) before announcing the crash, so they are already out
+            # of the alive map here; record them as crash-lost so a
+            # later resurrection is recognised as legitimate.
+            actor_id = record.ref.actor_id
+            self._alive.pop(actor_id, None)
+            self._lost[actor_id] = record.ref.type_name
+            self._server_of.pop(actor_id, None)
+            self._placed_at.pop(actor_id, None)
+            self._inflight.pop(actor_id, None)
+
+    def _on_resurrected(self, record: ActorRecord) -> None:
+        actor_id = record.ref.actor_id
+        now = self.manager.system.sim.now
+        if actor_id in self._alive:
+            self._violate(
+                "actor-conservation",
+                f"actor id {actor_id} resurrected while still alive",
+                actor=str(record.ref))
+        elif actor_id not in self._lost:
+            # Covers double-resurrection too: a successful resurrection
+            # removes the id from the lost set, so a second resurrect
+            # without an intervening crash lands here (or in the
+            # still-alive branch above).
+            self._violate(
+                "actor-conservation",
+                f"actor id {actor_id} resurrected but never lost to a "
+                f"crash", actor=str(record.ref))
+        self._alive[actor_id] = record.ref.type_name
+        self._lost.pop(actor_id, None)
+        self._placed_at[actor_id] = now
+        self._server_of[actor_id] = record.server.name
+        if not record.server.running:
+            self._violate(
+                "placement-consistency",
+                f"{record.ref} resurrected onto non-running server "
+                f"{record.server.name}", actor=str(record.ref))
+
+    # -- EMR event bus -------------------------------------------------
+
+    def _on_emr_event(self, kind: str, detail: Dict[str, Any]) -> None:
+        if kind == "migration-started":
+            self._check_migration_start(detail)
+        elif kind == "actions-resolved":
+            self._check_actions_resolved(detail)
+        elif kind == "gem-vote":
+            self._check_gem_vote(detail)
+        elif kind == "scale-out":
+            self._check_scale_decision("overloaded", "scale-out-majority",
+                                       detail)
+        elif kind == "scale-in":
+            self._check_scale_decision("underloaded", "scale-in-majority",
+                                       detail)
+        elif kind == "lem-round":
+            self._check_lem_round(detail)
+        elif kind == "fault-injected":
+            if self._first_fault_ms is None:
+                self._first_fault_ms = self.manager.system.sim.now
+
+    def _check_migration_start(self, detail: Dict[str, Any]) -> None:
+        self.checks_run += 1
+        now = self.manager.system.sim.now
+        actor_id = detail["actor_id"]
+        actor = detail.get("actor", actor_id)
+        action_kind = detail["action"]
+        if detail.get("pinned") and action_kind != "reserve":
+            self._violate(
+                "pin-integrity",
+                f"{action_kind} migration started for pinned actor "
+                f"{actor}", **detail)
+        if actor_id in self._inflight:
+            self._violate(
+                "single-flight",
+                f"migration of {actor} started while a previous one "
+                f"(started at {self._inflight[actor_id]['at']:.1f}ms) "
+                f"is still in flight", **detail)
+        if detail["src"] == detail["dst"]:
+            self._violate(
+                "migration-sanity",
+                f"migration of {actor} has src == dst "
+                f"({detail['src']})", **detail)
+        known_server = self._server_of.get(actor_id)
+        if known_server is not None and known_server != detail["src"]:
+            self._violate(
+                "migration-sanity",
+                f"migration of {actor} starts from {detail['src']} but "
+                f"the actor is on {known_server}", **detail)
+        if not detail.get("dst_running", True):
+            self._violate(
+                "migration-sanity",
+                f"migration of {actor} targets non-running server "
+                f"{detail['dst']}", **detail)
+        if detail.get("dst_draining"):
+            self._violate(
+                "migration-sanity",
+                f"migration of {actor} targets draining server "
+                f"{detail['dst']}", **detail)
+        placed = self._placed_at.get(actor_id)
+        stability = self._expected_stability_ms()
+        if placed is not None and now - placed < stability - _EPS:
+            self._violate(
+                "stability-window",
+                f"{actor} migration started {now - placed:.1f}ms after "
+                f"placement; stability window is {stability:.1f}ms",
+                placed_at=placed, **detail)
+        self._inflight[actor_id] = {"at": now, "src": detail["src"],
+                                    "dst": detail["dst"]}
+
+    def _check_actions_resolved(self, detail: Dict[str, Any]) -> None:
+        self.checks_run += 1
+        candidates: Dict[int, list] = detail["candidates"]
+        chosen: Dict[int, tuple] = detail["chosen"]
+        for actor_id, proposals in candidates.items():
+            best_priority = max(priority for _kind, priority in proposals)
+            picked = chosen.get(actor_id)
+            if picked is None:
+                self._violate(
+                    "conflict-priority",
+                    f"actor id {actor_id} had {len(proposals)} proposed "
+                    f"action(s) but none survived resolution",
+                    server=detail.get("server"), proposals=proposals)
+                continue
+            expected = next(item for item in proposals
+                            if item[1] == best_priority)
+            if tuple(picked) != tuple(expected):
+                self._violate(
+                    "conflict-priority",
+                    f"actor id {actor_id}: resolution picked {picked} "
+                    f"but the highest-priority proposal (earliest on "
+                    f"ties) is {expected}",
+                    server=detail.get("server"), proposals=proposals)
+        for actor_id in chosen:
+            if actor_id not in candidates:
+                self._violate(
+                    "conflict-priority",
+                    f"resolution produced an action for actor id "
+                    f"{actor_id} that nobody proposed",
+                    server=detail.get("server"))
+
+    def _check_gem_vote(self, detail: Dict[str, Any]) -> None:
+        self.checks_run += 1
+        views = detail.get("peer_views", ())
+        agreeing = sum(1 for _gem, view, rounds in views
+                       if view >= 0.5 or rounds == 0)
+        expected = agreeing * 2 >= len(views) if views else True
+        invariant = ("scale-out-majority"
+                     if detail.get("direction") == "overloaded"
+                     else "scale-in-majority")
+        if bool(detail.get("decision")) != expected:
+            self._violate(
+                invariant,
+                f"recorded vote decision {detail.get('decision')} "
+                f"disagrees with recomputed majority {expected} "
+                f"({agreeing}/{len(views)} peers agreeing)", **detail)
+        self._last_vote = {"at": self.manager.system.sim.now,
+                           "direction": detail.get("direction"),
+                           "decision": detail.get("decision")}
+
+    def _check_scale_decision(self, direction: str, invariant: str,
+                              detail: Dict[str, Any]) -> None:
+        self.checks_run += 1
+        vote = self._last_vote
+        now = self.manager.system.sim.now
+        if (vote is None or vote["at"] != now
+                or vote["direction"] != direction
+                or not vote["decision"]):
+            self._violate(
+                invariant,
+                f"fleet adjustment ({direction}) executed without a "
+                f"same-tick winning majority vote", **detail)
+
+    def _check_lem_round(self, detail: Dict[str, Any]) -> None:
+        self.checks_run += 1
+        server = detail.get("server", "?")
+        for key in ("server_cpu_perc", "server_net_perc"):
+            value = detail.get(key, 0.0)
+            if not -_PERC_EPS <= value <= 100.0 + _PERC_EPS:
+                self._violate(
+                    "resource-accounting",
+                    f"{server}: {key} out of range: {value:.3f}",
+                    **{key: value, "server": server})
+        if detail.get("server_mem_perc", 0.0) < -_PERC_EPS:
+            self._violate(
+                "resource-accounting",
+                f"{server}: negative memory percentage", server=server)
+        for value in detail.get("actor_cpu_percs", ()):
+            if not -_PERC_EPS <= value <= 100.0 + _PERC_EPS:
+                self._violate(
+                    "resource-accounting",
+                    f"{server}: actor cpu percentage out of range: "
+                    f"{value:.3f}", server=server)
+        if detail.get("actor_count") != len(detail.get("actor_cpu_percs",
+                                                       ())):
+            self._violate(
+                "resource-accounting",
+                f"{server}: snapshot actor_count "
+                f"{detail.get('actor_count')} != "
+                f"{len(detail.get('actor_cpu_percs', ()))} actor "
+                f"snapshots", server=server)
+        booked = detail.get("server_mem_used_mb", 0.0)
+        summed = detail.get("actor_mem_mb", 0.0)
+        if abs(booked - summed) > _MEM_EPS_MB:
+            self._violate(
+                "resource-accounting",
+                f"{server}: actors' state memory sums to "
+                f"{summed:.3f}MB but the server has {booked:.3f}MB "
+                f"booked", server=server, booked=booked, summed=summed)
+
+    # -- periodic sweep ------------------------------------------------
+
+    def _sweep(self) -> None:
+        self.checks_run += 1
+        system = self.manager.system
+        directory_ids = set()
+        mem_by_server: Dict[int, float] = {}
+        for record in system.directory.records():
+            directory_ids.add(record.ref.actor_id)
+            if not record.server.running:
+                self._violate(
+                    "placement-consistency",
+                    f"{record.ref} is hosted on non-running server "
+                    f"{record.server.name}", actor=str(record.ref))
+            sid = record.server.server_id
+            mem_by_server[sid] = (mem_by_server.get(sid, 0.0)
+                                  + record.instance.state_size_mb)
+        for server in system.provisioner.servers:
+            if not server.running:
+                continue
+            expected = mem_by_server.get(server.server_id, 0.0)
+            if abs(server.memory_used_mb - expected) > _MEM_EPS_MB:
+                self._violate(
+                    "resource-accounting",
+                    f"{server.name}: booked memory "
+                    f"{server.memory_used_mb:.3f}MB != "
+                    f"{expected:.3f}MB of hosted actor state",
+                    server=server.name)
+        tracked = set(self._alive)
+        if tracked != directory_ids:
+            missing = sorted(tracked - directory_ids)[:5]
+            extra = sorted(directory_ids - tracked)[:5]
+            self._violate(
+                "actor-conservation",
+                f"directory and event-derived live set disagree "
+                f"(missing from directory: {missing}, untracked: "
+                f"{extra})", missing=missing, extra=extra)
+
+    # -- end of run ----------------------------------------------------
+
+    def final_check(self) -> List[Violation]:
+        """Run the end-of-run checks and return all violations."""
+        self._sweep()
+        fault_free = (self._first_fault_ms is None
+                      and not self._crashed_servers)
+        if fault_free:
+            for index, meter in enumerate(self.meters):
+                counts = meter.counts_between(0.0,
+                                              self.manager.system.sim.now)
+                bad = (counts.get("failure", 0)
+                       + counts.get("timeout", 0))
+                if bad:
+                    self._violate(
+                        "availability-consistency",
+                        f"meter {index}: {bad} failed/timed-out calls "
+                        f"in a fault-free run", counts=dict(counts))
+        return self.violations

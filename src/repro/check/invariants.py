@@ -1,0 +1,84 @@
+"""The invariant catalogue and the violation record type.
+
+Each invariant has a stable kebab-case name used in violation reports,
+corpus artifacts, and the documentation (``docs/testing.md``).  The
+checker in :mod:`repro.check.checker` evaluates them continuously from
+runtime events; this module is the single place their meaning is
+written down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["INVARIANTS", "Violation", "InvariantError"]
+
+
+#: name -> one-line statement of the property.  Keep in sync with
+#: docs/testing.md (the tests assert the two lists match).
+INVARIANTS: Dict[str, str] = {
+    "stability-window": (
+        "an actor never starts a migration before it has spent one full "
+        "stability window (default: one elasticity period) on its "
+        "current placement"),
+    "pin-integrity": (
+        "no executed migration moves a pinned actor, except an explicit "
+        "reserve (which outranks pin in the paper's priority order)"),
+    "conflict-priority": (
+        "conflict resolution keeps, for every actor, an action whose "
+        "priority is the maximum over all actions proposed for that "
+        "actor in the round (ties broken by proposal order)"),
+    "scale-out-majority": (
+        "every fleet scale-out decision is backed by a GEM majority "
+        "vote whose recomputed outcome agrees with the recorded one"),
+    "scale-in-majority": (
+        "every fleet scale-in (server drain) decision is backed by a "
+        "GEM majority vote whose recomputed outcome agrees with the "
+        "recorded one"),
+    "actor-conservation": (
+        "no actor is lost or duplicated: every live actor id has "
+        "exactly one directory record, resurrections only revive "
+        "actors actually lost to a crash, and never twice"),
+    "single-flight": (
+        "an actor never has two overlapping migrations: a started "
+        "migration completes or aborts before the next one starts"),
+    "migration-sanity": (
+        "every started migration has src != dst, starts from the "
+        "server that actually hosts the actor, and targets a running, "
+        "non-draining server"),
+    "resource-accounting": (
+        "per-server snapshots account for their actors: state memory "
+        "of hosted actors sums to the server's booked memory, and "
+        "every snapshot percentage lies in [0, 100] (memory may "
+        "exceed 100 only through explicit oversubscription)"),
+    "availability-consistency": (
+        "client availability meters record failures/timeouts only "
+        "when faults were actually injected (or a server crashed); a "
+        "fault-free run is 100% available"),
+    "placement-consistency": (
+        "at every sweep, each directory record is hosted on a running "
+        "server and pending placements match the provisioner's fleet"),
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant violation."""
+
+    invariant: str
+    time_ms: float
+    message: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (f"[{self.time_ms / 1000.0:9.3f}s] {self.invariant}: "
+                f"{self.message}")
+
+
+class InvariantError(AssertionError):
+    """Raised in strict mode at the moment an invariant breaks."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(str(violation))
+        self.violation = violation

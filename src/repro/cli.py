@@ -5,6 +5,8 @@
     python -m repro apps                              # list bundled apps
     python -m repro experiment NAME [--quick]         # run one experiment
     python -m repro experiments                       # list experiments
+    python -m repro fuzz --seeds 50                   # fuzz campaign
+    python -m repro fuzz --replay ARTIFACT.json       # replay a failure
 
 The ``compile`` command is the "PLASMA compiler" entry point of the
 paper's Fig. 2: it parses the elasticity policy, validates it against an
@@ -180,6 +182,89 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+ARTIFACT_FORMAT = "repro-fuzz-artifact/1"
+
+
+def load_fuzz_scenario(path: str):
+    """Load a scenario from a scenario JSON or a failure artifact."""
+    from .fuzz import SCENARIO_FORMAT, Scenario
+    with open(path) as handle:
+        data = json.load(handle)
+    if data.get("format") == ARTIFACT_FORMAT:
+        return Scenario.from_jsonable(data["scenario"])
+    if data.get("format") == SCENARIO_FORMAT:
+        return Scenario.from_jsonable(data)
+    raise SystemExit(f"{path}: not a fuzz scenario or artifact "
+                     f"(format={data.get('format')!r})")
+
+
+def _write_artifact(out_dir: str, seed: int, scenario, result,
+                    shrink_runs: int) -> str:
+    import os
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"seed-{seed}.json")
+    artifact = {
+        "format": ARTIFACT_FORMAT,
+        "found_seed": seed,
+        "failure": result.summary(),
+        "violations": [str(v) for v in result.violations],
+        "shrink_runs": shrink_runs,
+        "scenario": scenario.to_jsonable(),
+    }
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import time
+    from .fuzz import (failure_signature, generate_scenario, run_scenario,
+                       shrink)
+
+    if args.replay:
+        scenario = load_fuzz_scenario(args.replay)
+        print(f"replaying {args.replay}: {scenario.describe()}")
+        result = run_scenario(scenario, with_trace=args.trace)
+        print(result.summary())
+        for violation in result.violations:
+            print(f"  {violation}")
+        if result.error:
+            print(result.error)
+        for line in result.trace_tail:
+            print(f"  trace: {line}")
+        return 0 if result.ok else 1
+
+    started = time.monotonic()
+    failures = 0
+    for index in range(args.seeds):
+        if args.budget_s and time.monotonic() - started > args.budget_s:
+            print(f"budget of {args.budget_s}s exhausted after "
+                  f"{index} seed(s)")
+            break
+        seed = args.seed_start + index
+        scenario = generate_scenario(seed)
+        result = run_scenario(scenario)
+        status = result.summary()
+        print(f"seed {seed:6d}  {scenario.describe():50s} {status}")
+        if result.ok:
+            continue
+        failures += 1
+        shrink_runs = 0
+        if not args.no_shrink:
+            scenario, result, shrink_runs = shrink(
+                scenario, result,
+                log=lambda msg: print(f"    {msg}"))
+        path = _write_artifact(args.out, seed, scenario, result,
+                               shrink_runs)
+        print(f"    failure minimized to {path} "
+              f"({result.summary()})")
+    elapsed = time.monotonic() - started
+    print(f"{args.seeds} seed(s) in {elapsed:.1f}s: "
+          f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
 # -- entry point ---------------------------------------------------------------
 
 
@@ -215,6 +300,28 @@ def main(argv: Sequence[str] = None) -> int:
     p_experiment.add_argument("--quick", action="store_true",
                               help="scaled-down parameters")
     p_experiment.set_defaults(func=cmd_experiment)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="fuzz the elasticity stack under the invariant "
+                     "checker")
+    p_fuzz.add_argument("--seeds", type=int, default=20,
+                        help="number of fresh seeds to run (default 20)")
+    p_fuzz.add_argument("--seed-start", type=int, default=0,
+                        help="first seed of the campaign (default 0)")
+    p_fuzz.add_argument("--budget-s", type=float, default=0.0,
+                        help="wall-clock budget; stop starting new "
+                             "seeds after this many seconds")
+    p_fuzz.add_argument("--out", default="fuzz-artifacts",
+                        help="directory for shrunk failure artifacts")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="write failures unshrunk")
+    p_fuzz.add_argument("--replay", metavar="FILE",
+                        help="replay one scenario or artifact JSON "
+                             "instead of fuzzing")
+    p_fuzz.add_argument("--trace", action="store_true",
+                        help="with --replay: attach the tracer and "
+                             "print the trace tail on failure")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -99,6 +99,15 @@ class GEM:
         else:
             drain_actions = self._try_scale_in(
                 servers, actors_by_server, any_balance_bounds)
+            # Planning ran before the scale-in decision, so this round's
+            # balance/reserve actions may target the just-chosen victim
+            # (it looks ideally idle — that is *why* it was chosen).
+            # Drop them rather than land actors on a draining server;
+            # still-valid moves are simply replanned next period.
+            draining = self.manager.draining_ids()
+            if draining:
+                actions = [action for action in actions
+                           if action.dst.server_id not in draining]
             actions.extend(drain_actions)
 
         # RREPLY: route each action to the LEM of its source server.
@@ -137,7 +146,8 @@ class GEM:
                         behavior.actor_types, behavior.resource,
                         lower, upper, now, stability,
                         config.max_moves_per_server, rule.index,
-                        groups=groups)
+                        groups=groups,
+                        draining=self.manager.draining_ids())
                     actions.extend(plan.actions)
                     need_scale_out |= (plan.need_scale_out
                                        or plan.all_overloaded)
@@ -166,7 +176,8 @@ class GEM:
                             stability, rule.index, groups=groups,
                             trigger=trigger,
                             projected_load=projected_load,
-                            projected_pop=projected_pop)
+                            projected_pop=projected_pop,
+                            draining=self.manager.draining_ids())
                         need_scale_out |= scale
                         if planned:
                             moves_per_src[src_id] = \
@@ -255,6 +266,8 @@ class GEM:
         if not self.manager.vote(self, "overloaded"):
             return
         self._boots_this_round += 1
+        self.manager.emit("scale-out", gem_id=self.gem_id,
+                          overload_fraction=self.overload_fraction)
         self.manager.system.provisioner.boot_server(
             config.scale_instance_type)
 
@@ -285,5 +298,9 @@ class GEM:
                            now, config.stability_window_ms())
         if drain is None:
             return []
+        self.manager.emit("scale-in", gem_id=self.gem_id,
+                          victim=victim.server.name,
+                          underload_fraction=self.underload_fraction,
+                          planned_moves=len(drain))
         self.manager.mark_draining(victim.server)
         return drain

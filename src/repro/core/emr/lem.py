@@ -90,6 +90,11 @@ class LEM:
         actor_snaps = self.manager.profiler.snapshot_actors(records)
         server_snap = self.manager.profiler.snapshot_server(
             self.server, records)
+        # Booked memory as of the snapshot.  The round then blocks on the
+        # GEM reply; a migration completing during that wait would change
+        # the live value and make the snapshot/memory identity in
+        # _emit_round_debug racy.
+        mem_used_mb = self.server.memory_used_mb
 
         lem_actions = self._apply_act_rules(actor_snaps, server_snap)
 
@@ -106,8 +111,41 @@ class LEM:
                 gem_actions = result
 
         final = resolve_actions(lem_actions, gem_actions)
+        if self.manager.debug_events:
+            self._emit_round_debug(actor_snaps, server_snap, mem_used_mb,
+                                   lem_actions, gem_actions, final)
         for action in final:
             yield from self._execute(action)
+
+    def _emit_round_debug(self, actor_snaps: List[ActorSnapshot],
+                          server_snap: ServerSnapshot,
+                          mem_used_mb: float,
+                          lem_actions: List[Action],
+                          gem_actions: List[Action],
+                          final: List[Action]) -> None:
+        """Verbose per-round events for the invariant checker (gated on
+        ``manager.debug_events`` so normal runs pay nothing)."""
+        manager = self.manager
+        manager.emit(
+            "lem-round", server=self.server.name,
+            server_cpu_perc=server_snap.cpu_perc,
+            server_mem_perc=server_snap.mem_perc,
+            server_net_perc=server_snap.net_perc,
+            actor_count=server_snap.actor_count,
+            actor_mem_mb=sum(snap.mem_mb for snap in actor_snaps),
+            server_mem_used_mb=mem_used_mb,
+            memory_mb=self.server.itype.memory_mb,
+            actor_cpu_percs=tuple(snap.cpu_perc for snap in actor_snaps))
+        if lem_actions or gem_actions:
+            candidates: Dict[int, list] = {}
+            for action in list(lem_actions) + list(gem_actions):
+                candidates.setdefault(action.actor_id, []).append(
+                    (action.kind, action.priority))
+            manager.emit(
+                "actions-resolved", server=self.server.name,
+                candidates=candidates,
+                chosen={action.actor_id: (action.kind, action.priority)
+                        for action in final})
 
     # -- applyActRules --------------------------------------------------------
 
@@ -169,6 +207,10 @@ class LEM:
         mover, anchor = self._choose_mover(first, second)
         if mover is None:
             return None
+        if self.manager.is_draining(anchor.server):
+            # The anchor is about to be drained off this server anyway;
+            # colocate once both have settled somewhere that stays up.
+            return None
         return Action(kind="colocate", actor=mover, src=mover.server,
                       dst=anchor.server, rule_index=rule_index)
 
@@ -217,9 +259,12 @@ class LEM:
         """Least-loaded server other than the anchor's, tie-broken by how
         many actors this round already routed there."""
         window = self.manager.config.period_ms
+        # A draining scale-in victim looks ideally idle — exclude it, or
+        # separated actors land on a server about to retire.
         candidates = [
             s for s in self.manager.system.provisioner.servers
-            if s.running and s is not avoid and s is not mover.server]
+            if (s.running and s is not avoid and s is not mover.server
+                and not self.manager.is_draining(s))]
         if not candidates:
             return None
         return min(candidates,
@@ -252,6 +297,8 @@ class LEM:
             return  # pin blocks every behavior except an explicit reserve
         if record.server is not action.src:
             return  # stale: the actor moved since planning
+        if not action.dst.running or self.manager.is_draining(action.dst):
+            return  # stale: the target retired or became a scale-in victim
         if (sim.now - record.last_placed_at
                 < config.stability_window_ms()):
             return

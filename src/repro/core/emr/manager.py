@@ -90,6 +90,11 @@ class ElasticityManager:
         self._lem_counter = 0
         self._gem_rng = system.streams.stream("lem-gem-shuffle")
         self._listeners: List[Callable[[str, dict], None]] = []
+        #: When true, LEMs/GEMs emit verbose per-round events
+        #: (``lem-round``, ``actions-resolved``, ``gem-vote``) on the
+        #: event bus for the invariant checker.  Off by default so the
+        #: tracer's normal event stream (and the hot path) is unchanged.
+        self.debug_events = False
         self._last_report: Dict[Server, float] = {}
         self._lost_actors: Dict[int, List[ActorRecord]] = {}
         self._failed_gems_noted: Set[int] = set()
@@ -296,6 +301,15 @@ class ElasticityManager:
             time_ms=self.system.sim.now, actor=action.actor.ref,
             kind=action.kind, src=action.src.name, dst=action.dst.name,
             rule_line=rule_line))
+        if self._listeners:
+            record = self.system.directory.try_lookup(action.actor_id)
+            self.emit("migration-started", actor=str(action.actor.ref),
+                      actor_id=action.actor_id, action=action.kind,
+                      src=action.src.name, dst=action.dst.name,
+                      rule_index=action.rule_index,
+                      pinned=record.pinned if record is not None else False,
+                      dst_draining=action.dst.server_id in self._draining,
+                      dst_running=action.dst.running)
         # A draining server that just lost its last actor can be retired.
         self._maybe_retire()
 
@@ -310,8 +324,13 @@ class ElasticityManager:
         peers = [gem for gem in self.gems
                  if gem is not requester and not gem.failed]
         if not peers:
+            if self.debug_events:
+                self.emit("gem-vote", requester=requester.gem_id,
+                          direction=direction, peer_views=(),
+                          agreeing=0, decision=True)
             return True
         agreeing = 0
+        views = []
         for peer in peers:
             if direction == "overloaded":
                 view = peer.overload_fraction
@@ -319,17 +338,29 @@ class ElasticityManager:
                 view = peer.underload_fraction
             if view >= 0.5 or peer.rounds_processed == 0:
                 agreeing += 1
-        return agreeing * 2 >= len(peers)
+            views.append((peer.gem_id, view, peer.rounds_processed))
+        decision = agreeing * 2 >= len(peers)
+        if self.debug_events:
+            self.emit("gem-vote", requester=requester.gem_id,
+                      direction=direction, peer_views=tuple(views),
+                      agreeing=agreeing, decision=decision)
+        return decision
 
     # -- scale-in bookkeeping --------------------------------------------------
 
     def mark_draining(self, server: Server) -> None:
         """Exclude ``server`` from placement; retire it once empty."""
         self._draining.add(server.server_id)
+        self.emit("server-draining", server=server.name)
 
     def is_draining(self, server: Server) -> bool:
         """Whether ``server`` is being drained for retirement."""
         return server.server_id in self._draining
+
+    def draining_ids(self) -> frozenset:
+        """Ids of servers being drained (planning excludes them as
+        migration targets)."""
+        return frozenset(self._draining)
 
     def _maybe_retire(self) -> None:
         if not self._draining:

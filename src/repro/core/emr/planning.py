@@ -115,7 +115,8 @@ def plan_balance(servers: Sequence[ServerSnapshot],
                  lower: float, upper: float, now: float,
                  stability_ms: float, max_moves_per_server: int,
                  rule_index: int = -1,
-                 groups: Optional[Dict[int, int]] = None) -> BalancePlan:
+                 groups: Optional[Dict[int, int]] = None,
+                 draining: Optional[Set[int]] = None) -> BalancePlan:
     """Plan migrations that bring every server's ``resource`` usage into
     the [lower, upper] band.
 
@@ -124,8 +125,13 @@ def plan_balance(servers: Sequence[ServerSnapshot],
     ``server.cpu.perc < 50 => balance``), the busiest servers above the
     band midpoint feed the idle ones.  Projected loads are updated as
     actions are planned so one round never overshoots.
+
+    ``draining`` lists server ids being evacuated for scale-in; they are
+    never chosen as targets (an actor placed there would immediately
+    need a second migration — or worse, strand on a retiring server).
     """
     plan = BalancePlan()
+    draining = draining or set()
     loads: Dict[int, float] = {
         snap.server.server_id: snap.resource_perc(resource)
         for snap in servers}
@@ -164,7 +170,8 @@ def plan_balance(servers: Sequence[ServerSnapshot],
             own = unit.contribution(src_snap.server, resource)
             src_after = loads[src_id] - own
             for sid, snap in by_id.items():
-                if sid == src_id or not snap.server.running:
+                if (sid == src_id or sid in draining
+                        or not snap.server.running):
                     continue
                 contrib = unit.contribution(snap.server, resource)
                 dst_after = loads[sid] + contrib
@@ -218,7 +225,8 @@ def plan_reserve(actor: ActorSnapshot, servers: Sequence[ServerSnapshot],
                  groups: Optional[Dict[int, int]] = None,
                  trigger: Optional[float] = None,
                  projected_load: Optional[Dict[int, float]] = None,
-                 projected_pop: Optional[Dict[int, int]] = None
+                 projected_pop: Optional[Dict[int, int]] = None,
+                 draining: Optional[Set[int]] = None
                  ) -> Tuple[List[Action], bool]:
     """Place ``actor`` (and its colocation group) on a dedicated server
     with idle ``resource``.
@@ -240,7 +248,10 @@ def plan_reserve(actor: ActorSnapshot, servers: Sequence[ServerSnapshot],
     ``projected_load`` / ``projected_pop`` carry the deltas of reserves
     already planned this round (this function updates them in place), so
     successive reservations don't all flock to the same snapshot-idle
-    server and overload it.
+    server and overload it.  ``draining`` server ids (scale-in victims
+    being evacuated) are excluded from the candidate targets — a
+    draining server *looks* ideally idle and empty, which is exactly why
+    reserve would otherwise pick it.
     """
     if actor.migrating:
         return [], False
@@ -283,9 +294,11 @@ def plan_reserve(actor: ActorSnapshot, servers: Sequence[ServerSnapshot],
     projected_pop = projected_pop if projected_pop is not None else {}
     src_load = next((snap.resource_perc(resource) for snap in servers
                      if snap.server is src), 100.0)
+    draining = draining or set()
     candidates: List[Tuple[int, float, ServerSnapshot]] = []
     for snap in servers:
-        if snap.server is src or not snap.server.running:
+        if (snap.server is src or not snap.server.running
+                or snap.server.server_id in draining):
             continue
         sid = snap.server.server_id
         contrib = unit.contribution(snap.server, resource)

@@ -224,11 +224,14 @@ class ProfilingRuntime(RuntimeHooks):
         entry.now = self.sim.now
         entry.version = stats.version
         entry.server_id = server.server_id
-        entry.cpu_perc = (100.0 * cpu_busy / cpu_capacity
+        # Clamp like Server.cpu_percent does: bucketed meters include the
+        # whole partial bucket at the window edge, so a saturated actor
+        # can total slightly more than window * capacity.
+        entry.cpu_perc = (min(100.0, 100.0 * cpu_busy / cpu_capacity)
                           if cpu_capacity else 0.0)
         entry.cpu_ms_per_min = cpu_busy * per_min
         entry.net_bytes_per_min = net_bytes * per_min
-        entry.net_perc = (100.0 * net_bytes / net_capacity
+        entry.net_perc = (min(100.0, 100.0 * net_bytes / net_capacity)
                           if net_capacity else 0.0)
         entry.call_count_per_min = {
             key: meter.total(window) * per_min

@@ -36,10 +36,13 @@ class TraceEvent:
     time_ms: float
     kind: str          # migration | actor-created | actor-destroyed |
                        # server-joined | server-retired | gem-round |
-                       # scale-out | pin | server-crashed |
-                       # server-suspected | actor-resurrected |
-                       # migration-aborted | gem-failover |
-                       # fault-injected | fault-healed
+                       # scale-out | scale-in | pin | server-crashed |
+                       # server-suspected | server-draining |
+                       # actor-resurrected | migration-aborted |
+                       # migration-started | gem-failover |
+                       # fault-injected | fault-healed | fault-skipped |
+                       # and, with manager.debug_events on:
+                       # lem-round | actions-resolved | gem-vote
     detail: Dict[str, Any] = field(default_factory=dict)
 
     def __str__(self) -> str:
@@ -145,6 +148,11 @@ class ElasticityTracer:
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [event for event in self.events if event.kind == kind]
+
+    def tail(self, count: int = 20) -> List[TraceEvent]:
+        """The most recent ``count`` events — the context an invariant
+        violation report attaches so a repro is readable on its own."""
+        return self.events[-count:]
 
     def summary(self) -> Dict[str, int]:
         """Event counts by kind."""

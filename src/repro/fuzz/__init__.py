@@ -1,0 +1,29 @@
+"""Deterministic scenario fuzzing for the elasticity stack.
+
+FoundationDB-style simulation testing, sized for this reproduction: a
+seeded generator (:mod:`repro.fuzz.generator`) composes random-but-valid
+scenarios — app topology, EPL rule set, workload, fault schedule — a
+runner (:mod:`repro.fuzz.runner`) executes them under the runtime
+invariant checker (:mod:`repro.check`), and a shrinker
+(:mod:`repro.fuzz.shrink`) minimizes any failure to a small JSON
+artifact that replays bit-for-bit.
+
+Entry points: ``python -m repro.cli fuzz`` for campaigns and replay;
+``tests/fuzz/`` replays the checked-in corpus as regressions.
+"""
+
+from .generator import generate_scenario
+from .runner import FuzzResult, run_scenario
+from .scenario import SCENARIO_FORMAT, Scenario
+from .shrink import failure_signature, same_failure, shrink
+
+__all__ = [
+    "FuzzResult",
+    "SCENARIO_FORMAT",
+    "Scenario",
+    "failure_signature",
+    "generate_scenario",
+    "run_scenario",
+    "same_failure",
+    "shrink",
+]

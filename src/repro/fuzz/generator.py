@@ -1,0 +1,226 @@
+"""Seeded random scenario generation.
+
+``generate_scenario(seed)`` derives every choice from one
+``random.Random(seed)`` stream, so the mapping seed → scenario is a pure
+function: the fuzzer only ever needs to store seeds (fresh exploration)
+or full scenarios (shrunk corpus artifacts).
+
+Rules are composed from per-app template families covering the whole EPL
+behavior grammar — balance, reserve (with client-call interaction
+features), ref-join colocate/separate where the app's schema has
+annotated reference properties, and pin — with randomized thresholds,
+resources, and optional explicit ``priority N:`` overrides.  Every
+template is kept *schema-valid* for its app so generated policies always
+compile; the compiler's negative paths are covered separately by the
+diagnostics tests, not by the fuzzer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List
+
+from .scenario import Scenario
+
+__all__ = ["generate_scenario", "rule_pool_for"]
+
+_RESOURCES = ("cpu", "mem", "net")
+_INSTANCE_TYPES = ("m1.small", "m1.medium", "m5.large")
+
+
+def _band(rng: random.Random) -> tuple:
+    """A (high, low) threshold pair with high > low.
+
+    Thresholds sit deliberately low: fuzz clusters are small and their
+    packed-placement CPU plateaus around 30–60%, so paper-style 80/60
+    bands would leave the balance machinery idle in most runs.
+    """
+    low = rng.choice((15, 25, 35, 45))
+    high = low + rng.choice((5, 10, 20))
+    return high, low
+
+
+def _prio(rng: random.Random) -> str:
+    """Sometimes prefix an explicit priority override."""
+    if rng.random() < 0.25:
+        return f"priority {rng.randrange(0, 100)}: "
+    return ""
+
+
+# -- per-app rule template families ---------------------------------------
+# Each template takes the rng and returns one EPL rule string.
+
+def _balance(type_name: str) -> Callable[[random.Random], str]:
+    def make(rng: random.Random) -> str:
+        res = rng.choice(_RESOURCES)
+        high, low = _band(rng)
+        if rng.random() < 0.5:
+            cond = (f"server.{res}.perc > {high} "
+                    f"or server.{res}.perc < {low}")
+        else:
+            cond = f"server.{res}.perc > {high}"
+        return f"{_prio(rng)}{cond} => balance({{{type_name}}}, {res});"
+    return make
+
+
+def _reserve(type_name: str, method: str) -> Callable[[random.Random], str]:
+    def make(rng: random.Random) -> str:
+        high, _low = _band(rng)
+        share = rng.choice((5, 10, 20))
+        res = rng.choice(("cpu", "mem"))
+        return (f"{_prio(rng)}server.cpu.perc > {high} and "
+                f"client.call({type_name}(v).{method}).perc > {share} "
+                f"=> reserve(v, {res});")
+    return make
+
+
+def _ref_join(owner: str, prop: str, member: str,
+              behavior: str) -> Callable[[random.Random], str]:
+    def make(rng: random.Random) -> str:
+        return (f"{_prio(rng)}{member}(m) in ref({owner}(o).{prop}) "
+                f"=> {behavior}(o, m);")
+    return make
+
+
+def _pin(type_name: str) -> Callable[[random.Random], str]:
+    def make(rng: random.Random) -> str:
+        return f"{_prio(rng)}true => pin({type_name}(p));"
+    return make
+
+
+_RULE_POOLS: Dict[str, List[Callable[[random.Random], str]]] = {
+    "pagerank": [
+        _balance("PageRankWorker"),
+        _reserve("PageRankWorker", "compute_contribs"),
+        _pin("PageRankWorker"),
+    ],
+    "estore": [
+        _balance("Partition"),
+        _reserve("Partition", "read"),
+        _ref_join("Partition", "children", "Partition", "colocate"),
+        _ref_join("Partition", "children", "Partition", "separate"),
+        _pin("Partition"),
+    ],
+    "chatroom": [
+        _balance("ChatUser"),
+        _balance("ChatRoom"),
+        _reserve("ChatRoom", "post"),
+        _ref_join("ChatRoom", "members", "ChatUser", "colocate"),
+        _pin("ChatRoom"),
+    ],
+}
+
+
+def rule_pool_for(app: str) -> List[Callable[[random.Random], str]]:
+    """The rule template family for one app (exposed for tests)."""
+    return list(_RULE_POOLS[app])
+
+
+# -- faults ----------------------------------------------------------------
+
+def _gen_faults(rng: random.Random, scenario: Dict[str, Any]) -> List[dict]:
+    if rng.random() < 0.5:
+        return []
+    duration = scenario["duration_ms"]
+    servers = scenario["servers"]
+    faults: List[dict] = []
+    for _ in range(rng.choice((1, 1, 2))):
+        at = round(rng.uniform(0.15, 0.7) * duration, 1)
+        kind = rng.choice(("crash-server", "slow-server",
+                           "degrade-network", "kill-gem"))
+        if kind == "crash-server" and servers > 1:
+            fault = {"fault": kind, "at_ms": at,
+                     "server_index": rng.randrange(servers)}
+            if rng.random() < 0.5:
+                fault["replace_after_ms"] = round(
+                    rng.uniform(0.05, 0.3) * duration, 1)
+            faults.append(fault)
+        elif kind == "slow-server":
+            faults.append({
+                "fault": kind, "at_ms": at,
+                "duration_ms": round(rng.uniform(0.1, 0.4) * duration, 1),
+                "server_index": rng.randrange(servers),
+                "speed_factor": round(rng.uniform(0.25, 0.75), 2)})
+        elif kind == "degrade-network":
+            faults.append({
+                "fault": kind, "at_ms": at,
+                "duration_ms": round(rng.uniform(0.1, 0.4) * duration, 1),
+                "latency_multiplier": round(rng.uniform(1.5, 5.0), 1),
+                "drop_probability": round(rng.uniform(0.0, 0.2), 2)})
+        elif kind == "kill-gem":
+            faults.append({
+                "fault": kind, "at_ms": at,
+                "gem_id": rng.randrange(scenario["gem_count"]),
+                "recover_after_ms": round(
+                    rng.uniform(0.1, 0.4) * duration, 1)})
+    return faults
+
+
+# -- app topology parameters ----------------------------------------------
+
+def _gen_app_params(rng: random.Random, app: str) -> Dict[str, Any]:
+    # "pack" deploys the whole topology onto the first server, the
+    # skewed starting point that makes balance/reserve rules actually
+    # fire (a perfectly even initial spread leaves nothing to migrate).
+    pack = rng.random() < 0.5
+    if app == "pagerank":
+        return {"nodes": rng.randrange(40, 121),
+                "edges_per_node": rng.choice((2, 3, 4)),
+                "partitions": rng.randrange(4, 9),
+                "alpha_ms": round(rng.uniform(0.2, 0.8), 2),
+                "pack": pack}
+    if app == "estore":
+        return {"roots": rng.randrange(6, 17),
+                "children_per_root": rng.randrange(1, 4),
+                "skew_fraction": round(rng.uniform(0.2, 0.6), 2),
+                "pack": pack}
+    return {"rooms": rng.randrange(1, 4),
+            "users_per_room": rng.randrange(3, 9),
+            "message_bytes": rng.choice((128, 512, 2048)),
+            "pack": pack}
+
+
+# -- top level -------------------------------------------------------------
+
+def generate_scenario(seed: int) -> Scenario:
+    """Pure function seed → scenario (the whole fuzzer's input space)."""
+    rng = random.Random(seed)
+    app = rng.choice(("pagerank", "estore", "chatroom"))
+    servers = rng.randrange(2, 5)
+    period_ms = float(rng.choice((2_000, 3_000, 5_000)))
+    duration_ms = period_ms * rng.randrange(3, 7)
+    stability_choice = rng.random()
+    if stability_choice < 0.5:
+        stability_ms = None                      # one period (default)
+    elif stability_choice < 0.8:
+        stability_ms = period_ms * rng.choice((2, 3))
+    else:
+        stability_ms = period_ms * 0.5           # shorter than a period
+    gem_count = 1 if rng.random() < 0.7 else 2
+
+    pool = _RULE_POOLS[app]
+    rule_count = rng.randrange(1, min(4, len(pool)) + 1)
+    templates = rng.sample(pool, rule_count)
+    rules = tuple(template(rng) for template in templates)
+
+    allow_scale = rng.random() < 0.25
+    fields: Dict[str, Any] = dict(
+        seed=seed, app=app, servers=servers,
+        instance_type=rng.choice(_INSTANCE_TYPES),
+        boot_delay_ms=float(rng.choice((500, 1_000, 2_000))),
+        duration_ms=duration_ms, rules=rules, period_ms=period_ms,
+        stability_ms=stability_ms, gem_count=gem_count,
+        gem_wait_ms=float(rng.choice((200, 300, 500))),
+        lem_stagger_ms=float(rng.choice((5, 10, 25))),
+        max_moves_per_server=rng.choice((1, 2, 3)),
+        allow_scale_out=allow_scale,
+        allow_scale_in=allow_scale and rng.random() < 0.5,
+        min_servers=1,
+        suspicion_timeout_ms=(period_ms + 1_000.0
+                              if rng.random() < 0.5 else None),
+        clients=rng.randrange(4, 13),
+        think_ms=float(rng.choice((2, 5, 10, 20))),
+        app_params=_gen_app_params(rng, app),
+    )
+    fields["faults"] = tuple(_gen_faults(rng, fields))
+    return Scenario(**fields)

@@ -1,0 +1,139 @@
+"""Greedy scenario shrinking.
+
+Given a failing scenario and a predicate, the shrinker searches for a
+smaller scenario that *still fails the same way*, so checked-in corpus
+artifacts point at the bug, not at the noise the random generator
+wrapped around it.  The reduction passes, in order:
+
+1. drop EPL rules one at a time,
+2. drop faults one at a time,
+3. neutralize toggles (autoscale off, suspicion off, default stability),
+4. shed clients (to zero, then halving),
+5. halve app topology parameters toward per-app minimums,
+6. bisect the duration down (snapped to whole elasticity periods).
+
+Each accepted reduction restarts the pass list, giving the classic
+greedy fixpoint; the total number of re-runs is capped.  "Fails the same
+way" means: a crash shrinks against crashes, a violation shrinks against
+runs violating at least one of the *same* invariants — without this, a
+shrink step can tunnel from the bug under investigation into a
+different, noisier one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, List, Optional, Set, Tuple
+
+from .runner import FuzzResult, run_scenario
+from .scenario import Scenario
+
+__all__ = ["shrink", "failure_signature", "same_failure"]
+
+#: Lower bounds for app topology parameters (below these the scenario
+#: stops being the app it claims to be).
+_PARAM_FLOORS = {
+    "pagerank": {"nodes": 10, "edges_per_node": 1, "partitions": 2,
+                 "alpha_ms": 0.1},
+    "estore": {"roots": 2, "children_per_root": 1, "skew_fraction": 0.1},
+    "chatroom": {"rooms": 1, "users_per_room": 2, "message_bytes": 64},
+}
+
+
+def failure_signature(result: FuzzResult) -> Tuple[str, frozenset]:
+    """What kind of failure this is: ("crash", …) or ("violation", names)."""
+    if result.error is not None:
+        return ("crash", frozenset())
+    return ("violation",
+            frozenset(v.invariant for v in result.violations))
+
+
+def same_failure(signature: Tuple[str, frozenset],
+                 result: FuzzResult) -> bool:
+    """Does ``result`` fail the same way as the original failure?"""
+    kind, invariants = signature
+    if kind == "crash":
+        return result.error is not None
+    if result.error is not None:
+        return False
+    seen = {v.invariant for v in result.violations}
+    return bool(seen & invariants)
+
+
+def _candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Smaller variants of ``scenario``, most aggressive first."""
+    # 1. drop one rule at a time (keep at least zero rules — an empty
+    #    policy is a legal, maximally-shrunk input for runtime crashes).
+    for index in range(len(scenario.rules)):
+        rules = scenario.rules[:index] + scenario.rules[index + 1:]
+        yield replace(scenario, rules=rules)
+    # 2. drop one fault at a time.
+    for index in range(len(scenario.faults)):
+        faults = scenario.faults[:index] + scenario.faults[index + 1:]
+        yield replace(scenario, faults=faults)
+    # 3. neutralize toggles.
+    if scenario.allow_scale_out or scenario.allow_scale_in:
+        yield replace(scenario, allow_scale_out=False,
+                      allow_scale_in=False)
+    if scenario.suspicion_timeout_ms is not None:
+        yield replace(scenario, suspicion_timeout_ms=None)
+    if scenario.stability_ms is not None:
+        yield replace(scenario, stability_ms=None)
+    if scenario.gem_count > 1:
+        yield replace(scenario, gem_count=1)
+    # 4. shed clients.
+    if scenario.clients > 0:
+        yield replace(scenario, clients=0)
+        if scenario.clients > 1:
+            yield replace(scenario, clients=scenario.clients // 2)
+    # 5. halve app params toward their floors.
+    floors = _PARAM_FLOORS.get(scenario.app, {})
+    for key, value in scenario.app_params.items():
+        floor = floors.get(key)
+        if floor is None or not isinstance(value, (int, float)):
+            continue
+        smaller = max(floor, value // 2 if isinstance(value, int)
+                      else value / 2.0)
+        if smaller < value:
+            params = dict(scenario.app_params)
+            params[key] = smaller
+            yield replace(scenario, app_params=params)
+    # 6. shrink the fleet.
+    if scenario.servers > 2:
+        yield replace(scenario, servers=scenario.servers - 1)
+    # 7. bisect duration down to one period.
+    periods = int(scenario.duration_ms / scenario.period_ms)
+    if periods > 1:
+        half = max(1, periods // 2)
+        yield replace(scenario,
+                      duration_ms=scenario.period_ms * half)
+
+
+def shrink(scenario: Scenario, result: FuzzResult,
+           max_runs: int = 120,
+           log: Optional[Callable[[str], None]] = None
+           ) -> Tuple[Scenario, FuzzResult, int]:
+    """Greedily minimize a failing scenario.
+
+    Returns ``(smallest scenario, its result, runs used)``.  The
+    returned scenario is guaranteed to still fail with the same
+    signature as ``result``.
+    """
+    signature = failure_signature(result)
+    best, best_result = scenario, result
+    runs = 0
+    progress = True
+    while progress and runs < max_runs:
+        progress = False
+        for candidate in _candidates(best):
+            if runs >= max_runs:
+                break
+            candidate_result = run_scenario(candidate)
+            runs += 1
+            if same_failure(signature, candidate_result):
+                best, best_result = candidate, candidate_result
+                if log is not None:
+                    log(f"shrunk to: {best.describe()}")
+                progress = True
+                break
+    return best, best_result, runs

@@ -117,6 +117,34 @@ class Simulator:
             self._now = until
         return self._now
 
+    def every(self, interval_ms: float,
+              callback: Callable[[], Any]) -> Callable[[], None]:
+        """Run ``callback()`` every ``interval_ms`` until cancelled.
+
+        Returns a zero-argument cancel function.  The first call fires one
+        interval from now.  Unlike a generator process, a periodic callback
+        cannot block, which makes it the right shape for observers (the
+        invariant checker's sweep) that must never perturb process
+        scheduling order.
+        """
+        if interval_ms <= 0:
+            raise SimulationError(
+                f"periodic interval must be positive: {interval_ms!r}")
+        state = {"cancelled": False}
+
+        def tick() -> None:
+            if state["cancelled"]:
+                return
+            callback()
+            if not state["cancelled"]:
+                self.schedule(interval_ms, tick)
+
+        def cancel() -> None:
+            state["cancelled"] = True
+
+        self.schedule(interval_ms, tick)
+        return cancel
+
     def peek(self) -> Optional[float]:
         """Timestamp of the next scheduled event, or ``None`` if idle."""
         return self._heap[0][0] if self._heap else None

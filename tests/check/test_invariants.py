@@ -1,0 +1,160 @@
+"""Invariant checker unit tests.
+
+A small real cluster hosts the checker; violations are then provoked by
+emitting fabricated manager-bus events (the checker cannot tell them
+from real ones), so each detection path is pinned without needing a
+whole scenario that actually misbehaves.
+"""
+
+import pytest
+
+from repro.actors import Actor
+from repro.bench import build_cluster
+from repro.check import INVARIANTS, InvariantChecker, Violation
+from repro.check.invariants import InvariantError
+from repro.core import ElasticityManager, EmrConfig, compile_source
+
+
+class Spinner(Actor):
+    def spin(self, cpu_ms):
+        yield self.compute(cpu_ms)
+        return True
+
+
+def make_checker(strict=False, **config):
+    bed = build_cluster(2, seed=7)
+    policy = compile_source(
+        "server.cpu.perc > 80 or server.cpu.perc < 60 "
+        "=> balance({Spinner}, cpu);", [Spinner])
+    manager = ElasticityManager(
+        bed.system, policy,
+        EmrConfig(period_ms=5_000.0, gem_wait_ms=300.0, **config))
+    checker = InvariantChecker(manager, strict=strict)
+    checker.attach()
+    return bed, manager, checker
+
+
+# -- catalogue ---------------------------------------------------------
+
+
+def test_catalogue_shape():
+    assert len(INVARIANTS) == 11
+    for name, description in INVARIANTS.items():
+        assert name == name.lower()
+        assert " " not in name
+        assert len(description) > 20, f"{name}: describe it properly"
+
+
+def test_catalogue_is_documented():
+    """docs/testing.md must describe every invariant by name."""
+    import os
+    path = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "docs", "testing.md")
+    with open(path) as handle:
+        text = handle.read()
+    for name in INVARIANTS:
+        assert f"`{name}`" in text, f"{name} missing from docs/testing.md"
+
+
+def test_violation_formatting():
+    violation = Violation(invariant="single-flight", time_ms=1_234.5,
+                          message="two migrations of actor 7")
+    assert "1.234s" in str(violation) or "1.235s" in str(violation)
+    assert "single-flight" in str(violation)
+
+
+def test_violate_rejects_unknown_invariant():
+    _bed, _manager, checker = make_checker()
+    with pytest.raises(AssertionError):
+        checker._violate("not-an-invariant", "whatever")
+
+
+# -- detection paths (fabricated events) -------------------------------
+
+
+def test_gem_vote_mismatch_detected():
+    _bed, manager, checker = make_checker()
+    manager.emit("gem-vote", requester=0, direction="overloaded",
+                 peer_views=((1, 0.0, 3), (2, 0.0, 3)),
+                 agreeing=0, decision=True)
+    names = [v.invariant for v in checker.violations]
+    assert names == ["scale-out-majority"]
+
+
+def test_scale_without_vote_detected():
+    _bed, manager, checker = make_checker()
+    manager.emit("scale-in", gem_id=0, victim="x",
+                 underload_fraction=1.0, planned_moves=0)
+    assert [v.invariant for v in checker.violations] == \
+        ["scale-in-majority"]
+
+
+def test_lem_round_bad_percentages_detected():
+    _bed, manager, checker = make_checker()
+    manager.emit("lem-round", server="s-1", server_cpu_perc=120.0,
+                 server_mem_perc=1.0, server_net_perc=0.0,
+                 actor_count=1, actor_mem_mb=2.0,
+                 server_mem_used_mb=2.0, memory_mb=1024,
+                 actor_cpu_percs=(130.0,))
+    names = [v.invariant for v in checker.violations]
+    assert names == ["resource-accounting", "resource-accounting"]
+
+
+def test_lem_round_memory_identity_detected():
+    _bed, manager, checker = make_checker()
+    manager.emit("lem-round", server="s-1", server_cpu_perc=10.0,
+                 server_mem_perc=1.0, server_net_perc=0.0,
+                 actor_count=1, actor_mem_mb=2.0,
+                 server_mem_used_mb=6.0, memory_mb=1024,
+                 actor_cpu_percs=(5.0,))
+    assert [v.invariant for v in checker.violations] == \
+        ["resource-accounting"]
+
+
+def test_strict_mode_raises_invariant_error():
+    _bed, manager, _checker = make_checker(strict=True)
+    with pytest.raises(InvariantError, match="scale-in-majority"):
+        manager.emit("scale-in", gem_id=0, victim="x",
+                     underload_fraction=1.0, planned_moves=0)
+
+
+def test_violation_cap():
+    _bed, manager, checker = make_checker()
+    checker.max_violations = 3
+    for _ in range(10):
+        manager.emit("scale-in", gem_id=0, victim="x",
+                     underload_fraction=1.0, planned_moves=0)
+    assert len(checker.violations) == 3
+
+
+def test_detach_restores_quiet_manager():
+    _bed, manager, checker = make_checker()
+    assert manager.debug_events
+    checker.detach()
+    assert not manager.debug_events
+    manager.emit("scale-in", gem_id=0, victim="x",
+                 underload_fraction=1.0, planned_moves=0)
+    assert checker.violations == []
+
+
+# -- real-run smoke -----------------------------------------------------
+
+
+def test_healthy_run_has_no_violations():
+    from repro.actors import Client
+    from repro.sim import spawn
+    bed, manager, checker = make_checker()
+    refs = [bed.system.create_actor(Spinner) for _ in range(4)]
+    manager.start()
+    client = Client(bed.system)
+    rng = bed.streams.stream("load")
+
+    def loop(ref):
+        while bed.sim.now < 12_000.0:
+            yield client.call(ref, "spin", 5.0 + rng.random() * 10.0)
+
+    for ref in refs:
+        spawn(bed.sim, loop(ref))
+    bed.run(until_ms=12_000.0)
+    assert checker.final_check() == []
+    assert checker.checks_run > 0

@@ -1,0 +1,113 @@
+"""Negative-path compiler diagnostics.
+
+Table-driven: each case is (policy source, expected exception type,
+expected message substring, expected line).  The fuzzer only ever emits
+schema-valid policies, so the compiler's rejection paths are pinned here
+instead — a diagnostic that silently changes its class, wording, or
+location breaks tooling that matches on it (and users who read it).
+"""
+
+import pytest
+
+from repro.actors import Actor
+from repro.core.epl import compile_source
+from repro.core.epl.errors import (EplError, EplSyntaxError,
+                                   EplValidationError)
+
+
+class Folder(Actor):
+    children: list
+
+    def __init__(self):
+        self.children = []
+
+    def lookup(self, name):
+        yield self.compute(0.1)
+        return name
+
+
+class File(Actor):
+    def read(self):
+        yield self.compute(0.1)
+        return b""
+
+
+CLASSES = [Folder, File]
+
+CASES = [
+    # -- lexer ---------------------------------------------------------
+    ("server.cpu.perc > 80 € => pin(Folder(f));",
+     EplSyntaxError, "unexpected character '€'", 1),
+    # -- parser --------------------------------------------------------
+    ("server.cpu.perc > => pin(Folder(f));",
+     EplSyntaxError, "expected numeric bound", 1),
+    ("server.cpu.perc 80 => pin(Folder(f));",
+     EplSyntaxError, "expected comparison operator", 1),
+    ("true => teleport(Folder(f));",
+     EplSyntaxError, "unknown behavior 'teleport'", 1),
+    ("true => pin(Folder(f))",
+     EplSyntaxError, "expected ';'", 1),
+    ("server.gpu.perc > 80 => pin(Folder(f));",
+     EplSyntaxError, "expected one of cpu, mem, net, found 'gpu'", 1),
+    ("=> pin(Folder(f));",
+     EplSyntaxError, "expected a condition, found '=>'", 1),
+    # -- validation: actor patterns -----------------------------------
+    ("true => pin(Ghost(g));",
+     EplValidationError, "unknown actor type 'Ghost'", 1),
+    ("client.call(Folder(f).lookup).perc > 10 and "
+     "client.call(Folder(f).lookup).perc > 20 => pin(f);",
+     EplValidationError, "variable 'f' bound twice", 1),
+    ("true => pin(Folder(File));",
+     EplValidationError, "variable 'File' shadows an actor type name", 1),
+    ("client.call(Folder(f).lookup).perc > 5 => reserve(f(g), cpu);",
+     EplValidationError,
+     "'f' is a variable; it cannot bind another variable 'g'", 1),
+    # -- validation: features -----------------------------------------
+    ("client.call(any(a).lookup).perc > 5 => pin(a);",
+     EplValidationError,
+     "call features require a concrete callee type", 1),
+    ("client.call(Folder(f).destroy_all).perc > 5 => reserve(f, cpu);",
+     EplValidationError, "type 'Folder' has no function 'destroy_all'", 1),
+    ("server.cpu.size > 10 => pin(Folder(f));",
+     EplValidationError,
+     "statistic 'size' does not apply to resource 'cpu'", 1),
+    # -- validation: ref joins ----------------------------------------
+    ("File(x) in ref(Folder(y).subfolders) => colocate(x, y);",
+     EplValidationError, "type 'Folder' has no property 'subfolders'", 1),
+    # -- validation: behaviors ----------------------------------------
+    ("server.cpu.perc > 80 => balance({Ghost}, cpu);",
+     EplValidationError, "balance references unknown actor type 'Ghost'",
+     1),
+    # -- line attribution ---------------------------------------------
+    ("server.cpu.perc > 80 => balance({Folder}, cpu);\n"
+     "\n"
+     "true => pin(Ghost(g));",
+     EplValidationError, "unknown actor type 'Ghost'", 3),
+]
+
+
+@pytest.mark.parametrize(
+    "source, exc_type, fragment, line", CASES,
+    ids=[f"{case[1].__name__}-{index}"
+         for index, case in enumerate(CASES)])
+def test_diagnostic(source, exc_type, fragment, line):
+    with pytest.raises(exc_type) as info:
+        compile_source(source, CLASSES)
+    error = info.value
+    assert fragment in str(error), (
+        f"expected {fragment!r} in {error}")
+    assert error.line == line
+
+
+def test_diagnostics_are_epl_errors():
+    """Every negative case surfaces as EplError (CLI catches that)."""
+    for source, exc_type, _fragment, _line in CASES:
+        assert issubclass(exc_type, EplError)
+        with pytest.raises(EplError):
+            compile_source(source, CLASSES)
+
+
+def test_error_location_formatting():
+    with pytest.raises(EplSyntaxError) as info:
+        compile_source("true => pin(Folder(f))", CLASSES)
+    assert "line 1" in str(info.value)

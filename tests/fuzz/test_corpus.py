@@ -1,0 +1,48 @@
+"""Seed-corpus regression tests.
+
+Every file in ``tests/fuzz/corpus/`` is a shrunk failure artifact from a
+past fuzz campaign — a minimal scenario that once violated a runtime
+invariant.  Replaying them under the checker pins the corresponding
+fixes:
+
+- ``draining-target-*``: balance/reserve/separate plans raced the
+  scale-in decision and migrated actors onto the draining victim
+  (fixed in GEM ``_process`` reconciliation, planning's ``draining``
+  exclusion, and the LEM's execute-time destination recheck).
+- ``lem-round-memory-race*``: the LEM round debug snapshot read live
+  booked memory after the GEM-reply wait, racing migrations that landed
+  during the wait (fixed by capturing memory at snapshot time).
+- ``actor-cpu-overcount``: per-actor CPU% was not clamped at the
+  bucketed-meter window edge, unlike ``Server.cpu_percent`` (fixed in
+  the profiling collector).
+
+New shrunk artifacts land here via
+``python -m repro.cli fuzz --seeds N --out tests/fuzz/corpus``
+(rename the ``seed-*.json`` file after the bug it demonstrates).
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.cli import load_fuzz_scenario
+from repro.fuzz import run_scenario
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"no corpus artifacts in {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS, ids=[os.path.basename(p)[:-5] for p in CORPUS])
+def test_corpus_scenario_runs_clean(path):
+    scenario = load_fuzz_scenario(path)
+    result = run_scenario(scenario)
+    assert result.error is None, result.error
+    assert not result.violations, "\n".join(
+        str(v) for v in result.violations)
+    assert result.checks_run > 0, "checker never ran a check"

@@ -1,0 +1,76 @@
+"""Scenario generator: determinism, validity, and coverage."""
+
+import pytest
+
+from repro.core.epl import compile_source
+from repro.fuzz import Scenario, generate_scenario
+from repro.fuzz.runner import actor_classes_for
+from repro.fuzz.scenario import APPS
+
+SEEDS = range(40)
+
+
+def test_same_seed_same_scenario():
+    for seed in SEEDS:
+        assert generate_scenario(seed) == generate_scenario(seed)
+
+
+def test_different_seeds_differ():
+    import json
+    scenarios = {json.dumps(generate_scenario(seed).to_jsonable(),
+                            sort_keys=True) for seed in SEEDS}
+    # Not every pair differs (small parameter space) but the campaign
+    # must not collapse onto a handful of shapes.
+    assert len(scenarios) >= len(SEEDS) * 3 // 4
+
+
+@pytest.mark.parametrize("seed", [0, 7, 23, 1_000_003])
+def test_scenario_round_trips_through_json(seed):
+    scenario = generate_scenario(seed)
+    assert Scenario.from_jsonable(scenario.to_jsonable()) == scenario
+
+
+def test_from_jsonable_rejects_unknown_fields():
+    data = generate_scenario(0).to_jsonable()
+    data["warp_factor"] = 9
+    with pytest.raises(ValueError, match="warp_factor"):
+        Scenario.from_jsonable(data)
+
+
+def test_from_jsonable_rejects_wrong_format():
+    data = generate_scenario(0).to_jsonable()
+    data["format"] = "something-else/1"
+    with pytest.raises(ValueError, match="format"):
+        Scenario.from_jsonable(data)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_generated_policy_compiles(seed):
+    """Every generated rule set must compile against the app's actors —
+    a generator that emits invalid EPL fuzzes the compiler, not the
+    elasticity stack."""
+    scenario = generate_scenario(seed)
+    compiled = compile_source(scenario.policy_source(),
+                              actor_classes_for(scenario.app))
+    assert compiled.rule_count() >= len(scenario.rules)
+
+
+def test_campaign_covers_all_apps():
+    apps = {generate_scenario(seed).app for seed in range(60)}
+    assert apps == set(APPS)
+
+
+def test_campaign_covers_faults_and_autoscale():
+    scenarios = [generate_scenario(seed) for seed in range(60)]
+    assert any(s.faults for s in scenarios)
+    assert any(not s.faults for s in scenarios)
+    assert any(s.allow_scale_out or s.allow_scale_in for s in scenarios)
+
+
+def test_scenario_validation():
+    with pytest.raises(ValueError):
+        Scenario(seed=1, app="nosuchapp")
+    with pytest.raises(ValueError):
+        Scenario(seed=1, app="estore", servers=0)
+    with pytest.raises(ValueError):
+        Scenario(seed=1, app="estore", duration_ms=-5.0)

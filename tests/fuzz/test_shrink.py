@@ -1,0 +1,90 @@
+"""Shrinking, and the end-to-end mutation-catch acceptance test.
+
+The acceptance test deliberately breaks placement stability with a
+one-line mutation (``EmrConfig.stability_window_ms`` neutered to 0) and
+demands that the invariant checker catches it, the shrinker minimizes
+it while preserving the failure signature, and the written artifact
+replays to the same failure.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import _write_artifact, load_fuzz_scenario
+from repro.fuzz import (Scenario, failure_signature, run_scenario,
+                        same_failure, shrink)
+
+BALANCE = ("server.cpu.perc > 15 or server.cpu.perc < 10 "
+           "=> balance({Partition}, cpu);")
+
+
+def churny_scenario():
+    """Packed cluster + low balance band + explicit stability window:
+    migrations recur every period, so a runtime that forgets the
+    stability window re-migrates fresh actors immediately."""
+    return Scenario(
+        seed=11, app="estore", servers=3, instance_type="m1.small",
+        duration_ms=25_000.0, period_ms=5_000.0, stability_ms=12_000.0,
+        gem_wait_ms=200.0, rules=(BALANCE,), clients=6, think_ms=5.0,
+        app_params={"roots": 4, "children_per_root": 1,
+                    "skew_fraction": 0.1, "pack": True})
+
+
+def test_signature_distinguishes_crash_from_violation():
+    healthy = run_scenario(churny_scenario())
+    assert healthy.ok, healthy.summary()
+    # Fabricate the two failure shapes without re-running anything.
+    crash = type(healthy)(scenario=healthy.scenario, error="boom")
+    assert failure_signature(crash)[0] == "crash"
+    assert not same_failure(failure_signature(crash), healthy)
+
+
+def test_stability_mutation_is_caught_and_shrunk(monkeypatch, tmp_path):
+    from repro.core.emr.config import EmrConfig
+    # THE one-line mutation: the runtime stops honouring the stability
+    # window.  The checker derives the expected window from the raw
+    # config fields, not from this helper, so it must disagree.
+    monkeypatch.setattr(EmrConfig, "stability_window_ms",
+                        lambda self: 0.0)
+
+    scenario = churny_scenario()
+    result = run_scenario(scenario)
+    assert not result.ok, "mutation went unnoticed"
+    names = {v.invariant for v in result.violations}
+    assert "stability-window" in names, names
+
+    signature = failure_signature(result)
+    shrunk, shrunk_result, runs = shrink(scenario, result, max_runs=40)
+    assert runs > 0
+    assert same_failure(signature, shrunk_result)
+    assert "stability-window" in {
+        v.invariant for v in shrunk_result.violations}
+    # The shrinker must never grow the scenario.
+    assert len(shrunk.rules) <= len(scenario.rules)
+    assert shrunk.duration_ms <= scenario.duration_ms
+    assert shrunk.servers <= scenario.servers
+
+    # The written artifact replays to the same failure.
+    path = _write_artifact(str(tmp_path), scenario.seed, shrunk,
+                           shrunk_result, runs)
+    with open(path) as handle:
+        artifact = json.load(handle)
+    assert artifact["format"] == "repro-fuzz-artifact/1"
+    replayed = run_scenario(load_fuzz_scenario(path))
+    assert same_failure(signature, replayed)
+
+
+def test_shrink_gives_up_gracefully_on_budget():
+    from repro.core.emr.config import EmrConfig
+    import unittest.mock as mock
+    with mock.patch.object(EmrConfig, "stability_window_ms",
+                           lambda self: 0.0):
+        scenario = churny_scenario()
+        result = run_scenario(scenario)
+        assert not result.ok
+        shrunk, shrunk_result, runs = shrink(scenario, result,
+                                             max_runs=1)
+        assert runs <= 1
+        # Whatever it returns must still exhibit the failure.
+        assert same_failure(failure_signature(result), shrunk_result)

@@ -9,6 +9,7 @@ from repro.actors import Actor, Client
 from repro.bench import build_cluster
 from repro.chaos import (ChaosEngine, CrashServer, DegradeNetwork,
                          FaultPlan)
+from repro.check import InvariantChecker
 from repro.cluster import AvailabilityMeter
 from repro.core import ElasticityManager, EmrConfig, compile_source
 from repro.sim import spawn
@@ -29,6 +30,8 @@ def run_once(seed):
         "=> balance({Spinner}, cpu);", [Spinner])
     manager = ElasticityManager(bed.system, policy, EmrConfig(
         period_ms=5_000.0, gem_wait_ms=300.0, lem_stagger_ms=10.0))
+    checker = InvariantChecker(manager)
+    checker.attach()
     manager.start()
     client = Client(bed.system)
 
@@ -39,6 +42,7 @@ def run_once(seed):
     for ref in refs:
         spawn(bed.sim, loop(ref))
     bed.run(until_ms=30_000.0)
+    checker.assert_clean()
     # Actor and server ids are global counters, so two runs in one
     # process get different raw ids; normalize to per-run indices.
     actor_index = {ref.actor_id: i for i, ref in enumerate(refs)}
@@ -89,6 +93,8 @@ def run_chaos_once(seed):
     manager = ElasticityManager(bed.system, policy, EmrConfig(
         period_ms=5_000.0, gem_wait_ms=300.0, lem_stagger_ms=10.0,
         suspicion_timeout_ms=6_000.0))
+    checker = InvariantChecker(manager)
+    checker.attach()
     manager.start()
     emr_events = []
     manager.add_listener(
@@ -108,6 +114,7 @@ def run_chaos_once(seed):
     for ref in refs:
         spawn(bed.sim, loop(ref))
     bed.run(until_ms=30_000.0)
+    checker.assert_clean()
 
     actor_index = {ref.actor_id: i for i, ref in enumerate(refs)}
     server_by_name = {server.name: i

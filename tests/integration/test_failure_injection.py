@@ -4,6 +4,7 @@ import pytest
 
 from repro.actors import Actor, Client, RuntimeHooks
 from repro.bench import build_cluster
+from repro.check import InvariantChecker
 from repro.core import ElasticityManager, EmrConfig, compile_source
 from repro.sim import spawn
 
@@ -111,6 +112,8 @@ def test_emr_survives_server_crash_and_keeps_balancing():
         "=> balance({Spinner}, cpu);", [Spinner])
     manager = ElasticityManager(bed.system, policy, EmrConfig(
         period_ms=5_000.0, gem_wait_ms=300.0, lem_stagger_ms=10.0))
+    checker = InvariantChecker(manager)
+    checker.attach()
     manager.start()
     client = Client(bed.system)
 
@@ -137,6 +140,7 @@ def test_emr_survives_server_crash_and_keeps_balancing():
                  if bed.system.directory.try_lookup(ref.actor_id)]
     homes = {bed.system.server_of(ref).server_id for ref in survivors}
     assert homes <= {s.server_id for s in bed.provisioner.servers}
+    checker.assert_clean()
 
 
 def test_migration_toward_crashed_server_is_dropped():
@@ -213,6 +217,8 @@ def test_aborted_migration_appears_in_tracer():
                                           gem_wait_ms=300.0))
     tracer = ElasticityTracer(manager)
     tracer.attach()
+    checker = InvariantChecker(manager, tracer=tracer)
+    checker.attach()
     source, target = bed.servers
     ref = bed.system.create_actor(Heavy, server=source)
     bed.system.migrate_actor(ref, target)
@@ -225,3 +231,4 @@ def test_aborted_migration_appears_in_tracer():
     crashed = tracer.of_kind("server-crashed")
     assert len(crashed) == 1
     assert crashed[0].detail["server"] == target.name
+    checker.assert_clean()

@@ -16,6 +16,7 @@ from repro.apps.pagerank import (PAGERANK_POLICY, PageRankWorker,
                                  build_pagerank, run_iterations)
 from repro.baselines import OrleansBalancer
 from repro.bench import build_cluster
+from repro.check import InvariantChecker
 from repro.core import ElasticityManager, EmrConfig, compile_source
 from repro.graphs import social_graph
 
@@ -39,15 +40,20 @@ def test_fig6a_shape_plasma_beats_orleans_on_pagerank():
         bed = build_cluster(4, "m5.large", seed=4)
         deployment = build_pagerank(bed, graph, 16,
                                     placement=list(placement))
+        checker = None
         if mode == "plasma":
             policy = compile_source(PAGERANK_POLICY, [PageRankWorker])
             manager = ElasticityManager(bed.system, policy, EmrConfig(
                 period_ms=4_000.0, gem_wait_ms=300.0))
+            checker = InvariantChecker(manager)
+            checker.attach()
             manager.start()
         elif mode == "orleans":
             manager = OrleansBalancer(bed.system, period_ms=4_000.0)
             manager.start()
         stats = run_iterations(deployment, 25)
+        if checker is not None:
+            checker.assert_clean()
         return sum(stats.times_ms[-5:]) / 5
 
     plasma = run("plasma")
@@ -64,12 +70,15 @@ def test_fig6b_shape_dynamic_allocation_converges():
     manager = ElasticityManager(bed.system, policy, EmrConfig(
         period_ms=4_000.0, gem_wait_ms=300.0, allow_scale_out=True,
         max_scale_out_per_period=2))
+    checker = InvariantChecker(manager)
+    checker.attach()
     manager.start()
     stats = run_iterations(deployment, 40)
     # Fleet grew, actors spread, iterations got faster.
     assert bed.provisioner.fleet_size() > 1
     assert stats.times_ms[-1] < 0.6 * stats.times_ms[0]
     assert manager.migrations_total() >= 1
+    checker.assert_clean()
 
 
 def test_fig9_shape_plasma_matches_inapp_estore():

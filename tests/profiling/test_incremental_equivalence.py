@@ -24,6 +24,7 @@ from repro.apps.estore import ESTORE_POLICY, Partition, build_estore
 from repro.apps.pagerank import (PAGERANK_POLICY, PageRankWorker,
                                  build_pagerank, run_iterations)
 from repro.bench import build_cluster
+from repro.check import InvariantChecker
 from repro.core import (ElasticityManager, ElasticityTracer, EmrConfig,
                         compile_source)
 from repro.graphs import powerlaw_graph
@@ -61,14 +62,18 @@ def run_pagerank_scenario(incremental, iterations=10):
         incremental_profiling=incremental))
     tracer = ElasticityTracer(manager)
     tracer.attach()
+    checker = InvariantChecker(manager, tracer=tracer)
+    checker.attach()
     manager.start()
     run_iterations(deployment, iterations=iterations)
     # Idle tail: two more periods with no traffic, so the manager also
     # profiles quiescent actors (the snapshot-cache fast path).
     bed.run(until_ms=bed.sim.now + 20_000.0)
+    checker.assert_clean()
     observed = _observe(bed, manager, tracer, deployment.workers)
     manager.stop()
     tracer.detach()
+    checker.detach()
     return observed
 
 
@@ -85,6 +90,8 @@ def run_estore_scenario(incremental):
         incremental_profiling=incremental))
     tracer = ElasticityTracer(manager)
     tracer.attach()
+    checker = InvariantChecker(manager, tracer=tracer)
+    checker.attach()
     manager.start()
 
     duration_ms = 45_000.0
@@ -110,9 +117,11 @@ def run_estore_scenario(incremental):
     refs = list(setup.roots)
     for kids in setup.children:
         refs.extend(kids)
+    checker.assert_clean()
     observed = _observe(bed, manager, tracer, refs)
     manager.stop()
     tracer.detach()
+    checker.detach()
     return observed
 
 
