@@ -35,6 +35,12 @@ class ActorRecord:
     migrating: bool = False
     last_placed_at: float = 0.0
     migrations: int = 0
+    #: Control-plane epoch of the decision that last placed this actor
+    #: (0 before any partition has ever bumped the epoch).  Anti-entropy
+    #: after a partition heal reconciles placement views by this stamp:
+    #: the highest epoch wins, so a stale minority-side view can never
+    #: overwrite a newer placement.
+    placement_epoch: int = 0
     #: Constructor arguments the actor was created with, kept so a crash
     #: tombstone can resurrect the actor (fresh state; §2.2 leaves state
     #: recovery to the host language runtime).
@@ -75,6 +81,12 @@ class Directory:
     def on_server(self, server: "Server") -> List[ActorRecord]:
         """All actors currently hosted on ``server``."""
         return [rec for rec in self._records.values() if rec.server is server]
+
+    def stale_records(self, epoch: int) -> List[ActorRecord]:
+        """Records whose placement predates ``epoch`` — the candidates a
+        post-heal anti-entropy pass re-examines (highest epoch wins)."""
+        return [rec for rec in self._records.values()
+                if rec.placement_epoch < epoch]
 
     def of_type(self, type_name: str) -> List[ActorRecord]:
         return [rec for rec in self._records.values()

@@ -70,6 +70,20 @@ class ActorSystem:
         self._gates: Dict[int, Optional[Signal]] = {}
         self._current_message: Dict[int, Message] = {}
         self._placement_rng = self.streams.stream("actor-placement")
+        #: Supplies the control-plane epoch stamped onto placement
+        #: decisions (set by the elasticity manager; ``None`` stamps 0).
+        self.epoch_source: Optional[Callable[[], int]] = None
+        #: How long each phase of the migration protocol waits for an ack
+        #: that cannot arrive (severed link) before rolling back.  The
+        #: elasticity manager overrides this from its config.
+        self.migration_phase_timeout_ms = 2_000.0
+        #: Destination servers holding a prepared (not yet committed)
+        #: copy of a migrating actor's state, by actor id.  Purely
+        #: logical bookkeeping: memory is allocated only at commit, so a
+        #: rollback leaves no trace on the destination.
+        self._prepared: Dict[int, Server] = {}
+        #: Migrations rolled back by a partition or phase timeout.
+        self.migrations_rolled_back = 0
 
     # ------------------------------------------------------------------
     # hooks
@@ -120,7 +134,8 @@ class ActorSystem:
         record = ActorRecord(
             instance=instance, ref=ref, server=chosen,
             created_at=self.sim.now, last_placed_at=self.sim.now,
-            spawn_args=tuple(args), spawn_kwargs=dict(kwargs))
+            spawn_args=tuple(args), spawn_kwargs=dict(kwargs),
+            placement_epoch=self._current_epoch())
         self.directory.register(record)
         chosen.allocate_memory(instance.state_size_mb)
 
@@ -129,6 +144,9 @@ class ActorSystem:
         for hooks in self.hooks:
             hooks.on_actor_created(record)
         return ref
+
+    def _current_epoch(self) -> int:
+        return self.epoch_source() if self.epoch_source is not None else 0
 
     def _start_dispatch(self, record: ActorRecord) -> None:
         actor_id = record.ref.actor_id
@@ -233,7 +251,8 @@ class ActorSystem:
             instance=instance, ref=ref, server=chosen,
             created_at=self.sim.now, last_placed_at=self.sim.now,
             spawn_args=tombstone.spawn_args,
-            spawn_kwargs=dict(tombstone.spawn_kwargs))
+            spawn_kwargs=dict(tombstone.spawn_kwargs),
+            placement_epoch=self._current_epoch())
         self.directory.register(record)
         chosen.allocate_memory(instance.state_size_mb)
 
@@ -316,7 +335,8 @@ class ActorSystem:
             return
         src_server = src_record.server if src_record is not None else None
         message.remote = src_server is not target.server
-        if message.remote and self.fabric.drop_message():
+        if message.remote and self.fabric.drop_message(src_server,
+                                                       target.server):
             # Lost in transit (chaos fault): the message never arrives
             # and no reply fires — recovery is the caller's timeout/retry.
             return
@@ -337,8 +357,8 @@ class ActorSystem:
         if target.server is not arrived_at and message.forwards < _MAX_FORWARDS:
             # The actor moved while the message was in flight: the old
             # host forwards it, paying one more network hop (which a
-            # degraded fabric may also lose).
-            if self.fabric.drop_message():
+            # degraded or partitioned fabric may also lose).
+            if self.fabric.drop_message(arrived_at, target.server):
                 return
             message.forwards += 1
             delay = self.fabric.delivery_delay(
@@ -408,13 +428,25 @@ class ActorSystem:
 
     def migrate_actor(self, ref: ActorRef, target: Server,
                       force: bool = False) -> Signal:
-        """Live-migrate ``ref`` to ``target``.
+        """Live-migrate ``ref`` to ``target`` (prepare/transfer/commit).
 
         Returns a signal fired with ``True`` when the migration completed,
         or ``False`` if it was skipped (actor gone, already migrating,
-        pinned, or already on ``target``).  The actor finishes its current
-        message, its mailbox is gated, state is transferred (delay grows
-        with ``state_size_mb``), then processing resumes on the target.
+        pinned, or already on ``target``) or rolled back.  The actor
+        finishes its current message, its mailbox is gated, the
+        destination prepares a landing record, state is transferred
+        (delay grows with ``state_size_mb``), then the commit flips the
+        directory record and processing resumes on the target.
+
+        Each protocol phase tolerates a severed link: when the prepare or
+        commit ack cannot cross a partition, the source waits one
+        :attr:`migration_phase_timeout_ms`, re-probes, and on failure
+        rolls back — the actor stays live on the source and the
+        destination discards its prepared copy, so exactly one live copy
+        exists under any partition schedule.  With no partition active
+        the protocol's timing is identical to the fire-and-forget path
+        (the prepare/commit round trip is the RTT already inside
+        :meth:`NetworkFabric.transfer_delay`).
 
         ``force`` moves the actor even if pinned — used by elasticity
         behaviors that explicitly name the actor (``reserve`` outranks
@@ -434,6 +466,37 @@ class ActorSystem:
               name=f"migrate/{ref}")
         return done
 
+    def _link_severed(self, src: Server, dst: Server) -> bool:
+        """A migration phase needs a request *and* its ack to cross, so
+        the link counts as severed when either direction is blocked."""
+        return (self.fabric.link_blocked(src, dst)
+                or self.fabric.link_blocked(dst, src))
+
+    def _abort_lost(self, record: ActorRecord, gate: Signal, done: Signal,
+                    source: Server, target: Server) -> None:
+        # The actor died mid-protocol (its source server crashed):
+        # destroy_actor already settled memory and mailbox state.
+        self._prepared.pop(record.ref.actor_id, None)
+        gate.trigger()
+        done.trigger(False)
+        for hooks in self.hooks:
+            hooks.on_migration_aborted(record, source, target, "actor-lost")
+
+    def _rollback(self, record: ActorRecord, gate: Signal, done: Signal,
+                  source: Server, target: Server, reason: str) -> None:
+        # Source keeps the live actor; the destination discards its
+        # prepared copy (nothing was ever allocated there).
+        actor_id = record.ref.actor_id
+        self._prepared.pop(actor_id, None)
+        self.migrations_rolled_back += 1
+        record.migrating = False
+        if actor_id in self._gates:
+            self._gates[actor_id] = None
+        gate.trigger()
+        done.trigger(False)
+        for hooks in self.hooks:
+            hooks.on_migration_aborted(record, source, target, reason)
+
     def _migration_proc(self, record: ActorRecord, target: Server,
                         gate: Signal, done: Signal):
         actor_id = record.ref.actor_id
@@ -451,34 +514,56 @@ class ActorSystem:
             gate.trigger()
             done.trigger(False)
             return
+        # PREPARE: ask the destination to set up a landing record.  On a
+        # severed link the ack never comes; wait one phase timeout for a
+        # heal, then roll back with no bytes transferred.
+        if self._link_severed(source, target):
+            yield Timeout(self.sim, self.migration_phase_timeout_ms)
+            if self.directory.try_lookup(actor_id) is not record:
+                self._abort_lost(record, gate, done, source, target)
+                return
+            if not target.running or self._link_severed(source, target):
+                self._rollback(record, gate, done, source, target,
+                               "prepare-timeout")
+                return
+        self._prepared[actor_id] = target
+        # TRANSFER: full state over the slower NIC (plus the protocol's
+        # control RTT, already part of transfer_delay).
         state_bytes = record.instance.state_size_mb * 1024.0 * 1024.0
         delay = self.fabric.transfer_delay(source, target, state_bytes)
         yield Timeout(self.sim, delay)
         if self.directory.try_lookup(actor_id) is not record:
-            # The actor died mid-transfer (its source server crashed):
-            # destroy_actor already settled memory and mailbox state.
-            gate.trigger()
-            done.trigger(False)
-            for hooks in self.hooks:
-                hooks.on_migration_aborted(record, source, target,
-                                           "actor-lost")
+            self._abort_lost(record, gate, done, source, target)
             return
         if not target.running:
-            # The destination died mid-transfer: abort, the actor stays
-            # live on its source with nothing allocated on the target.
-            record.migrating = False
-            if actor_id in self._gates:
-                self._gates[actor_id] = None
-            gate.trigger()
-            done.trigger(False)
-            for hooks in self.hooks:
-                hooks.on_migration_aborted(record, source, target,
-                                           "target-crashed")
+            # The destination died mid-transfer: the actor stays live on
+            # its source with nothing allocated on the target.
+            self._rollback(record, gate, done, source, target,
+                           "target-crashed")
             return
+        # COMMIT: a partition that opened mid-transfer blocks the commit
+        # ack.  Hold the prepared copy for one phase timeout in case the
+        # partition heals (the migration then commits late); otherwise
+        # roll back — never commit blind across a cut.
+        if self._link_severed(source, target):
+            yield Timeout(self.sim, self.migration_phase_timeout_ms)
+            if self.directory.try_lookup(actor_id) is not record:
+                self._abort_lost(record, gate, done, source, target)
+                return
+            if not target.running:
+                self._rollback(record, gate, done, source, target,
+                               "target-crashed")
+                return
+            if self._link_severed(source, target):
+                self._rollback(record, gate, done, source, target,
+                               "commit-timeout")
+                return
+        self._prepared.pop(actor_id, None)
         source.free_memory(record.instance.state_size_mb)
         target.allocate_memory(record.instance.state_size_mb)
         record.server = target
         record.last_placed_at = self.sim.now
+        record.placement_epoch = self._current_epoch()
         record.migrations += 1
         record.migrating = False
         self._gates[actor_id] = None

@@ -2,13 +2,15 @@
 
 Declarative fault plans (:class:`FaultPlan`) executed by a simulation
 process (:class:`ChaosEngine`): fail-stop server crashes, GEM kills,
-transient network degradation, and limping (CPU-slowed) servers — all
-deterministic under a fixed seed so failures are exactly replayable.
+transient network degradation, per-link network partitions, and limping
+(CPU-slowed) servers — all deterministic under a fixed seed so failures
+are exactly replayable.
 """
 
 from .engine import ChaosEngine
 from .plan import (CrashServer, DegradeNetwork, Fault, FaultPlan, KillGem,
-                   SlowServer, fault_from_dict, fault_to_dict)
+                   PartitionNetwork, SlowServer, fault_from_dict,
+                   fault_to_dict)
 
 __all__ = [
     "ChaosEngine",
@@ -17,6 +19,7 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "KillGem",
+    "PartitionNetwork",
     "SlowServer",
     "fault_from_dict",
     "fault_to_dict",

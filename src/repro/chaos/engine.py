@@ -2,7 +2,8 @@
 
 The engine is a simulation process.  It walks the plan in time order,
 injects each fault through the public runtime surfaces (``crash_server``,
-``GEM.fail``, ``NetworkFabric.degrade``, ``Server.set_speed_factor``) and
+``GEM.fail``, ``NetworkFabric.degrade``, ``NetworkFabric.partition``,
+``Server.set_speed_factor``) and
 schedules the matching heal when the fault declares one.  Every injection
 and heal is appended to :attr:`ChaosEngine.log` and — when an elasticity
 manager is attached — emitted on its event bus as ``fault-injected`` /
@@ -29,7 +30,7 @@ from ..actors import ActorSystem
 from ..cluster import Server
 from ..sim import Timeout, spawn
 from .plan import (CrashServer, DegradeNetwork, Fault, FaultPlan, KillGem,
-                   SlowServer)
+                   PartitionNetwork, SlowServer)
 
 __all__ = ["ChaosEngine"]
 
@@ -92,6 +93,8 @@ class ChaosEngine:
             self._degrade_network(fault)
         elif isinstance(fault, SlowServer):
             self._slow_server(fault)
+        elif isinstance(fault, PartitionNetwork):
+            self._partition_network(fault)
 
     # -- fault handlers --------------------------------------------------
 
@@ -154,22 +157,70 @@ class ChaosEngine:
 
     def _degrade_network(self, fault: DegradeNetwork) -> None:
         fabric = self.system.fabric
-        fabric.degrade(latency_multiplier=fault.latency_multiplier,
-                       drop_probability=fault.drop_probability,
-                       rng=self.rng if fault.drop_probability > 0 else None)
+        token = fabric.degrade(
+            latency_multiplier=fault.latency_multiplier,
+            drop_probability=fault.drop_probability,
+            rng=self.rng if fault.drop_probability > 0 else None)
         self.faults_injected += 1
         self._emit("fault-injected", fault="degrade-network",
                    latency_multiplier=fault.latency_multiplier,
                    drop_probability=fault.drop_probability,
                    duration_ms=fault.duration_ms)
-        self.system.sim.schedule(fault.duration_ms, self._heal_network)
+        self.system.sim.schedule(fault.duration_ms, self._heal_network,
+                                 token, fabric.messages_dropped)
 
-    def _heal_network(self) -> None:
-        # Overlapping DegradeNetwork windows do not stack: the newest
-        # degradation replaces the current one, and the earliest heal
-        # clears whatever is active.
-        self.system.fabric.heal()
-        self._emit("fault-healed", fault="degrade-network")
+    def _heal_network(self, token: int, drops_before: int) -> None:
+        # Each degradation heals by its own token, so overlapping
+        # DegradeNetwork windows compose (max latency multiplier,
+        # independent drop draws) instead of clobbering each other.
+        fabric = self.system.fabric
+        fabric.heal(token)
+        self._emit("fault-healed", fault="degrade-network",
+                   messages_dropped=fabric.messages_dropped - drops_before)
+
+    def _partition_network(self, fault: PartitionNetwork) -> None:
+        fabric = self.system.fabric
+        servers = []
+        for index in fault.group:
+            if index >= len(self._fleet):
+                continue
+            server = self._fleet[index]
+            if server.running:
+                servers.append(server)
+        if not servers:
+            self._skip("partition-network", reason="no-live-group-servers",
+                       group=list(fault.group))
+            return
+        gem_ids = tuple(
+            gem_id for gem_id in fault.gems
+            if self.manager is not None and gem_id < len(self.manager.gems))
+        server_ids = frozenset(server.server_id for server in servers)
+        token = fabric.partition(
+            server_ids, symmetric=fault.symmetric, loss=fault.loss,
+            rng=self.rng if fault.loss < 1.0 else None)
+        self.faults_injected += 1
+        self._emit("fault-injected", fault="partition-network",
+                   partition_id=token,
+                   group=tuple(server.name for server in servers),
+                   gems=gem_ids, symmetric=fault.symmetric, loss=fault.loss,
+                   duration_ms=fault.duration_ms)
+        if self.manager is not None:
+            self.manager.note_partition(token, server_ids,
+                                        frozenset(gem_ids), fault.symmetric)
+        self.system.sim.schedule(fault.duration_ms, self._heal_partition,
+                                 token, servers, fabric.partition_drops)
+
+    def _heal_partition(self, token: int, servers: List[Server],
+                        drops_before: int) -> None:
+        fabric = self.system.fabric
+        fabric.heal_partition(token)
+        self._emit("fault-healed", fault="partition-network",
+                   partition_id=token,
+                   group=tuple(server.name for server in servers),
+                   partition_drops=fabric.partition_drops - drops_before,
+                   messages_dropped=fabric.messages_dropped)
+        if self.manager is not None:
+            self.manager.note_partition_healed(token)
 
     def _slow_server(self, fault: SlowServer) -> None:
         server = self._target_server(fault.server_index, "slow-server")

@@ -17,6 +17,9 @@ Fault types
   fraction of remote messages for ``duration_ms``.
 - :class:`SlowServer` — scale a server's effective CPU speed (a
   "limping" server) for ``duration_ms``.
+- :class:`PartitionNetwork` — sever the links between a named group of
+  servers (plus, optionally, a set of GEMs) and the rest of the fleet
+  for ``duration_ms``; symmetric or asymmetric, absolute or lossy.
 
 Server-targeting faults refer to servers by *index into the fleet as it
 stood when the chaos engine started*, so a plan's meaning does not shift
@@ -29,7 +32,8 @@ from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 __all__ = ["CrashServer", "KillGem", "DegradeNetwork", "SlowServer",
-           "FaultPlan", "Fault", "fault_to_dict", "fault_from_dict"]
+           "PartitionNetwork", "FaultPlan", "Fault", "fault_to_dict",
+           "fault_from_dict"]
 
 
 @dataclass(frozen=True)
@@ -110,15 +114,58 @@ class SlowServer:
             raise ValueError("speed_factor must be positive")
 
 
-Fault = Union[CrashServer, KillGem, DegradeNetwork, SlowServer]
+@dataclass(frozen=True)
+class PartitionNetwork:
+    """Partition ``group`` away from the rest of the fleet at ``at_ms``.
 
-_FAULT_TYPES = (CrashServer, KillGem, DegradeNetwork, SlowServer)
+    ``group`` lists server indices (into the starting fleet, like
+    :class:`CrashServer`); ``gems`` lists GEM ids stranded on the
+    group's side of the cut.  Links within each side keep working.
+    ``symmetric=False`` severs only traffic *from* the group outward
+    (half-open failure); ``loss`` below 1.0 makes the cut lossy instead
+    of absolute.  The partition heals after ``duration_ms``.
+    """
+
+    at_ms: float
+    duration_ms: float
+    group: Tuple[int, ...] = (0,)
+    symmetric: bool = True
+    gems: Tuple[int, ...] = ()
+    loss: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group", tuple(self.group))
+        object.__setattr__(self, "gems", tuple(self.gems))
+        if self.at_ms < 0:
+            raise ValueError("at_ms must be non-negative")
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if not self.group:
+            raise ValueError("group must name at least one server index")
+        if any(index < 0 for index in self.group):
+            raise ValueError("group indices must be non-negative")
+        if len(set(self.group)) != len(self.group):
+            raise ValueError("group indices must be unique")
+        if any(gem_id < 0 for gem_id in self.gems):
+            raise ValueError("gem ids must be non-negative")
+        if len(set(self.gems)) != len(self.gems):
+            raise ValueError("gem ids must be unique")
+        if not 0.0 < self.loss <= 1.0:
+            raise ValueError("loss must be in (0, 1]")
+
+
+Fault = Union[CrashServer, KillGem, DegradeNetwork, SlowServer,
+              PartitionNetwork]
+
+_FAULT_TYPES = (CrashServer, KillGem, DegradeNetwork, SlowServer,
+                PartitionNetwork)
 
 _FAULT_NAMES: Dict[str, type] = {
     "crash-server": CrashServer,
     "kill-gem": KillGem,
     "degrade-network": DegradeNetwork,
     "slow-server": SlowServer,
+    "partition-network": PartitionNetwork,
 }
 
 

@@ -116,6 +116,34 @@ class InvariantChecker:
         self._last_vote: Optional[Dict[str, Any]] = None
         self._first_fault_ms: Optional[float] = None
         self._crashed_servers: Set[str] = set()
+        # -- partition / epoch state ----------------------------------
+        self._active_partitions: Dict[int, Dict[str, Any]] = {}
+        self._degraded_gems: Set[int] = set()
+        self._last_epoch_seen = 0
+
+    # -- partition side re-derivation ---------------------------------
+
+    def _quorumless_side_names(self) -> Set[str]:
+        """Server names on the minority side of any active partition,
+        re-derived from fault events plus the current fleet (NOT from
+        the manager's own isolation bookkeeping — same independence
+        rule as the stability window)."""
+        if not self._active_partitions:
+            return set()
+        running = {server.name
+                   for server in self.manager.system.provisioner.servers
+                   if server.running}
+        quorumless: Set[str] = set()
+        for info in self._active_partitions.values():
+            group = set(info["group"]) & running
+            rest = running - set(info["group"])
+            # The side with a strict majority of running servers keeps
+            # authority; ties leave the cut-off group quorum-less.
+            if len(group) > len(rest):
+                quorumless |= rest
+            else:
+                quorumless |= group
+        return quorumless
 
     # -- expected stability window ------------------------------------
 
@@ -211,6 +239,13 @@ class InvariantChecker:
                 "actor-conservation",
                 f"actor id {actor_id} created while already alive",
                 actor=str(record.ref))
+            if self._server_of.get(actor_id) in self._quorumless_side_names():
+                self._violate(
+                    "no-duplicate-actor",
+                    f"actor id {actor_id} re-created while its copy on "
+                    f"{self._server_of[actor_id]} is merely cut off by a "
+                    f"partition", actor=str(record.ref),
+                    old_server=self._server_of[actor_id])
         self._alive[actor_id] = record.ref.type_name
         self._lost.pop(actor_id, None)
         self._placed_at[actor_id] = now
@@ -285,6 +320,13 @@ class InvariantChecker:
                 "actor-conservation",
                 f"actor id {actor_id} resurrected while still alive",
                 actor=str(record.ref))
+            if self._server_of.get(actor_id) in self._quorumless_side_names():
+                self._violate(
+                    "no-duplicate-actor",
+                    f"actor id {actor_id} resurrected while its copy on "
+                    f"{self._server_of[actor_id]} is merely cut off by a "
+                    f"partition", actor=str(record.ref),
+                    old_server=self._server_of[actor_id])
         elif actor_id not in self._lost:
             # Covers double-resurrection too: a successful resurrection
             # removes the id from the lost set, so a second resurrect
@@ -324,6 +366,26 @@ class InvariantChecker:
         elif kind == "fault-injected":
             if self._first_fault_ms is None:
                 self._first_fault_ms = self.manager.system.sim.now
+            if detail.get("fault") == "partition-network":
+                self._active_partitions[detail["partition_id"]] = {
+                    "group": tuple(detail.get("group", ())),
+                    "symmetric": detail.get("symmetric", True)}
+        elif kind == "fault-healed":
+            if detail.get("fault") == "partition-network":
+                self._active_partitions.pop(detail.get("partition_id"),
+                                            None)
+        elif kind == "epoch-advanced":
+            self._check_epoch_advanced(detail)
+        elif kind == "gem-degraded":
+            self._check_event_epoch(kind, detail)
+            self._degraded_gems.add(detail["gem_id"])
+        elif kind == "gem-restored":
+            self._check_event_epoch(kind, detail)
+            self._degraded_gems.discard(detail["gem_id"])
+        elif kind == "stale-epoch-rejected":
+            self._check_stale_rejection(detail)
+        elif kind == "partition-healed":
+            self._check_partition_healed(detail)
 
     def _check_migration_start(self, detail: Dict[str, Any]) -> None:
         self.checks_run += 1
@@ -371,6 +433,16 @@ class InvariantChecker:
                 f"{actor} migration started {now - placed:.1f}ms after "
                 f"placement; stability window is {stability:.1f}ms",
                 placed_at=placed, **detail)
+        if self._active_partitions:
+            quorumless = self._quorumless_side_names()
+            for end in ("src", "dst"):
+                if detail[end] in quorumless:
+                    self._violate(
+                        "no-split-brain",
+                        f"migration of {actor} started with {end} "
+                        f"{detail[end]} on a quorum-less partition side",
+                        **detail)
+        self._check_event_epoch("migration-started", detail)
         self._inflight[actor_id] = {"at": now, "src": detail["src"],
                                     "dst": detail["dst"]}
 
@@ -407,13 +479,33 @@ class InvariantChecker:
 
     def _check_gem_vote(self, detail: Dict[str, Any]) -> None:
         self.checks_run += 1
-        views = detail.get("peer_views", ())
-        agreeing = sum(1 for _gem, view, rounds in views
-                       if view >= 0.5 or rounds == 0)
-        expected = agreeing * 2 >= len(views) if views else True
         invariant = ("scale-out-majority"
                      if detail.get("direction") == "overloaded"
                      else "scale-in-majority")
+        requester = detail.get("requester")
+        if requester in self._degraded_gems and not detail.get("vetoed"):
+            self._violate(
+                "no-split-brain",
+                f"quorum-less GEM {requester} requested a "
+                f"{detail.get('direction')} vote without being vetoed",
+                **detail)
+        if detail.get("vetoed"):
+            if detail.get("decision"):
+                self._violate(
+                    invariant,
+                    f"vetoed vote ({detail['vetoed']}) recorded a "
+                    f"winning decision", **detail)
+            return
+        views = detail.get("peer_views", ())
+        agreeing = 0
+        for item in views:
+            # Legacy traces carry 3-tuples; partition-aware runs append
+            # a reachability flag as a 4th element.
+            _gem, view, rounds = item[0], item[1], item[2]
+            reachable = item[3] if len(item) > 3 else True
+            if reachable and (view >= 0.5 or rounds == 0):
+                agreeing += 1
+        expected = agreeing * 2 >= len(views) if views else True
         if bool(detail.get("decision")) != expected:
             self._violate(
                 invariant,
@@ -436,6 +528,67 @@ class InvariantChecker:
                 invariant,
                 f"fleet adjustment ({direction}) executed without a "
                 f"same-tick winning majority vote", **detail)
+        gem_id = detail.get("gem_id")
+        if gem_id in self._degraded_gems:
+            self._violate(
+                "no-split-brain",
+                f"quorum-less GEM {gem_id} executed a fleet adjustment "
+                f"({direction})", **detail)
+
+    # -- epoch fencing / partitions ------------------------------------
+
+    def _check_epoch_advanced(self, detail: Dict[str, Any]) -> None:
+        self.checks_run += 1
+        epoch = detail.get("epoch", 0)
+        if epoch <= self._last_epoch_seen:
+            self._violate(
+                "epoch-monotonicity",
+                f"epoch advanced to {epoch} but {self._last_epoch_seen} "
+                f"was already seen", **detail)
+        if epoch > self.manager.epoch:
+            self._violate(
+                "epoch-monotonicity",
+                f"epoch-advanced event carries epoch {epoch} beyond the "
+                f"manager's global epoch {self.manager.epoch}", **detail)
+        self._last_epoch_seen = max(self._last_epoch_seen, epoch)
+
+    def _check_event_epoch(self, kind: str,
+                           detail: Dict[str, Any]) -> None:
+        epoch = detail.get("epoch")
+        if epoch is None:
+            return
+        if epoch > self.manager.epoch:
+            self._violate(
+                "epoch-monotonicity",
+                f"{kind} event carries epoch {epoch} beyond the "
+                f"manager's global epoch {self.manager.epoch}", **detail)
+
+    def _check_stale_rejection(self, detail: Dict[str, Any]) -> None:
+        self.checks_run += 1
+        gem_epoch = detail.get("gem_epoch", 0)
+        lem_epoch = detail.get("lem_epoch", 0)
+        if gem_epoch >= lem_epoch:
+            self._violate(
+                "epoch-monotonicity",
+                f"LEM on {detail.get('server')} rejected GEM epoch "
+                f"{gem_epoch} as stale against its own {lem_epoch}",
+                **detail)
+
+    def _check_partition_healed(self, detail: Dict[str, Any]) -> None:
+        self.checks_run += 1
+        self._check_event_epoch("partition-healed", detail)
+        directory_ids = {record.ref.actor_id for record in
+                         self.manager.system.directory.records()}
+        revenants = sorted(directory_ids & set(self._lost))[:5]
+        if revenants:
+            self._violate(
+                "no-duplicate-actor",
+                f"after heal, actor ids {revenants} are both live in "
+                f"the directory and still marked crash-lost",
+                revenants=revenants, **detail)
+        # Directory-vs-derived-state agreement (duplicate or lost
+        # records) is re-checked by the regular sweep machinery.
+        self._sweep()
 
     def _check_lem_round(self, detail: Dict[str, Any]) -> None:
         self.checks_run += 1

@@ -59,6 +59,18 @@ INVARIANTS: Dict[str, str] = {
     "placement-consistency": (
         "at every sweep, each directory record is hosted on a running "
         "server and pending placements match the provisioner's fleet"),
+    "no-split-brain": (
+        "while a partition denies a GEM its quorum, that GEM requests "
+        "no scale votes, executes no fleet changes, and no migration "
+        "starts from or onto a quorum-less side's servers"),
+    "epoch-monotonicity": (
+        "control-plane epochs only move forward: every event-carried "
+        "epoch is non-decreasing over time and never exceeds the "
+        "manager's global epoch"),
+    "no-duplicate-actor": (
+        "an actor alive on an unreachable-but-running server is never "
+        "resurrected or re-created elsewhere while the partition "
+        "lasts, and after heal every actor id has exactly one record"),
 }
 
 

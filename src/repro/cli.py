@@ -237,15 +237,17 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
     started = time.monotonic()
     failures = 0
+    total_drops = 0
     for index in range(args.seeds):
         if args.budget_s and time.monotonic() - started > args.budget_s:
             print(f"budget of {args.budget_s}s exhausted after "
                   f"{index} seed(s)")
             break
         seed = args.seed_start + index
-        scenario = generate_scenario(seed)
+        scenario = generate_scenario(seed, profile=args.profile)
         result = run_scenario(scenario)
         status = result.summary()
+        total_drops += result.messages_dropped
         print(f"seed {seed:6d}  {scenario.describe():50s} {status}")
         if result.ok:
             continue
@@ -261,7 +263,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
               f"({result.summary()})")
     elapsed = time.monotonic() - started
     print(f"{args.seeds} seed(s) in {elapsed:.1f}s: "
-          f"{failures} failure(s)")
+          f"{failures} failure(s), "
+          f"{total_drops} fabric message(s) dropped")
     return 1 if failures else 0
 
 
@@ -313,6 +316,10 @@ def main(argv: Sequence[str] = None) -> int:
                              "seeds after this many seconds")
     p_fuzz.add_argument("--out", default="fuzz-artifacts",
                         help="directory for shrunk failure artifacts")
+    p_fuzz.add_argument("--profile", choices=("default", "partition"),
+                        default="default",
+                        help="generator emphasis: 'partition' injects a "
+                             "network partition into every scenario")
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="write failures unshrunk")
     p_fuzz.add_argument("--replay", metavar="FILE",

@@ -65,6 +65,16 @@ class EmrConfig:
     #: Re-create actors lost to a confirmed server failure through the
     #: rule-aware placement path (only effective with detection on).
     resurrect_lost_actors: bool = True
+    #: While a partition is active, the manager re-probes GEM quorums at
+    #: this interval (fleet changes mid-partition can flip a side's
+    #: majority).  ``None`` means half an elasticity period.  The probe
+    #: process only exists while a partition is active, so a fault-free
+    #: run schedules nothing.
+    partition_probe_interval_ms: Optional[float] = None
+    #: Per-phase ack timeout of the prepare/transfer/commit migration
+    #: protocol: how long the source waits on a severed link before
+    #: rolling back (pushed onto the actor system at start()).
+    migration_phase_timeout_ms: float = 2_000.0
     #: Defaults for Client retry/backoff under faults (consumed by
     #: benchmarks wiring clients; the EMR itself never retries).
     client_timeout_ms: Optional[float] = None
@@ -104,6 +114,12 @@ class EmrConfig:
                 "suspicion_timeout_ms must exceed period_ms: LEMs report "
                 "once per period, so a shorter timeout suspects every "
                 "healthy server")
+        if (self.partition_probe_interval_ms is not None
+                and self.partition_probe_interval_ms <= 0):
+            raise ValueError(
+                "partition_probe_interval_ms must be positive (or None)")
+        if self.migration_phase_timeout_ms <= 0:
+            raise ValueError("migration_phase_timeout_ms must be positive")
         if self.client_timeout_ms is not None and self.client_timeout_ms <= 0:
             raise ValueError("client_timeout_ms must be positive (or None)")
         if self.client_max_retries < 0:

@@ -38,6 +38,15 @@ class GEM:
         self.manager = manager
         self.gem_id = gem_id
         self.failed = False
+        #: Control-plane epoch this GEM last synced to.  Every RREPLY
+        #: carries it; a LEM on a higher epoch rejects the actions as
+        #: stale (epoch fencing).
+        self.epoch = 0
+        #: Quorum-less read-only mode: set by the manager while this GEM
+        #: cannot reach a strict majority of running servers' LEMs.  A
+        #: degraded GEM plans no migrations, requests no votes, and
+        #: makes no fleet changes — it only acknowledges reports.
+        self.degraded = False
         self.rounds_processed = 0
         self.overload_fraction = 0.0     # last observed region view
         self.underload_fraction = 0.0
@@ -76,6 +85,18 @@ class GEM:
         reports, self._reports = self._reports, []
         if not reports or self.failed:
             return
+        if self.degraded:
+            # Read-only mode: acting on a partial (partition-filtered)
+            # snapshot makes provably bad decisions, so acknowledge the
+            # reports with empty action lists and plan nothing.  The
+            # LEMs proceed with local actions only, exactly as if this
+            # GEM had timed out.
+            delay = self.manager.config.control_latency_ms
+            for _lem, _actors, server_snap, reply in reports:
+                if self.manager.reply_reachable(self, server_snap.server):
+                    self.manager.system.sim.schedule(
+                        delay, reply.trigger, ((), self.epoch))
+            return
         self.rounds_processed += 1
         self._boots_this_round = 0
 
@@ -110,15 +131,19 @@ class GEM:
                            if action.dst.server_id not in draining]
             actions.extend(drain_actions)
 
-        # RREPLY: route each action to the LEM of its source server.
+        # RREPLY: route each action to the LEM of its source server,
+        # stamped with this GEM's epoch.  A reply whose path a partition
+        # severed is simply lost — the LEM's reply timeout covers it.
         queues: Dict[int, List[Action]] = {}
         for action in actions:
             queues.setdefault(action.src.server_id, []).append(action)
         delay = self.manager.config.control_latency_ms
         for lem, _actors, server_snap, reply in reports:
+            if not self.manager.reply_reachable(self, server_snap.server):
+                continue
             lem_actions = queues.get(server_snap.server.server_id, [])
             self.manager.system.sim.schedule(delay, reply.trigger,
-                                             lem_actions)
+                                             (lem_actions, self.epoch))
 
     # -- applyResRules -----------------------------------------------------
 
@@ -147,7 +172,8 @@ class GEM:
                         lower, upper, now, stability,
                         config.max_moves_per_server, rule.index,
                         groups=groups,
-                        draining=self.manager.draining_ids())
+                        draining=self.manager.draining_ids(),
+                        unreachable=self.manager.isolated_server_ids())
                     actions.extend(plan.actions)
                     need_scale_out |= (plan.need_scale_out
                                        or plan.all_overloaded)
@@ -177,7 +203,8 @@ class GEM:
                             trigger=trigger,
                             projected_load=projected_load,
                             projected_pop=projected_pop,
-                            draining=self.manager.draining_ids())
+                            draining=self.manager.draining_ids(),
+                            unreachable=self.manager.isolated_server_ids())
                         need_scale_out |= scale
                         if planned:
                             moves_per_src[src_id] = \
@@ -257,7 +284,7 @@ class GEM:
 
     def _try_scale_out(self) -> None:
         config = self.manager.config
-        if not config.allow_scale_out:
+        if not config.allow_scale_out or self.degraded:
             return
         if self._boots_this_round >= config.max_scale_out_per_period:
             return
@@ -275,7 +302,7 @@ class GEM:
                       actors_by_server: Dict[int, List[ActorSnapshot]],
                       bounds: Optional[Tuple[float, float]]) -> List[Action]:
         config = self.manager.config
-        if not config.allow_scale_in or len(servers) < 2:
+        if not config.allow_scale_in or self.degraded or len(servers) < 2:
             return []
         lower, upper = bounds if bounds else (60.0, 80.0)
         fleet = self.manager.system.provisioner.fleet_size()

@@ -43,8 +43,13 @@ class LEM:
         self.manager = manager
         self.server = server
         self.index = index
+        #: Control-plane epoch this LEM last observed.  RREPLY actions
+        #: stamped with a lower epoch are rejected as stale: they were
+        #: planned by a GEM that has not seen the latest partition event.
+        self.epoch = 0
         self.rounds_run = 0
         self.migrations_started = 0
+        self.stale_replies_rejected = 0
         self._reserved_perc: Dict[str, float] = {}
         self._process = None
 
@@ -103,12 +108,27 @@ class LEM:
         if gem is not None and self.manager.policy.resource_rules:
             related = self._collect_actors_for_res_rules(actor_snaps)
             reply = Signal(sim)
-            sim.schedule(config.control_latency_ms, gem.receive_report,
-                         self, related, server_snap, reply)
+            if self.manager.report_reachable(self.server, gem):
+                sim.schedule(config.control_latency_ms, gem.receive_report,
+                             self, related, server_snap, reply)
+            # A REPORT a partition ate still costs the full reply wait:
+            # the LEM cannot tell a lost message from a slow GEM.
             sim.schedule(config.gem_reply_timeout_ms, reply.trigger, None)
             result = yield reply
             if result is not None:
-                gem_actions = result
+                actions, gem_epoch = result
+                if gem_epoch < self.epoch:
+                    # Epoch fencing: these actions were planned under a
+                    # superseded view of the fleet.
+                    self.stale_replies_rejected += 1
+                    self.manager.emit("stale-epoch-rejected",
+                                      server=self.server.name,
+                                      gem_id=gem.gem_id,
+                                      lem_epoch=self.epoch,
+                                      gem_epoch=gem_epoch)
+                else:
+                    self.epoch = gem_epoch
+                    gem_actions = list(actions)
 
         final = resolve_actions(lem_actions, gem_actions)
         if self.manager.debug_events:
@@ -264,7 +284,8 @@ class LEM:
         candidates = [
             s for s in self.manager.system.provisioner.servers
             if (s.running and s is not avoid and s is not mover.server
-                and not self.manager.is_draining(s))]
+                and not self.manager.is_draining(s)
+                and not self.manager.server_quorumless(s))]
         if not candidates:
             return None
         return min(candidates,
@@ -290,6 +311,11 @@ class LEM:
     def _execute(self, action: Action):
         sim = self.manager.system.sim
         config = self.manager.config
+        if self.manager.server_quorumless(self.server):
+            # This server sits on the minority side of a partition: its
+            # view is partial and its control plane is cut off, so defer
+            # every migration until the heal re-admits it.
+            return
         record = self.manager.system.directory.try_lookup(action.actor_id)
         if record is None or record.migrating:
             return
@@ -299,6 +325,12 @@ class LEM:
             return  # stale: the actor moved since planning
         if not action.dst.running or self.manager.is_draining(action.dst):
             return  # stale: the target retired or became a scale-in victim
+        if self.manager.server_quorumless(action.dst):
+            # A partition opened after this plan was made and the target
+            # landed on the minority side.  Epoch fencing cannot catch
+            # this (planner and executor are both on the majority side),
+            # so recheck the destination at execute time.
+            return
         if (sim.now - record.last_placed_at
                 < config.stability_window_ms()):
             return

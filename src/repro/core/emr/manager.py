@@ -19,7 +19,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ...actors import ActorRecord, ActorRef, ActorSystem, RuntimeHooks
 from ...cluster import Server
@@ -33,6 +33,27 @@ from .lem import LEM
 from .placement import PlasmaPlacement
 
 __all__ = ["ElasticityManager", "MigrationEvent"]
+
+
+@dataclass
+class _PartitionEntry:
+    """Control-plane view of one active network partition.
+
+    ``server_ids``/``gem_ids`` are the group side of the cut as injected;
+    ``minority_server_ids``/``minority_gem_ids`` are recomputed against
+    the *current* running fleet (a crash mid-partition can flip which
+    side holds the majority).
+    """
+
+    server_ids: FrozenSet[int]
+    gem_ids: FrozenSet[int]
+    symmetric: bool
+    minority_server_ids: FrozenSet[int] = frozenset()
+    minority_gem_ids: FrozenSet[int] = frozenset()
+    #: The full minority side, crashed servers included.  The majority's
+    #: failure detector cannot see liveness across the cut, so "behind
+    #: the cut" must not depend on whether the server actually crashed.
+    cut_server_ids: FrozenSet[int] = frozenset()
 
 
 @dataclass
@@ -99,6 +120,21 @@ class ElasticityManager:
         self._lost_actors: Dict[int, List[ActorRecord]] = {}
         self._failed_gems_noted: Set[int] = set()
         self._system_hooks = _EmrSystemHooks(self)
+        #: Control-plane epoch: bumped on every partition event (inject
+        #: and heal).  Every GEM decision carries the epoch it was made
+        #: under; LEMs reject commands from a lower epoch.
+        self.epoch = 0
+        self._partitions: Dict[int, _PartitionEntry] = {}
+        self._isolated_servers: FrozenSet[int] = frozenset()
+        self._isolated_gems: FrozenSet[int] = frozenset()
+        self._cut_off_servers: FrozenSet[int] = frozenset()
+        #: Servers the failure detector declared unreachable (silent but
+        #: cut off by a partition — possibly still alive on the far
+        #: side), by server id; value records the server and the last
+        #: heartbeat time.  Unlike a suspected crash, no resurrection
+        #: happens until a heal confirms the server's fate.
+        self._unreachable: Dict[int, Tuple[Server, float]] = {}
+        self._probe_running = False
         system.provisioner.add_join_listener(self._on_server_join)
 
     # ------------------------------------------------------------------
@@ -111,6 +147,9 @@ class ElasticityManager:
         self.system.add_hooks(self.profiler)
         self.system.add_hooks(self._system_hooks)
         self.system.placement_policy = self.placement
+        self.system.epoch_source = lambda: self.epoch
+        self.system.migration_phase_timeout_ms = \
+            self.config.migration_phase_timeout_ms
         for server in self.system.provisioner.servers:
             self._add_lem(server)
         spawn(self.system.sim, self._janitor(), name="emr/janitor")
@@ -129,11 +168,16 @@ class ElasticityManager:
             self.system.remove_hooks(self._system_hooks)
         if self.system.placement_policy is self.placement:
             self.system.placement_policy = None
+        self.system.epoch_source = None
 
     def _add_lem(self, server: Server) -> None:
         if server.server_id in self.lems:
             return
         lem = LEM(self, server, self._lem_counter)
+        # A server booted mid-run joins at the current control-plane
+        # epoch: the manager that boots it hands over the configuration,
+        # so it must not reject the first RREPLY as "newer than mine".
+        lem.epoch = self.epoch
         self._lem_counter += 1
         self.lems[server.server_id] = lem
         # Baseline heartbeat: a server that never manages a first round
@@ -175,7 +219,15 @@ class ElasticityManager:
     # ------------------------------------------------------------------
 
     def note_report(self, server: Server) -> None:
-        """Heartbeat: a LEM round on ``server`` just started."""
+        """Heartbeat: a LEM round on ``server`` just started.
+
+        A heartbeat from a quorum-less (minority-side) server cannot
+        cross the partition to the authoritative control plane, so it is
+        not recorded — after the suspicion timeout the failure detector
+        declares the server *unreachable* (not crashed).
+        """
+        if self._partitions and server.server_id in self._isolated_servers:
+            return
         self._last_report[server] = self.system.sim.now
 
     def _note_server_crash(self, server: Server,
@@ -210,6 +262,18 @@ class ElasticityManager:
             for server, last in list(self._last_report.items()):
                 if now - last > timeout:
                     del self._last_report[server]
+                    if server.server_id in self._cut_off_servers:
+                        # Silent because the partition eats its
+                        # heartbeats — it may well be alive on the far
+                        # side.  Crashed and unreachable are
+                        # indistinguishable from here, so do NOT
+                        # resurrect: a double-placed actor is worse than
+                        # a late recovery.  The heal-time anti-entropy
+                        # pass settles its fate.
+                        self._unreachable[server.server_id] = (server, last)
+                        self.emit("server-unreachable", server=server.name,
+                                  silence_ms=now - last)
+                        continue
                     self._on_server_suspected(server, now - last)
             self._check_gems()
 
@@ -251,6 +315,214 @@ class ElasticityManager:
         return gem
 
     # ------------------------------------------------------------------
+    # partition tolerance: epochs, quorum, anti-entropy
+    # ------------------------------------------------------------------
+
+    def note_partition(self, token: int, server_ids: FrozenSet[int],
+                       gem_ids: FrozenSet[int], symmetric: bool) -> None:
+        """A network partition opened (called by the chaos engine).
+
+        Advances the epoch, distributes it to the majority side only
+        (the minority cannot hear about it — that is what makes its
+        GEMs' later commands rejectably stale), and drops quorum-less
+        GEMs into degraded read-only mode.
+        """
+        self._partitions[token] = _PartitionEntry(
+            server_ids=frozenset(server_ids), gem_ids=frozenset(gem_ids),
+            symmetric=symmetric)
+        self._recompute_isolation()
+        self.epoch += 1
+        self.emit("epoch-advanced", epoch=self.epoch, reason="partition")
+        self._sync_epochs(majority_only=True)
+        self._refresh_gem_modes()
+        if not self._probe_running:
+            self._probe_running = True
+            spawn(self.system.sim, self._quorum_probe(),
+                  name="emr/quorum-probe")
+
+    def note_partition_healed(self, token: int) -> None:
+        """A partition healed: epoch-sync everyone (highest epoch wins),
+        restore quorums, and run the anti-entropy pass."""
+        entry = self._partitions.pop(token, None)
+        if entry is None:
+            return
+        self._recompute_isolation()
+        self.epoch += 1
+        self.emit("epoch-advanced", epoch=self.epoch, reason="heal")
+        self._sync_epochs(majority_only=False)
+        self._refresh_gem_modes()
+        self._anti_entropy(entry)
+
+    def _recompute_isolation(self) -> None:
+        """Recompute each partition's minority side against the current
+        running fleet, and the union of all minority sides."""
+        # Universe for side membership: the provisioner forgets crashed
+        # servers, but a server that died behind a cut is still "behind
+        # the cut" until a heal lets the majority confirm its fate.
+        all_ids = {server.server_id
+                   for server in self.system.provisioner.servers}
+        all_ids.update(server.server_id for server in self._last_report)
+        all_ids.update(self._unreachable)
+        running = {server.server_id
+                   for server in self.system.provisioner.servers
+                   if server.running}
+        isolated_servers: Set[int] = set()
+        isolated_gems: Set[int] = set()
+        cut_off: Set[int] = set()
+        for entry in self._partitions.values():
+            group_running = entry.server_ids & running
+            rest_running = running - entry.server_ids
+            # The side with a strict majority of running servers keeps
+            # control-plane authority; ties leave the group side quorum-
+            # less (quorum requires a strict majority).
+            if len(group_running) > len(rest_running):
+                entry.minority_server_ids = frozenset(rest_running)
+                entry.minority_gem_ids = frozenset(
+                    gem.gem_id for gem in self.gems
+                    if gem.gem_id not in entry.gem_ids)
+                entry.cut_server_ids = frozenset(all_ids - entry.server_ids)
+            else:
+                entry.minority_server_ids = frozenset(group_running)
+                entry.minority_gem_ids = entry.gem_ids
+                entry.cut_server_ids = frozenset(entry.server_ids & all_ids)
+            isolated_servers.update(entry.minority_server_ids)
+            isolated_gems.update(entry.minority_gem_ids)
+            cut_off.update(entry.cut_server_ids)
+        self._isolated_servers = frozenset(isolated_servers)
+        self._isolated_gems = frozenset(isolated_gems)
+        self._cut_off_servers = frozenset(cut_off)
+
+    def _sync_epochs(self, majority_only: bool) -> None:
+        for gem in self.gems:
+            if not majority_only or not self._gem_isolated(gem):
+                gem.epoch = max(gem.epoch, self.epoch)
+        for lem in self.lems.values():
+            if (not majority_only
+                    or lem.server.server_id not in self._isolated_servers):
+                lem.epoch = max(lem.epoch, self.epoch)
+
+    def _gem_isolated(self, gem: GEM) -> bool:
+        return gem.gem_id in self._isolated_gems
+
+    def server_quorumless(self, server: Server) -> bool:
+        """Is ``server`` on the minority side of any active partition?
+        Quorum-less servers defer all migrations (LEM execute guard)."""
+        return bool(self._partitions
+                    and server.server_id in self._isolated_servers)
+
+    def report_reachable(self, server: Server, gem: GEM) -> bool:
+        """Can a REPORT from ``server``'s LEM reach ``gem``?"""
+        for entry in self._partitions.values():
+            server_in = server.server_id in entry.server_ids
+            gem_in = gem.gem_id in entry.gem_ids
+            if server_in != gem_in and (entry.symmetric or server_in):
+                return False
+        return True
+
+    def reply_reachable(self, gem: GEM, server: Server) -> bool:
+        """Can an RREPLY from ``gem`` reach ``server``'s LEM?"""
+        for entry in self._partitions.values():
+            server_in = server.server_id in entry.server_ids
+            gem_in = gem.gem_id in entry.gem_ids
+            if server_in != gem_in and (entry.symmetric or gem_in):
+                return False
+        return True
+
+    def _gems_mutually_reachable(self, first: GEM, second: GEM) -> bool:
+        """A vote needs a request and a reply, so one severed direction
+        is enough to lose the peer."""
+        for entry in self._partitions.values():
+            if ((first.gem_id in entry.gem_ids)
+                    != (second.gem_id in entry.gem_ids)):
+                return False
+        return True
+
+    def _gem_quorumless(self, gem: GEM) -> bool:
+        """A GEM has quorum while it can exchange control messages with
+        a strict majority of the running servers' LEMs."""
+        if not self._partitions:
+            return False
+        running = [server for server in self.system.provisioner.servers
+                   if server.running]
+        if not running:
+            return False
+        reachable = sum(
+            1 for server in running
+            if self.report_reachable(server, gem)
+            and self.reply_reachable(gem, server))
+        return reachable * 2 <= len(running)
+
+    def _refresh_gem_modes(self) -> None:
+        for gem in self.gems:
+            if gem.failed:
+                continue
+            quorumless = self._gem_quorumless(gem)
+            if quorumless and not gem.degraded:
+                gem.degraded = True
+                self.emit("gem-degraded", gem_id=gem.gem_id,
+                          epoch=gem.epoch)
+            elif not quorumless and gem.degraded:
+                gem.degraded = False
+                self.emit("gem-restored", gem_id=gem.gem_id,
+                          epoch=gem.epoch)
+
+    def _quorum_probe(self):
+        """Re-evaluates quorums while any partition is active: a crash
+        or boot mid-partition can flip which side holds the majority.
+        The process exists only between the first inject and the last
+        heal, so fault-free runs schedule nothing."""
+        sim = self.system.sim
+        interval = self.config.partition_probe_interval_ms
+        if interval is None:
+            interval = self.config.period_ms / 2.0
+        while self.running and self._partitions:
+            yield Timeout(sim, interval)
+            if self._partitions:
+                self._recompute_isolation()
+                self._refresh_gem_modes()
+        self._probe_running = False
+
+    def _anti_entropy(self, healed: _PartitionEntry) -> None:
+        """Post-heal reconciliation: re-admit the minority side's LEMs
+        and reconcile directory/placement views (highest epoch wins —
+        the directory is authoritative and every record carries the
+        epoch of its last placement, so a stale minority view can never
+        overwrite a newer placement)."""
+        sim = self.system.sim
+        now = sim.now
+        readmitted: List[str] = []
+        for server_id in sorted(healed.cut_server_ids):
+            if server_id in self._cut_off_servers:
+                continue  # still cut off by another active partition
+            since = self._unreachable.pop(server_id, None)
+            lem = self.lems.get(server_id)
+            if lem is not None and lem.server.running:
+                # Fresh heartbeat baseline, with grace for one reply-
+                # timeout wait: the LEM may still be blocked on an
+                # RREPLY the partition ate, and that silence is the
+                # partition's fault, not the server's.
+                self._last_report[lem.server] = (
+                    now + self.config.gem_reply_timeout_ms)
+                readmitted.append(lem.server.name)
+                self.emit("server-readmitted", server=lem.server.name,
+                          epoch=self.epoch)
+            elif since is not None and not since[0].running:
+                # It really did crash behind the cut: now confirmable,
+                # so the normal suspicion path (tombstone resurrection)
+                # finally runs.
+                self._on_server_suspected(since[0], now - since[1])
+        directory = self.system.directory
+        minority_actors = sum(
+            1 for record in directory.records()
+            if record.server.server_id in healed.minority_server_ids)
+        stale = len(directory.stale_records(self.epoch))
+        self.emit("partition-healed", epoch=self.epoch,
+                  readmitted=tuple(readmitted),
+                  actors_minority_side=minority_actors,
+                  actors_total=directory.count(),
+                  stale_view_records=stale)
+
+    # ------------------------------------------------------------------
     # services used by LEMs and GEMs
     # ------------------------------------------------------------------
 
@@ -275,11 +547,19 @@ class ElasticityManager:
 
     def least_loaded_server(self, exclude: Optional[Server] = None,
                             resource: str = "cpu") -> Optional[Server]:
-        """Running, non-draining server with the lowest ``resource`` use."""
+        """Running, non-draining server with the lowest ``resource`` use.
+
+        While a partition is active, quorum-less (minority-side) servers
+        are excluded: the control plane cannot reach them, so placing an
+        actor there would strand it behind the cut.
+        """
         window = self.config.period_ms
         candidates = [s for s in self.system.provisioner.servers
                       if s.running and s is not exclude
                       and s.server_id not in self._draining]
+        if self._partitions:
+            candidates = [s for s in candidates
+                          if s.server_id not in self._isolated_servers]
         if not candidates:
             return None
         if resource == "cpu":
@@ -309,7 +589,8 @@ class ElasticityManager:
                       rule_index=action.rule_index,
                       pinned=record.pinned if record is not None else False,
                       dst_draining=action.dst.server_id in self._draining,
-                      dst_running=action.dst.running)
+                      dst_running=action.dst.running,
+                      epoch=self.epoch)
         # A draining server that just lost its last actor can be retired.
         self._maybe_retire()
 
@@ -320,7 +601,22 @@ class ElasticityManager:
         half of its servers over/under the bounds).  The requester
         proceeds if a majority of peers corroborate; with a single GEM
         there are no peers and the adjustment proceeds.
+
+        Epoch fencing: a degraded (quorum-less) or stale-epoch requester
+        is vetoed outright — defence in depth behind the GEM's own
+        degraded-mode short-circuit.  Peers on the far side of a
+        partition cannot reply, so they count as silent (not agreeing)
+        while still counting toward the majority denominator: a
+        requester that lost half its peers cannot reach quorum.
         """
+        if requester.degraded or requester.epoch < self.epoch:
+            if self.debug_events:
+                self.emit("gem-vote", requester=requester.gem_id,
+                          direction=direction, peer_views=(),
+                          agreeing=0, decision=False,
+                          vetoed=("degraded" if requester.degraded
+                                  else "stale-epoch"))
+            return False
         peers = [gem for gem in self.gems
                  if gem is not requester and not gem.failed]
         if not peers:
@@ -336,9 +632,12 @@ class ElasticityManager:
                 view = peer.overload_fraction
             else:
                 view = peer.underload_fraction
-            if view >= 0.5 or peer.rounds_processed == 0:
+            reachable = (not self._partitions
+                         or self._gems_mutually_reachable(requester, peer))
+            if reachable and (view >= 0.5 or peer.rounds_processed == 0):
                 agreeing += 1
-            views.append((peer.gem_id, view, peer.rounds_processed))
+            views.append((peer.gem_id, view, peer.rounds_processed,
+                          reachable))
         decision = agreeing * 2 >= len(peers)
         if self.debug_events:
             self.emit("gem-vote", requester=requester.gem_id,
@@ -361,6 +660,11 @@ class ElasticityManager:
         """Ids of servers being drained (planning excludes them as
         migration targets)."""
         return frozenset(self._draining)
+
+    def isolated_server_ids(self) -> frozenset:
+        """Ids of quorum-less servers behind an active partition
+        (planning excludes them as migration targets)."""
+        return self._isolated_servers if self._partitions else frozenset()
 
     def _maybe_retire(self) -> None:
         if not self._draining:

@@ -97,7 +97,12 @@ class PlasmaPlacement:
     def _least_loaded(self, candidates: List[Server],
                       resource: str) -> Optional[Server]:
         window = self.manager.config.period_ms
-        running = [s for s in candidates if s.running]
+        # Quorum-less servers sit behind an active partition: an actor
+        # placed there would be born unreachable, so rule-aware
+        # placement skips them (the uniform-random fallback still covers
+        # the degenerate everyone-is-isolated case).
+        running = [s for s in candidates
+                   if s.running and not self.manager.server_quorumless(s)]
         if not running:
             return None
 

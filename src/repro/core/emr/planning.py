@@ -116,7 +116,8 @@ def plan_balance(servers: Sequence[ServerSnapshot],
                  stability_ms: float, max_moves_per_server: int,
                  rule_index: int = -1,
                  groups: Optional[Dict[int, int]] = None,
-                 draining: Optional[Set[int]] = None) -> BalancePlan:
+                 draining: Optional[Set[int]] = None,
+                 unreachable: Optional[Set[int]] = None) -> BalancePlan:
     """Plan migrations that bring every server's ``resource`` usage into
     the [lower, upper] band.
 
@@ -129,9 +130,13 @@ def plan_balance(servers: Sequence[ServerSnapshot],
     ``draining`` lists server ids being evacuated for scale-in; they are
     never chosen as targets (an actor placed there would immediately
     need a second migration — or worse, strand on a retiring server).
+    ``unreachable`` lists quorum-less servers behind an active network
+    partition: a partition-filtered report set normally keeps them out
+    of ``servers`` entirely, but this guard also covers snapshots taken
+    just before the cut opened.
     """
     plan = BalancePlan()
-    draining = draining or set()
+    draining = (draining or set()) | (unreachable or set())
     loads: Dict[int, float] = {
         snap.server.server_id: snap.resource_perc(resource)
         for snap in servers}
@@ -226,7 +231,8 @@ def plan_reserve(actor: ActorSnapshot, servers: Sequence[ServerSnapshot],
                  trigger: Optional[float] = None,
                  projected_load: Optional[Dict[int, float]] = None,
                  projected_pop: Optional[Dict[int, int]] = None,
-                 draining: Optional[Set[int]] = None
+                 draining: Optional[Set[int]] = None,
+                 unreachable: Optional[Set[int]] = None
                  ) -> Tuple[List[Action], bool]:
     """Place ``actor`` (and its colocation group) on a dedicated server
     with idle ``resource``.
@@ -251,7 +257,9 @@ def plan_reserve(actor: ActorSnapshot, servers: Sequence[ServerSnapshot],
     server and overload it.  ``draining`` server ids (scale-in victims
     being evacuated) are excluded from the candidate targets — a
     draining server *looks* ideally idle and empty, which is exactly why
-    reserve would otherwise pick it.
+    reserve would otherwise pick it.  ``unreachable`` (quorum-less
+    servers behind a partition) is excluded for the same reason as in
+    :func:`plan_balance`.
     """
     if actor.migrating:
         return [], False
@@ -294,7 +302,7 @@ def plan_reserve(actor: ActorSnapshot, servers: Sequence[ServerSnapshot],
     projected_pop = projected_pop if projected_pop is not None else {}
     src_load = next((snap.resource_perc(resource) for snap in servers
                      if snap.server is src), 100.0)
-    draining = draining or set()
+    draining = (draining or set()) | (unreachable or set())
     candidates: List[Tuple[int, float, ServerSnapshot]] = []
     for snap in servers:
         if (snap.server is src or not snap.server.running

@@ -161,6 +161,17 @@ class ElasticityTracer:
             counts[event.kind] = counts.get(event.kind, 0) + 1
         return counts
 
+    def network_summary(self) -> Dict[str, Any]:
+        """Fabric message-loss counters: total drops, the share charged
+        to partition cuts, and the per-link partition breakdown
+        (``(src, dst) -> count``)."""
+        fabric = self.manager.system.fabric
+        return {
+            "messages_dropped": fabric.messages_dropped,
+            "partition_drops": fabric.partition_drops,
+            "drops_by_link": dict(fabric.drops_by_link),
+        }
+
     def timeline(self, bucket_ms: float = 60_000.0) -> Dict[int, Dict[str, int]]:
         """Events per time bucket per kind — a coarse activity picture."""
         buckets: Dict[int, Dict[str, int]] = {}

@@ -118,7 +118,36 @@ def rule_pool_for(app: str) -> List[Callable[[random.Random], str]]:
 
 # -- faults ----------------------------------------------------------------
 
-def _gen_faults(rng: random.Random, scenario: Dict[str, Any]) -> List[dict]:
+def _gen_partition(rng: random.Random,
+                   scenario: Dict[str, Any]) -> Dict[str, Any]:
+    """One random partition-network fault for the scenario's fleet."""
+    duration = scenario["duration_ms"]
+    servers = scenario["servers"]
+    group_size = rng.randrange(1, servers) if servers > 1 else 1
+    group = tuple(sorted(rng.sample(range(servers), group_size)))
+    fault: Dict[str, Any] = {
+        "fault": "partition-network",
+        "at_ms": round(rng.uniform(0.15, 0.6) * duration, 1),
+        "duration_ms": round(rng.uniform(0.15, 0.4) * duration, 1),
+        "group": group,
+        "symmetric": rng.random() < 0.75}
+    if scenario["gem_count"] > 1 and rng.random() < 0.5:
+        fault["gems"] = (rng.randrange(scenario["gem_count"]),)
+    if rng.random() < 0.25:
+        # A lossy (rather than absolute) cut.
+        fault["loss"] = round(rng.uniform(0.5, 0.95), 2)
+    return fault
+
+
+def _gen_faults(rng: random.Random, scenario: Dict[str, Any],
+                profile: str = "default") -> List[dict]:
+    if profile == "partition":
+        # Partition-focused campaigns always inject at least one cut,
+        # optionally stacked with one fault from the regular pool.
+        faults = [_gen_partition(rng, scenario)]
+        if rng.random() < 0.4:
+            faults.extend(_gen_faults(rng, scenario))
+        return faults
     if rng.random() < 0.5:
         return []
     duration = scenario["duration_ms"]
@@ -182,11 +211,24 @@ def _gen_app_params(rng: random.Random, app: str) -> Dict[str, Any]:
 
 # -- top level -------------------------------------------------------------
 
-def generate_scenario(seed: int) -> Scenario:
-    """Pure function seed → scenario (the whole fuzzer's input space)."""
+def generate_scenario(seed: int, profile: str = "default") -> Scenario:
+    """Pure function (seed, profile) → scenario.
+
+    ``profile`` selects a generator emphasis without touching the
+    default mapping (existing seeds keep reproducing bit-identically):
+
+    - ``"default"``: the full mixed input space.
+    - ``"partition"``: every scenario gets at least one
+      ``partition-network`` fault and at least three servers, so a cut
+      always leaves both a majority and a minority side to exercise
+      the epoch/quorum machinery.
+    """
+    if profile not in ("default", "partition"):
+        raise ValueError(f"unknown generator profile {profile!r}")
     rng = random.Random(seed)
     app = rng.choice(("pagerank", "estore", "chatroom"))
-    servers = rng.randrange(2, 5)
+    servers = (rng.randrange(3, 6) if profile == "partition"
+               else rng.randrange(2, 5))
     period_ms = float(rng.choice((2_000, 3_000, 5_000)))
     duration_ms = period_ms * rng.randrange(3, 7)
     stability_choice = rng.random()
@@ -222,5 +264,5 @@ def generate_scenario(seed: int) -> Scenario:
         think_ms=float(rng.choice((2, 5, 10, 20))),
         app_params=_gen_app_params(rng, app),
     )
-    fields["faults"] = tuple(_gen_faults(rng, fields))
+    fields["faults"] = tuple(_gen_faults(rng, fields, profile))
     return Scenario(**fields)

@@ -45,6 +45,8 @@ class FuzzResult:
     migrations: int = 0
     sim_time_ms: float = 0.0
     checks_run: int = 0
+    messages_dropped: int = 0
+    partition_drops: int = 0
     trace_tail: List[str] = field(default_factory=list)
 
     @property
@@ -53,8 +55,10 @@ class FuzzResult:
 
     def summary(self) -> str:
         if self.ok:
+            dropped = (f", {self.messages_dropped} msg(s) dropped"
+                       if self.messages_dropped else "")
             return (f"ok ({self.migrations} migration(s), "
-                    f"{self.checks_run} check(s))")
+                    f"{self.checks_run} check(s){dropped})")
         if self.error is not None:
             last = self.error.strip().splitlines()[-1]
             return f"CRASH: {last}"
@@ -253,6 +257,8 @@ def run_scenario(scenario: Scenario, strict: bool = False,
         result.migrations = len(manager.migration_log)
         result.sim_time_ms = bed.sim.now
         result.checks_run = checker.checks_run
+        result.messages_dropped = bed.system.fabric.messages_dropped
+        result.partition_drops = bed.system.fabric.partition_drops
         if tracer is not None and not result.ok:
             result.trace_tail = [str(event) for event in tracer.tail(20)]
     except Exception:

@@ -174,6 +174,116 @@ def test_inflight_message_is_forwarded_after_move():
     assert results == [1]
 
 
+# -- two-phase protocol under partitions -------------------------------
+
+
+class AbortSpy(RuntimeHooks):
+    def __init__(self):
+        self.aborts = []
+
+    def on_migration_aborted(self, record, source, target, reason):
+        self.aborts.append((record.ref.type_name, source.name,
+                            target.name, reason))
+
+
+def test_prepare_timeout_rolls_back_without_transfer():
+    sim, system = make_system()
+    src, dst = system.provisioner.servers
+    ref = system.create_actor(Worker, server=src)
+    spy = AbortSpy()
+    system.add_hooks(spy)
+    system.fabric.partition({src.server_id})
+    before = dst.net_meter.lifetime_total
+    done = system.migrate_actor(ref, dst)
+    sim.run()
+    assert done.value is False
+    assert system.server_of(ref) is src
+    assert system.migrations_rolled_back == 1
+    assert spy.aborts == [("Worker", src.name, dst.name,
+                           "prepare-timeout")]
+    # Rolled back in prepare: no state bytes ever crossed the fabric.
+    assert dst.net_meter.lifetime_total == before
+    assert src.memory_used_mb == Worker.state_size_mb
+    assert dst.memory_used_mb == 0.0
+    record = system.directory.lookup(ref.actor_id)
+    assert not record.migrating
+
+
+def test_prepare_retries_after_partition_heals_in_time():
+    sim, system = make_system()
+    src, dst = system.provisioner.servers
+    ref = system.create_actor(Worker, server=src)
+    token = system.fabric.partition({src.server_id})
+    done = system.migrate_actor(ref, dst)
+    # Heal inside the phase timeout: the held prepare goes through.
+    sim.schedule(system.migration_phase_timeout_ms / 2,
+                 system.fabric.heal_partition, token)
+    sim.run()
+    assert done.value is True
+    assert system.server_of(ref) is dst
+    assert system.migrations_rolled_back == 0
+
+
+def test_partition_during_transfer_rolls_back_commit():
+    sim, system = make_system()
+    src, dst = system.provisioner.servers
+    ref = system.create_actor(Worker, server=src)
+    spy = AbortSpy()
+    system.add_hooks(spy)
+    done = system.migrate_actor(ref, dst)
+    # The 2 MB transfer takes ~2.6 ms; cut the link mid-flight and keep
+    # it cut past the commit's phase timeout.
+    sim.schedule(1.0, system.fabric.partition, {src.server_id})
+    sim.run()
+    assert done.value is False
+    assert system.server_of(ref) is src
+    assert spy.aborts == [("Worker", src.name, dst.name,
+                           "commit-timeout")]
+    # The prepared copy was logical only: nothing leaked on the target.
+    assert src.memory_used_mb == Worker.state_size_mb
+    assert dst.memory_used_mb == 0.0
+
+
+def test_commit_lands_late_when_partition_heals_in_time():
+    sim, system = make_system()
+    src, dst = system.provisioner.servers
+    ref = system.create_actor(Worker, server=src)
+    done = system.migrate_actor(ref, dst)
+    tokens = []
+    sim.schedule(1.0, lambda: tokens.append(
+        system.fabric.partition({src.server_id})))
+    sim.schedule(100.0,
+                 lambda: system.fabric.heal_partition(tokens[0]))
+    sim.run()
+    assert done.value is True
+    assert system.server_of(ref) is dst
+    assert system.migrations_rolled_back == 0
+    assert src.memory_used_mb == 0.0
+    assert dst.memory_used_mb == Worker.state_size_mb
+
+
+def test_rolled_back_actor_keeps_serving():
+    sim, system = make_system()
+    src, dst = system.provisioner.servers
+    ref = system.create_actor(Worker, server=src)
+    system.fabric.partition({src.server_id})
+    client = Client(system)
+    results = []
+
+    def driver():
+        done = system.migrate_actor(ref, dst)
+        yield done
+        # Post-rollback the actor must still process messages in place
+        # (the client is on the management network, never partitioned).
+        value = yield client.call(ref, "work", 1.0)
+        results.append(value)
+
+    spawn(sim, driver())
+    sim.run()
+    assert results == [1]
+    assert system.server_of(ref) is src
+
+
 def test_migration_hooks_notified():
     sim, system = make_system()
     src, dst = system.provisioner.servers

@@ -3,7 +3,7 @@
 from repro.actors import Actor, Client
 from repro.bench import build_cluster
 from repro.chaos import (ChaosEngine, CrashServer, DegradeNetwork,
-                         FaultPlan, KillGem, SlowServer)
+                         FaultPlan, KillGem, PartitionNetwork, SlowServer)
 from repro.core import ElasticityManager, EmrConfig, compile_source
 from repro.sim import spawn
 
@@ -122,7 +122,90 @@ def test_unappliable_faults_are_skipped_not_fatal():
     assert kinds(engine) == ["fault-injected"] + ["fault-skipped"] * 4
 
 
-def test_fleet_snapshot_keeps_indices_stable():
+def test_partition_network_severs_and_heals():
+    bed = build_cluster(3)
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        PartitionNetwork(at_ms=500.0, duration_ms=1_000.0, group=(0,)),)))
+    engine.start()
+    bed.run(until_ms=600.0)
+    fabric = bed.system.fabric
+    assert fabric.partitioned
+    assert fabric.link_blocked(bed.servers[0], bed.servers[1])
+    assert fabric.link_blocked(bed.servers[1], bed.servers[0])
+    assert not fabric.link_blocked(bed.servers[1], bed.servers[2])
+    bed.run(until_ms=2_000.0)
+    assert not fabric.partitioned
+    assert not fabric.link_blocked(bed.servers[0], bed.servers[1])
+    assert kinds(engine) == ["fault-injected", "fault-healed"]
+    injected = engine.log[0][2]
+    assert injected["fault"] == "partition-network"
+    assert injected["group"] == (bed.servers[0].name,)
+    assert injected["symmetric"] is True
+    healed = engine.log[1][2]
+    assert "partition_drops" in healed
+
+
+def test_asymmetric_partition_blocks_one_direction_only():
+    bed = build_cluster(3)
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        PartitionNetwork(at_ms=100.0, duration_ms=1_000.0, group=(0,),
+                         symmetric=False),)))
+    engine.start()
+    bed.run(until_ms=200.0)
+    fabric = bed.system.fabric
+    assert fabric.link_blocked(bed.servers[0], bed.servers[1])
+    assert not fabric.link_blocked(bed.servers[1], bed.servers[0])
+
+
+def test_partition_group_filtered_to_live_servers():
+    bed = build_cluster(3)
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        CrashServer(at_ms=100.0, server_index=0),
+        # Group {0, 1}: server 0 is dead, so only server 1 is cut off.
+        PartitionNetwork(at_ms=500.0, duration_ms=1_000.0, group=(0, 1)),)))
+    engine.start()
+    bed.run(until_ms=600.0)
+    injected = engine.log[-1][2]
+    assert injected["group"] == (bed.servers[1].name,)
+    assert bed.system.fabric.link_blocked(bed.servers[1], bed.servers[2])
+
+
+def test_partition_skipped_when_group_all_crashed():
+    bed = build_cluster(2)
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        CrashServer(at_ms=100.0, server_index=0),
+        PartitionNetwork(at_ms=500.0, duration_ms=1_000.0, group=(0,)),)))
+    engine.start()
+    bed.run(until_ms=1_000.0)
+    assert engine.faults_injected == 1
+    assert engine.faults_skipped == 1
+    assert not bed.system.fabric.partitioned
+
+
+def test_partition_with_manager_advances_epoch_and_recovers():
+    bed = build_cluster(3)
+    policy = compile_source(
+        "server.cpu.perc > 80 or server.cpu.perc < 60 "
+        "=> balance({Spinner}, cpu);", [Spinner])
+    manager = ElasticityManager(bed.system, policy, EmrConfig(
+        period_ms=5_000.0, gem_wait_ms=300.0))
+    manager.start()
+    events = []
+    manager.add_listener(lambda kind, detail: events.append((kind, detail)))
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        PartitionNetwork(at_ms=1_000.0, duration_ms=4_000.0,
+                         group=(0,)),)), manager=manager)
+    engine.start()
+    bed.run(until_ms=2_000.0)
+    assert manager.epoch == 1
+    bed.run(until_ms=30_000.0)
+    assert manager.epoch == 2  # inject + heal
+    names = [kind for kind, _ in events]
+    assert names.count("epoch-advanced") == 2
+    assert "partition-healed" in names
+    # Everyone ends on the healed epoch; no LEM stays fenced out.
+    for lem in manager.lems.values():
+        assert lem.epoch == manager.epoch
     # A replacement server must not shift the meaning of later indices.
     bed = build_cluster(3)
     engine = ChaosEngine(bed.system, FaultPlan(faults=(

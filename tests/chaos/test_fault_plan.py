@@ -1,9 +1,10 @@
-"""FaultPlan construction and validation."""
+"""FaultPlan construction, validation, and serialization round-trips."""
 
 import pytest
 
 from repro.chaos import (CrashServer, DegradeNetwork, FaultPlan, KillGem,
-                         SlowServer)
+                         PartitionNetwork, SlowServer, fault_from_dict,
+                         fault_to_dict)
 
 
 def test_plan_orders_faults_by_time():
@@ -25,6 +26,59 @@ def test_plan_is_immutable_and_typed():
         FaultPlan(faults=("crash at noon",))
 
 
+# One representative of every fault type, exercising the non-default
+# fields; a new fault type without a row here fails the coverage check.
+_ROUND_TRIP_FAULTS = [
+    CrashServer(at_ms=1_000.0, server_index=2, replace_after_ms=500.0),
+    KillGem(at_ms=2_000.0, gem_id=1, recover_after_ms=3_000.0),
+    DegradeNetwork(at_ms=3_000.0, duration_ms=4_000.0,
+                   latency_multiplier=2.5, drop_probability=0.1),
+    SlowServer(at_ms=4_000.0, duration_ms=5_000.0, server_index=1,
+               speed_factor=0.25),
+    PartitionNetwork(at_ms=5_000.0, duration_ms=6_000.0, group=(0, 2),
+                     symmetric=False, gems=(1,), loss=0.75),
+]
+
+
+def test_round_trip_table_covers_every_fault_type():
+    from repro.chaos.plan import _FAULT_TYPES
+    assert {type(f) for f in _ROUND_TRIP_FAULTS} == set(_FAULT_TYPES)
+
+
+@pytest.mark.parametrize("fault", _ROUND_TRIP_FAULTS,
+                         ids=lambda f: type(f).__name__)
+def test_fault_dict_round_trip(fault):
+    data = fault_to_dict(fault)
+    assert data["fault"] in {"crash-server", "kill-gem",
+                             "degrade-network", "slow-server",
+                             "partition-network"}
+    assert fault_from_dict(data) == fault
+
+
+@pytest.mark.parametrize("fault", _ROUND_TRIP_FAULTS,
+                         ids=lambda f: type(f).__name__)
+def test_fault_json_round_trip(fault):
+    """Through actual JSON: tuples become lists on the way back in and
+    must be re-normalized by the constructors."""
+    import json
+    data = json.loads(json.dumps(fault_to_dict(fault)))
+    assert fault_from_dict(data) == fault
+
+
+def test_fault_plan_round_trip():
+    plan = FaultPlan(faults=tuple(_ROUND_TRIP_FAULTS))
+    rebuilt = FaultPlan.from_jsonable(plan.to_jsonable())
+    assert rebuilt == plan
+
+
+def test_fault_from_dict_rejects_unknown_kind_and_fields():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        fault_from_dict({"fault": "meteor-strike", "at_ms": 0.0})
+    with pytest.raises(ValueError, match="unknown fields"):
+        fault_from_dict({"fault": "partition-network", "at_ms": 0.0,
+                         "duration_ms": 1.0, "group": [0], "blast": 9})
+
+
 @pytest.mark.parametrize("build", [
     lambda: CrashServer(at_ms=-1.0),
     lambda: CrashServer(at_ms=0.0, server_index=-1),
@@ -42,6 +96,16 @@ def test_plan_is_immutable_and_typed():
     lambda: SlowServer(at_ms=0.0, duration_ms=0.0),
     lambda: SlowServer(at_ms=0.0, duration_ms=100.0, speed_factor=0.0),
     lambda: SlowServer(at_ms=0.0, duration_ms=100.0, server_index=-2),
+    lambda: PartitionNetwork(at_ms=0.0, duration_ms=100.0, group=()),
+    lambda: PartitionNetwork(at_ms=0.0, duration_ms=100.0, group=(0, 0)),
+    lambda: PartitionNetwork(at_ms=0.0, duration_ms=100.0, group=(-1,)),
+    lambda: PartitionNetwork(at_ms=0.0, duration_ms=100.0, group=(0,),
+                             loss=0.0),
+    lambda: PartitionNetwork(at_ms=0.0, duration_ms=100.0, group=(0,),
+                             loss=1.5),
+    lambda: PartitionNetwork(at_ms=0.0, duration_ms=0.0, group=(0,)),
+    lambda: PartitionNetwork(at_ms=0.0, duration_ms=100.0, group=(0,),
+                             gems=(1, 1)),
 ])
 def test_invalid_faults_rejected(build):
     with pytest.raises(ValueError):

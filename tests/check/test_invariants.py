@@ -38,7 +38,7 @@ def make_checker(strict=False, **config):
 
 
 def test_catalogue_shape():
-    assert len(INVARIANTS) == 11
+    assert len(INVARIANTS) == 14
     for name, description in INVARIANTS.items():
         assert name == name.lower()
         assert " " not in name
@@ -135,6 +135,81 @@ def test_detach_restores_quiet_manager():
     manager.emit("scale-in", gem_id=0, victim="x",
                  underload_fraction=1.0, planned_moves=0)
     assert checker.violations == []
+
+
+# -- partition-era invariants (fabricated events) -----------------------
+
+
+def test_unreachable_peer_does_not_count_as_agreeing():
+    _bed, manager, checker = make_checker()
+    manager.emit("gem-vote", requester=0, direction="overloaded",
+                 peer_views=((1, 1.0, 3, False), (2, 0.0, 3, True)),
+                 agreeing=0, decision=True)
+    assert [v.invariant for v in checker.violations] == \
+        ["scale-out-majority"]
+
+
+def test_vetoed_vote_must_be_a_denial():
+    _bed, manager, checker = make_checker()
+    manager.emit("gem-vote", requester=0, direction="overloaded",
+                 peer_views=(), agreeing=0, decision=True,
+                 vetoed="degraded")
+    assert [v.invariant for v in checker.violations] == \
+        ["scale-out-majority"]
+
+
+def test_degraded_gem_vote_and_scale_detected():
+    _bed, manager, checker = make_checker()
+    manager.emit("gem-degraded", gem_id=0, epoch=0)
+    manager.emit("gem-vote", requester=0, direction="overloaded",
+                 peer_views=(), agreeing=0, decision=True)
+    manager.emit("scale-out", gem_id=0, overload_fraction=1.0)
+    names = [v.invariant for v in checker.violations]
+    assert "no-split-brain" in names
+    assert names.count("no-split-brain") == 2  # vote + execution
+    manager.emit("gem-restored", gem_id=0, epoch=0)
+    manager.emit("gem-vote", requester=0, direction="overloaded",
+                 peer_views=(), agreeing=0, decision=True)
+    assert [v.invariant for v in checker.violations].count(
+        "no-split-brain") == 2
+
+
+def test_epoch_regression_detected():
+    _bed, manager, checker = make_checker()
+    manager.epoch = 5
+    manager.emit("epoch-advanced", epoch=5, reason="partition")
+    assert checker.violations == []
+    manager.emit("epoch-advanced", epoch=4, reason="heal")
+    assert [v.invariant for v in checker.violations] == \
+        ["epoch-monotonicity"]
+
+
+def test_event_epoch_beyond_global_detected():
+    _bed, manager, checker = make_checker()
+    manager.emit("gem-degraded", gem_id=0, epoch=7)
+    assert [v.invariant for v in checker.violations] == \
+        ["epoch-monotonicity"]
+
+
+def test_bogus_stale_rejection_detected():
+    _bed, manager, checker = make_checker()
+    manager.emit("stale-epoch-rejected", server="s-0", gem_id=0,
+                 lem_epoch=1, gem_epoch=1)
+    assert [v.invariant for v in checker.violations] == \
+        ["epoch-monotonicity"]
+
+
+def test_post_heal_revenant_detected():
+    bed, manager, checker = make_checker()
+    ref = bed.system.create_actor(Spinner)
+    # Pretend the checker saw this actor lost to a crash; a live
+    # directory record for it after heal means it exists twice.
+    checker._lost[ref.actor_id] = "Spinner"
+    manager.emit("partition-healed", epoch=0, readmitted=(),
+                 actors_minority_side=0, actors_total=1,
+                 stale_view_records=0)
+    assert "no-duplicate-actor" in \
+        [v.invariant for v in checker.violations]
 
 
 # -- real-run smoke -----------------------------------------------------

@@ -67,6 +67,28 @@ def test_campaign_covers_faults_and_autoscale():
     assert any(s.allow_scale_out or s.allow_scale_in for s in scenarios)
 
 
+def test_partition_profile_always_includes_a_cut():
+    for seed in range(30):
+        scenario = generate_scenario(seed, profile="partition")
+        partitions = [f for f in scenario.faults
+                      if f["fault"] == "partition-network"]
+        assert partitions, f"seed {seed} generated no partition"
+        assert scenario.servers >= 3
+        for fault in partitions:
+            assert 0 < len(fault["group"]) < scenario.servers
+
+
+def test_partition_profile_does_not_perturb_default_mapping():
+    for seed in range(30):
+        assert generate_scenario(seed) == generate_scenario(
+            seed, profile="default")
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ValueError, match="profile"):
+        generate_scenario(0, profile="tsunami")
+
+
 def test_scenario_validation():
     with pytest.raises(ValueError):
         Scenario(seed=1, app="nosuchapp")
