@@ -22,6 +22,7 @@ from .cluster import (INSTANCE_TYPES, AvailabilityMeter, GaugeSeries,
 from .core import (CompiledPolicy, ElasticityManager, EmrConfig,
                    ProfilingRuntime, compile_policy, compile_source,
                    parse_policy)
+from .durability import DurabilityConfig, DurabilityManager, StateStore
 from .sim import RandomStreams, Signal, Simulator, Timeout, spawn
 
 __version__ = "1.0.0"
@@ -35,6 +36,7 @@ __all__ = [
     "NetworkFabric", "Provisioner", "Server", "instance_type",
     "CompiledPolicy", "ElasticityManager", "EmrConfig", "ProfilingRuntime",
     "compile_policy", "compile_source", "parse_policy",
+    "DurabilityConfig", "DurabilityManager", "StateStore",
     "RandomStreams", "Signal", "Simulator", "Timeout", "spawn",
     "__version__",
 ]

@@ -17,6 +17,7 @@ functions.  This mirrors the paper's Fig. 3.I grammar where an
 
 from __future__ import annotations
 
+import copy
 import inspect
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Iterable, Optional, TYPE_CHECKING
@@ -35,6 +36,7 @@ ANY_TYPE = "any"
 
 _RESERVED_METHODS = frozenset({
     "compute", "call", "tell", "sleep", "on_start", "on_migrated",
+    "snapshot_state", "restore_state",
 })
 
 
@@ -142,6 +144,33 @@ class Actor:
 
     def on_migrated(self, old_server: Any, new_server: Any) -> None:
         """Called after a live migration completes."""
+
+    # -- durable state (repro.durability) ------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Capture this actor's durable state as a plain dict.
+
+        The default captures every public instance field (runtime-
+        injected ``actor_id``/``ref`` excluded), deep-copied so later
+        handler mutations cannot reach into the checkpoint.  Subclasses
+        with derived or non-copyable fields override this together with
+        :meth:`restore_state`.
+        """
+        return {name: copy.deepcopy(value)
+                for name, value in vars(self).items()
+                if not name.startswith("_")
+                and name not in ("actor_id", "ref")}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Install a previously captured snapshot.
+
+        Called on a freshly constructed instance during recovery (and on
+        the source instance during a migration rollback); the caller
+        passes a private deep copy, so the default may install the
+        values directly.
+        """
+        for name, value in state.items():
+            setattr(self, name, value)
 
     # -- introspection used by the elasticity runtime ------------------------
 

@@ -23,6 +23,7 @@ Semantics reproduced from the paper's substrate:
 
 from __future__ import annotations
 
+import copy
 import itertools
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
@@ -84,6 +85,10 @@ class ActorSystem:
         self._prepared: Dict[int, Server] = {}
         #: Migrations rolled back by a partition or phase timeout.
         self.migrations_rolled_back = 0
+        #: Durable-state subsystem (``repro.durability``), attached by an
+        #: enabled ``DurabilityManager``; ``None`` keeps every durability
+        #: call site in this module a single attribute check.
+        self.durability = None
 
     # ------------------------------------------------------------------
     # hooks
@@ -134,7 +139,8 @@ class ActorSystem:
         record = ActorRecord(
             instance=instance, ref=ref, server=chosen,
             created_at=self.sim.now, last_placed_at=self.sim.now,
-            spawn_args=tuple(args), spawn_kwargs=dict(kwargs),
+            spawn_args=copy.deepcopy(tuple(args)),
+            spawn_kwargs=copy.deepcopy(dict(kwargs)),
             placement_epoch=self._current_epoch())
         self.directory.register(record)
         chosen.allocate_memory(instance.state_size_mb)
@@ -242,7 +248,14 @@ class ActorSystem:
                 return None
             chosen = self._placement_rng.choice(candidates)
 
-        instance = cls(*tombstone.spawn_args, **tombstone.spawn_kwargs)
+        # Two independent deep copies of the recorded constructor
+        # arguments: one consumed by the new instance, one stored on the
+        # new record.  Without them, mutable arg elements would be
+        # aliased between the instance, the new tombstone, and every
+        # earlier generation's tombstone — a later in-place mutation
+        # would silently rewrite "spawn-time" state across generations.
+        instance = cls(*copy.deepcopy(tombstone.spawn_args),
+                       **copy.deepcopy(tombstone.spawn_kwargs))
         instance.actor_id = ref.actor_id
         instance.ref = ref
         instance._system = self
@@ -250,14 +263,20 @@ class ActorSystem:
         record = ActorRecord(
             instance=instance, ref=ref, server=chosen,
             created_at=self.sim.now, last_placed_at=self.sim.now,
-            spawn_args=tombstone.spawn_args,
-            spawn_kwargs=dict(tombstone.spawn_kwargs),
+            spawn_args=copy.deepcopy(tombstone.spawn_args),
+            spawn_kwargs=copy.deepcopy(tombstone.spawn_kwargs),
             placement_epoch=self._current_epoch())
         self.directory.register(record)
         chosen.allocate_memory(instance.state_size_mb)
 
         self._start_dispatch(record)
         instance.on_start()
+        if self.durability is not None:
+            # State-preserving recovery: overwrite the fresh spawn-time
+            # state with the last acknowledged checkpoint (if any replica
+            # of one is readable from here) before anyone can observe or
+            # message the actor — nothing interleaves inside this call.
+            self.durability.on_restore(record)
         for hooks in self.hooks:
             hooks.on_actor_resurrected(record)
         return ref
@@ -509,10 +528,13 @@ class ActorSystem:
             yield idle
         source = record.server
         if not target.running:
-            record.migrating = False
-            self._gates[actor_id] = None
-            gate.trigger()
-            done.trigger(False)
+            # The destination died while we drained the in-flight
+            # handler.  This is a rollback like any other: hooks (the
+            # invariant checker's single-flight tracking, durability's
+            # journal, availability accounting) must see the abort, not
+            # a migration that silently vanishes mid-protocol.
+            self._rollback(record, gate, done, source, target,
+                           "target-crashed")
             return
         # PREPARE: ask the destination to set up a landing record.  On a
         # severed link the ack never comes; wait one phase timeout for a
@@ -527,8 +549,14 @@ class ActorSystem:
                                "prepare-timeout")
                 return
         self._prepared[actor_id] = target
+        if self.durability is not None:
+            self.durability.on_migration_prepared(record, source, target)
         # TRANSFER: full state over the slower NIC (plus the protocol's
-        # control RTT, already part of transfer_delay).
+        # control RTT, already part of transfer_delay).  With durability
+        # on, the transfer ships a checkpoint whose sole replica is the
+        # target: commit acknowledges it, rollback restores from it.
+        if self.durability is not None:
+            self.durability.on_migration_transfer(record, source, target)
         state_bytes = record.instance.state_size_mb * 1024.0 * 1024.0
         delay = self.fabric.transfer_delay(source, target, state_bytes)
         yield Timeout(self.sim, delay)

@@ -120,6 +120,13 @@ class InvariantChecker:
         self._active_partitions: Dict[int, Dict[str, Any]] = {}
         self._degraded_gems: Set[int] = set()
         self._last_epoch_seen = 0
+        # -- durability state (re-derived from checkpoint events, NOT
+        # from the StateStore's own bookkeeping) -----------------------
+        self._written_seq: Dict[int, int] = {}    # actor id -> last write
+        self._acked_seq: Dict[int, int] = {}      # actor id -> last ack
+        #: actor id -> seq -> {"digest", "replicas"} of acknowledged
+        #: checkpoints, as carried on checkpoint-replicated events.
+        self._acked_cps: Dict[int, Dict[int, Dict[str, Any]]] = {}
 
     # -- partition side re-derivation ---------------------------------
 
@@ -369,7 +376,8 @@ class InvariantChecker:
             if detail.get("fault") == "partition-network":
                 self._active_partitions[detail["partition_id"]] = {
                     "group": tuple(detail.get("group", ())),
-                    "symmetric": detail.get("symmetric", True)}
+                    "symmetric": detail.get("symmetric", True),
+                    "loss": detail.get("loss", 1.0)}
         elif kind == "fault-healed":
             if detail.get("fault") == "partition-network":
                 self._active_partitions.pop(detail.get("partition_id"),
@@ -386,6 +394,12 @@ class InvariantChecker:
             self._check_stale_rejection(detail)
         elif kind == "partition-healed":
             self._check_partition_healed(detail)
+        elif kind == "checkpoint-written":
+            self._check_checkpoint_written(detail)
+        elif kind == "checkpoint-replicated":
+            self._check_checkpoint_replicated(detail)
+        elif kind == "state-restored":
+            self._check_state_restored(detail)
 
     def _check_migration_start(self, detail: Dict[str, Any]) -> None:
         self.checks_run += 1
@@ -626,6 +640,113 @@ class InvariantChecker:
                 f"{server}: actors' state memory sums to "
                 f"{summed:.3f}MB but the server has {booked:.3f}MB "
                 f"booked", server=server, booked=booked, summed=summed)
+
+    # -- durability: checkpoints and restores --------------------------
+
+    def _link_cut(self, first: str, second: str) -> bool:
+        """Is either direction between the two named servers severed by
+        an active *absolute* cut?  Lossy partitions (``loss < 1``) do
+        not sever a link — mirrors ``NetworkFabric.link_blocked``, but
+        re-derived from fault events."""
+        for info in self._active_partitions.values():
+            if info.get("loss", 1.0) < 1.0:
+                continue
+            group = set(info["group"])
+            if (first in group) != (second in group):
+                return True
+        return False
+
+    def _check_checkpoint_written(self, detail: Dict[str, Any]) -> None:
+        self.checks_run += 1
+        actor_id = detail["actor_id"]
+        seq = detail["seq"]
+        last = self._written_seq.get(actor_id, 0)
+        if seq <= last:
+            self._violate(
+                "checkpoint-monotonicity",
+                f"checkpoint seq {seq} written for actor id {actor_id} "
+                f"after seq {last}", **detail)
+        self._written_seq[actor_id] = max(last, seq)
+
+    def _check_checkpoint_replicated(self, detail: Dict[str, Any]) -> None:
+        self.checks_run += 1
+        actor_id = detail["actor_id"]
+        seq = detail["seq"]
+        last = self._acked_seq.get(actor_id, 0)
+        if seq <= last:
+            self._violate(
+                "checkpoint-monotonicity",
+                f"checkpoint seq {seq} acknowledged for actor id "
+                f"{actor_id} after seq {last} was already acknowledged",
+                **detail)
+        if seq > self._written_seq.get(actor_id, 0):
+            self._violate(
+                "checkpoint-monotonicity",
+                f"checkpoint seq {seq} acknowledged for actor id "
+                f"{actor_id} but never written", **detail)
+        self._acked_seq[actor_id] = max(last, seq)
+        self._acked_cps.setdefault(actor_id, {})[seq] = {
+            "digest": detail.get("digest"),
+            "replicas": tuple(detail.get("replicas", ()))}
+
+    def _check_state_restored(self, detail: Dict[str, Any]) -> None:
+        """state-durability and no-minority-restore.
+
+        Eligibility is re-derived: an acknowledged checkpoint counts as
+        readable when at least one of its replicas is on a server that
+        is not crashed, not on a quorum-less partition side, and whose
+        link to the restoring host is not severed — the same facts the
+        runtime must honour, recomputed from events and the fleet."""
+        self.checks_run += 1
+        actor_id = detail["actor_id"]
+        actor = detail.get("actor", actor_id)
+        seq = detail["seq"]
+        host = detail.get("server")
+        quorumless = self._quorumless_side_names()
+        replica = detail.get("replica")
+        if replica in quorumless:
+            self._violate(
+                "no-minority-restore",
+                f"{actor} restored from replica on {replica}, which is "
+                f"on a quorum-less partition side", **detail)
+        acked = self._acked_cps.get(actor_id, {})
+        if seq not in acked:
+            self._violate(
+                "state-durability",
+                f"{actor} restored from checkpoint seq {seq}, which "
+                f"was never acknowledged", **detail)
+            return
+        recorded = acked[seq]
+        if (recorded["digest"] is not None
+                and detail.get("digest") != recorded["digest"]):
+            self._violate(
+                "state-durability",
+                f"{actor} restored state digest {detail.get('digest')} "
+                f"does not round-trip to checkpoint seq {seq}'s digest "
+                f"{recorded['digest']}", **detail)
+
+        # The running fleet, not just crash events: a replica on a
+        # retired (scaled-in) server is just as unreadable as one on a
+        # crashed server.
+        running = {server.name
+                   for server in self.manager.system.provisioner.servers
+                   if server.running}
+
+        def readable(info: Dict[str, Any]) -> bool:
+            return any(name in running
+                       and name not in self._crashed_servers
+                       and name not in quorumless
+                       and (host is None or not self._link_cut(host, name))
+                       for name in info["replicas"])
+
+        newest_readable = max(
+            (s for s, info in acked.items() if readable(info)), default=0)
+        if seq < newest_readable:
+            self._violate(
+                "state-durability",
+                f"{actor} restored from checkpoint seq {seq} but seq "
+                f"{newest_readable} is acknowledged and still readable",
+                newest_readable=newest_readable, **detail)
 
     # -- periodic sweep ------------------------------------------------
 

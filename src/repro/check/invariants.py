@@ -71,6 +71,19 @@ INVARIANTS: Dict[str, str] = {
         "an actor alive on an unreachable-but-running server is never "
         "resurrected or re-created elsewhere while the partition "
         "lasts, and after heal every actor id has exactly one record"),
+    "state-durability": (
+        "a restored actor's state is exactly the newest acknowledged "
+        "checkpoint that still has a readable replica (not crashed, "
+        "not quorum-less, link to the new host not severed), verified "
+        "by round-trip digest — never an unacknowledged or stale one"),
+    "checkpoint-monotonicity": (
+        "per-actor checkpoint sequence numbers strictly increase, "
+        "separately for writes and for acknowledgements: an "
+        "acknowledged checkpoint is never re-acknowledged and never "
+        "superseded by a lower sequence"),
+    "no-minority-restore": (
+        "while a partition is active, no state restore reads from a "
+        "replica hosted on a quorum-less side's server"),
 }
 
 

@@ -7,6 +7,7 @@
     python -m repro experiments                       # list experiments
     python -m repro fuzz --seeds 50                   # fuzz campaign
     python -m repro fuzz --replay ARTIFACT.json       # replay a failure
+    python -m repro store --seed 7                    # checkpoint store
 
 The ``compile`` command is the "PLASMA compiler" entry point of the
 paper's Fig. 2: it parses the elasticity policy, validates it against an
@@ -268,6 +269,61 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    """Run one scenario with durability forced on; dump the store."""
+    from dataclasses import replace as dc_replace
+    from .fuzz import generate_scenario, run_scenario
+
+    if args.scenario:
+        scenario = load_fuzz_scenario(args.scenario)
+    else:
+        scenario = generate_scenario(args.seed, profile="durability")
+    durability = dict(scenario.durability or {})
+    durability["enabled"] = True
+    durability.setdefault("checkpoint_interval_ms", scenario.period_ms)
+    if args.interval_ms is not None:
+        durability["checkpoint_interval_ms"] = args.interval_ms
+    if args.replication is not None:
+        durability["replication_factor"] = args.replication
+    scenario = dc_replace(scenario, durability=durability)
+
+    # Keep stdout machine-readable under --json.
+    print(f"running {scenario.describe()}",
+          file=sys.stderr if args.json else sys.stdout)
+    result = run_scenario(scenario)
+    if result.error:
+        print(result.error)
+        return 1
+    summary = result.store_summary
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if result.ok else 1
+    rows = [[row["actor_id"], row["type"], row["written"], row["kept"],
+             row["acked_seq"] if row["acked_seq"] is not None else "-",
+             f"{row['size_bytes'] / 1024.0:.1f}",
+             ",".join(row["replicas"]) or "-"]
+            for row in summary["actors"]]
+    print(format_table(
+        ["actor", "type", "written", "kept", "acked seq", "size (KiB)",
+         "replicas"], rows, title="Checkpoint store"))
+    journal = summary["journal"]
+    kinds = ", ".join(f"{kind}={count}"
+                      for kind, count in journal["kinds"].items())
+    print(f"journal: {journal['entries']} entrie(s) "
+          f"({journal['trimmed']} trimmed) {kinds}")
+    totals = summary["totals"]
+    print(f"totals: {totals['checkpoints_written']} written, "
+          f"{totals['checkpoints_acked']} acked, "
+          f"{totals['checkpoints_lost']} lost, "
+          f"{totals['restores']} restore(s) "
+          f"({totals['restore_misses']} miss(es)), "
+          f"{totals['journal_replays']} journal entrie(s) replayed, "
+          f"{totals['bytes_replicated'] / 1048576.0:.2f} MiB replicated")
+    for violation in result.violations:
+        print(f"  violation: {violation}")
+    return 0 if result.ok else 1
+
+
 # -- entry point ---------------------------------------------------------------
 
 
@@ -316,10 +372,13 @@ def main(argv: Sequence[str] = None) -> int:
                              "seeds after this many seconds")
     p_fuzz.add_argument("--out", default="fuzz-artifacts",
                         help="directory for shrunk failure artifacts")
-    p_fuzz.add_argument("--profile", choices=("default", "partition"),
+    p_fuzz.add_argument("--profile",
+                        choices=("default", "partition", "durability"),
                         default="default",
                         help="generator emphasis: 'partition' injects a "
-                             "network partition into every scenario")
+                             "network partition into every scenario; "
+                             "'durability' enables checkpointing and "
+                             "crashes a server mid-run")
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="write failures unshrunk")
     p_fuzz.add_argument("--replay", metavar="FILE",
@@ -329,6 +388,23 @@ def main(argv: Sequence[str] = None) -> int:
                         help="with --replay: attach the tracer and "
                              "print the trace tail on failure")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_store = sub.add_parser(
+        "store", help="run one scenario with durable state forced on "
+                      "and inspect the checkpoint store")
+    p_store.add_argument("--seed", type=int, default=0,
+                         help="generate the scenario from this seed "
+                              "(durability profile; default 0)")
+    p_store.add_argument("--scenario", metavar="FILE",
+                         help="run a scenario or artifact JSON instead "
+                              "of a generated seed")
+    p_store.add_argument("--interval-ms", type=float, default=None,
+                         help="override the checkpoint interval")
+    p_store.add_argument("--replication", type=int, default=None,
+                         help="override the replication factor")
+    p_store.add_argument("--json", action="store_true",
+                         help="print the raw store summary as JSON")
+    p_store.set_defaults(func=cmd_store)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ...durability import DurabilityConfig
+
 __all__ = ["EmrConfig"]
 
 
@@ -81,6 +83,16 @@ class EmrConfig:
     client_max_retries: int = 3
     client_backoff_base_ms: float = 100.0
     client_backoff_cap_ms: float = 5_000.0
+    #: Durable actor state (checkpoints, journaling, state-preserving
+    #: recovery).  ``None`` — or a config with ``enabled=False`` — keeps
+    #: the subsystem fully inert: no hooks, no scheduling, no RNG, so
+    #: fault-free golden traces stay bit-identical.
+    durability: Optional[DurabilityConfig] = None
+    #: Seed a resurrected actor's EPR profile from its pre-crash stats
+    #: instead of starting cold, so rules re-converge faster after a
+    #: recovery.  Off by default (a restarted actor's past rates may no
+    #: longer describe it).
+    warm_start_profiles: bool = False
 
     def __post_init__(self) -> None:
         if self.period_ms <= 0:
@@ -128,6 +140,10 @@ class EmrConfig:
                 or self.client_backoff_cap_ms < self.client_backoff_base_ms):
             raise ValueError(
                 "need 0 < client_backoff_base_ms <= client_backoff_cap_ms")
+        if (self.durability is not None
+                and not isinstance(self.durability, DurabilityConfig)):
+            raise ValueError("durability must be a DurabilityConfig or None, "
+                             f"got {type(self.durability).__name__}")
 
     def stability_window_ms(self) -> float:
         return self.period_ms if self.stability_ms is None else self.stability_ms

@@ -101,7 +101,11 @@ class ElasticityManager:
         self.profiler = ProfilingRuntime(
             system.sim, window_ms=self.config.period_ms,
             overhead_cpu_ms=self.config.profiling_overhead_cpu_ms,
-            incremental=self.config.incremental_profiling)
+            incremental=self.config.incremental_profiling,
+            warm_start=self.config.warm_start_profiles)
+        #: Durable-state subsystem; created at start() when an enabled
+        #: DurabilityConfig is carried on the EmrConfig, else None.
+        self.durability = None
         self.placement = PlasmaPlacement(self)
         self.gems: List[GEM] = [GEM(self, i)
                                 for i in range(self.config.gem_count)]
@@ -150,6 +154,11 @@ class ElasticityManager:
         self.system.epoch_source = lambda: self.epoch
         self.system.migration_phase_timeout_ms = \
             self.config.migration_phase_timeout_ms
+        if (self.config.durability is not None
+                and self.config.durability.enabled):
+            from ...durability import DurabilityManager
+            self.durability = DurabilityManager(self)
+            self.durability.start()
         for server in self.system.provisioner.servers:
             self._add_lem(server)
         spawn(self.system.sim, self._janitor(), name="emr/janitor")
@@ -162,6 +171,9 @@ class ElasticityManager:
         if not self.running:
             return
         self.running = False
+        if self.durability is not None:
+            self.durability.stop()
+            self.durability = None
         if self.profiler in self.system.hooks:
             self.system.remove_hooks(self.profiler)
         if self._system_hooks in self.system.hooks:

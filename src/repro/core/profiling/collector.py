@@ -80,20 +80,32 @@ class ProfilingRuntime(RuntimeHooks):
         Maintain O(1) ring-buffer meters and reuse snapshot payloads for
         unchanged actors (see module docstring).  ``False`` selects the
         full-recompute reference path.
+    warm_start:
+        Keep the stats of destroyed actors in a bounded cache and, when
+        an actor is resurrected, seed its new profile from the pre-crash
+        stats instead of starting cold — rules re-converge faster after
+        a recovery at the price of briefly trusting stale rates.
     """
+
+    #: Retired-stats retention for ``warm_start`` (FIFO eviction).
+    _RETIRED_CAP = 1024
 
     def __init__(self, sim: Simulator, window_ms: float = 60_000.0,
                  overhead_cpu_ms: float = 0.0,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True,
+                 warm_start: bool = False) -> None:
         self.sim = sim
         self.window_ms = window_ms
         self.overhead_cpu_ms = overhead_cpu_ms
         self.incremental = incremental
+        self.warm_start = warm_start
         self._stats: Dict[int, ActorStats] = {}
         self._snap_cache: Dict[int, _SnapEntry] = {}
+        self._retired: Dict[int, ActorStats] = {}
         self.messages_profiled = 0
         self.snapshot_cache_hits = 0
         self.snapshot_cache_misses = 0
+        self.warm_starts = 0
 
     def _new_stats(self) -> ActorStats:
         return ActorStats(self.sim, window_ms=self.window_ms,
@@ -105,14 +117,27 @@ class ProfilingRuntime(RuntimeHooks):
         self._stats[record.ref.actor_id] = self._new_stats()
 
     def on_actor_destroyed(self, record: ActorRecord) -> None:
-        self._stats.pop(record.ref.actor_id, None)
+        stats = self._stats.pop(record.ref.actor_id, None)
         self._snap_cache.pop(record.ref.actor_id, None)
+        if self.warm_start and stats is not None:
+            self._retired[record.ref.actor_id] = stats
+            while len(self._retired) > self._RETIRED_CAP:
+                self._retired.pop(next(iter(self._retired)))
 
     def on_actor_resurrected(self, record: ActorRecord) -> None:
-        # A resurrected actor restarts from fresh state, so its profile
-        # restarts too — pre-crash rates must not drive post-crash rules.
-        self._stats[record.ref.actor_id] = self._new_stats()
+        # By default a resurrected actor restarts from fresh state, so
+        # its profile restarts too — pre-crash rates must not drive
+        # post-crash rules.  With warm_start (meant to pair with
+        # checkpoint restore, where the state actually survives), the
+        # pre-crash stats are carried over instead.
         self._snap_cache.pop(record.ref.actor_id, None)
+        if self.warm_start:
+            stats = self._retired.pop(record.ref.actor_id, None)
+            if stats is not None:
+                self._stats[record.ref.actor_id] = stats
+                self.warm_starts += 1
+                return
+        self._stats[record.ref.actor_id] = self._new_stats()
 
     def on_message_delivered(self, record: ActorRecord,
                              message: Message) -> None:

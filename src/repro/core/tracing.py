@@ -41,6 +41,9 @@ class TraceEvent:
                        # actor-resurrected | migration-aborted |
                        # migration-started | gem-failover |
                        # fault-injected | fault-healed | fault-skipped |
+                       # and, with durability enabled:
+                       # checkpoint-written | checkpoint-replicated |
+                       # state-restored | journal-replayed |
                        # and, with manager.debug_events on:
                        # lem-round | actions-resolved | gem-vote
     detail: Dict[str, Any] = field(default_factory=dict)

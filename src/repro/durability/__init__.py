@@ -1,0 +1,14 @@
+"""Durable actor state: checkpoints, write-ahead journal, recovery.
+
+PLASMA itself (§2.2) assumes reliable infrastructure and leaves state
+recovery to the host language runtime; this package is that runtime's
+durability half for the reproduction.  See ``docs/durability.md`` for
+the state model and protocol.
+"""
+
+from .config import DurabilityConfig
+from .manager import DurabilityManager
+from .store import Checkpoint, JournalEntry, StateStore, state_digest
+
+__all__ = ["Checkpoint", "DurabilityConfig", "DurabilityManager",
+           "JournalEntry", "StateStore", "state_digest"]

@@ -148,6 +148,26 @@ def _gen_faults(rng: random.Random, scenario: Dict[str, Any],
         if rng.random() < 0.4:
             faults.extend(_gen_faults(rng, scenario))
         return faults
+    if profile == "durability":
+        # Durability campaigns always crash a server mid-run — the one
+        # event that makes checkpoint-restore observable — landing with
+        # 60% odds inside the checkpoint/transfer window of an active
+        # run, optionally stacked with a partition (minority-replica
+        # restores) or regular faults.
+        duration = scenario["duration_ms"]
+        crash: Dict[str, Any] = {
+            "fault": "crash-server",
+            "at_ms": round(rng.uniform(0.25, 0.7) * duration, 1),
+            "server_index": rng.randrange(scenario["servers"])}
+        if rng.random() < 0.6:
+            crash["replace_after_ms"] = round(
+                rng.uniform(0.05, 0.3) * duration, 1)
+        faults = [crash]
+        if rng.random() < 0.3:
+            faults.append(_gen_partition(rng, scenario))
+        if rng.random() < 0.3:
+            faults.extend(_gen_faults(rng, scenario))
+        return faults
     if rng.random() < 0.5:
         return []
     duration = scenario["duration_ms"]
@@ -183,6 +203,32 @@ def _gen_faults(rng: random.Random, scenario: Dict[str, Any],
                 "recover_after_ms": round(
                     rng.uniform(0.1, 0.4) * duration, 1)})
     return faults
+
+
+# -- durable state ---------------------------------------------------------
+
+def _gen_durability(rng: random.Random,
+                    period_ms: float) -> Dict[str, Any]:
+    """A random enabled ``DurabilityConfig`` kwargs dict.
+
+    Intervals are drawn relative to the elasticity period so checkpoints
+    interleave with LEM/GEM rounds and migrations rather than straddling
+    whole runs.
+    """
+    config: Dict[str, Any] = {
+        "enabled": True,
+        "checkpoint_interval_ms": round(
+            period_ms * rng.choice((0.25, 0.5, 1.0)), 1),
+        "replication_factor": rng.choice((1, 2)),
+        "serialize_cpu_ms": rng.choice((0.0, 0.2, 1.0)),
+    }
+    if rng.random() < 0.5:
+        config["dirty_message_threshold"] = rng.choice((25, 50, 100))
+    if rng.random() < 0.25:
+        config["snapshot_fraction"] = rng.choice((0.25, 0.5))
+    if rng.random() < 0.25:
+        config["ship_transfer_checkpoint"] = False
+    return config
 
 
 # -- app topology parameters ----------------------------------------------
@@ -222,12 +268,18 @@ def generate_scenario(seed: int, profile: str = "default") -> Scenario:
       ``partition-network`` fault and at least three servers, so a cut
       always leaves both a majority and a minority side to exercise
       the epoch/quorum machinery.
+    - ``"durability"``: every scenario runs with checkpointing enabled
+      (random interval/replication), at least three servers (so replica
+      placement has real choices), suspicion always armed (crashed
+      actors actually resurrect), and at least one mid-run
+      ``crash-server`` fault to force checkpoint-restore.
     """
-    if profile not in ("default", "partition"):
+    if profile not in ("default", "partition", "durability"):
         raise ValueError(f"unknown generator profile {profile!r}")
     rng = random.Random(seed)
     app = rng.choice(("pagerank", "estore", "chatroom"))
-    servers = (rng.randrange(3, 6) if profile == "partition"
+    servers = (rng.randrange(3, 6)
+               if profile in ("partition", "durability")
                else rng.randrange(2, 5))
     period_ms = float(rng.choice((2_000, 3_000, 5_000)))
     duration_ms = period_ms * rng.randrange(3, 7)
@@ -264,5 +316,13 @@ def generate_scenario(seed: int, profile: str = "default") -> Scenario:
         think_ms=float(rng.choice((2, 5, 10, 20))),
         app_params=_gen_app_params(rng, app),
     )
+    if profile == "durability":
+        # Without suspicion nothing ever resurrects, and without
+        # resurrection a checkpoint is never read back.  The extra RNG
+        # draws live only on this branch, so the default and partition
+        # seed mappings stay bit-identical.
+        if fields["suspicion_timeout_ms"] is None:
+            fields["suspicion_timeout_ms"] = period_ms + 1_000.0
+        fields["durability"] = _gen_durability(rng, period_ms)
     fields["faults"] = tuple(_gen_faults(rng, fields, profile))
     return Scenario(**fields)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 import traceback
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..actors import Client
 from ..bench import TestBed, build_cluster
@@ -28,6 +28,7 @@ from ..check import InvariantChecker, Violation
 from ..cluster import AvailabilityMeter
 from ..core import ElasticityManager, EmrConfig, compile_source
 from ..core.tracing import ElasticityTracer
+from ..durability import DurabilityConfig
 from ..sim import Timeout, spawn
 from .scenario import Scenario
 
@@ -47,6 +48,11 @@ class FuzzResult:
     checks_run: int = 0
     messages_dropped: int = 0
     partition_drops: int = 0
+    checkpoints_written: int = 0
+    checkpoints_acked: int = 0
+    state_restores: int = 0
+    #: Full ``DurabilityManager.summary()`` (empty when durability off).
+    store_summary: Dict = field(default_factory=dict)
     trace_tail: List[str] = field(default_factory=list)
 
     @property
@@ -225,7 +231,9 @@ def run_scenario(scenario: Scenario, strict: bool = False,
             allow_scale_out=scenario.allow_scale_out,
             allow_scale_in=scenario.allow_scale_in,
             min_servers=scenario.min_servers,
-            suspicion_timeout_ms=scenario.suspicion_timeout_ms)
+            suspicion_timeout_ms=scenario.suspicion_timeout_ms,
+            durability=(DurabilityConfig(**scenario.durability)
+                        if scenario.durability is not None else None))
         manager = ElasticityManager(bed.system, policy, config)
         tracer = None
         if with_trace:
@@ -259,6 +267,12 @@ def run_scenario(scenario: Scenario, strict: bool = False,
         result.checks_run = checker.checks_run
         result.messages_dropped = bed.system.fabric.messages_dropped
         result.partition_drops = bed.system.fabric.partition_drops
+        if manager.durability is not None:
+            result.store_summary = manager.durability.summary()
+            totals = result.store_summary["totals"]
+            result.checkpoints_written = totals["checkpoints_written"]
+            result.checkpoints_acked = totals["checkpoints_acked"]
+            result.state_restores = totals["restores"]
         if tracer is not None and not result.ok:
             result.trace_tail = [str(event) for event in tracer.tail(20)]
     except Exception:

@@ -57,6 +57,10 @@ class Scenario:
     faults: Tuple[Dict[str, Any], ...] = ()
     #: -- app topology parameters ------------------------------------
     app_params: Dict[str, Any] = field(default_factory=dict)
+    #: -- durable state (``DurabilityConfig`` kwargs; ``None`` = off) --
+    #: Absent from older corpus artifacts, which therefore keep
+    #: replaying with durability off.
+    durability: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.app not in APPS:
@@ -73,6 +77,8 @@ class Scenario:
         object.__setattr__(self, "rules", tuple(self.rules))
         object.__setattr__(self, "faults",
                            tuple(dict(f) for f in self.faults))
+        if self.durability is not None:
+            object.__setattr__(self, "durability", dict(self.durability))
 
     # -- serialization -------------------------------------------------
 
@@ -122,4 +128,6 @@ class Scenario:
             parts.append(f"{len(self.faults)} fault(s)")
         if self.allow_scale_out or self.allow_scale_in:
             parts.append("autoscale")
+        if self.durability is not None:
+            parts.append("durable")
         return " ".join(parts)

@@ -7,7 +7,8 @@ wrapped around it.  The reduction passes, in order:
 
 1. drop EPL rules one at a time,
 2. drop faults one at a time,
-3. neutralize toggles (autoscale off, suspicion off, default stability),
+3. neutralize toggles (autoscale off, durability off, suspicion off,
+   default stability),
 4. shed clients (to zero, then halving),
 5. halve app topology parameters toward per-app minimums,
 6. bisect the duration down (snapped to whole elasticity periods).
@@ -75,6 +76,8 @@ def _candidates(scenario: Scenario) -> Iterator[Scenario]:
     if scenario.allow_scale_out or scenario.allow_scale_in:
         yield replace(scenario, allow_scale_out=False,
                       allow_scale_in=False)
+    if scenario.durability is not None:
+        yield replace(scenario, durability=None)
     if scenario.suspicion_timeout_ms is not None:
         yield replace(scenario, suspicion_timeout_ms=None)
     if scenario.stability_ms is not None:

@@ -1,0 +1,82 @@
+"""Tombstone spawn-argument isolation across crash/resurrect cycles.
+
+Regression: ``create_actor`` deep-copied ``spawn_kwargs`` but stored
+``spawn_args`` by reference, so an actor mutating a mutable positional
+constructor argument in place silently rewrote its own tombstone — a
+later resurrection then resumed from the mutated state instead of the
+recorded spawn-time state (and the same aliasing chained across
+generations through ``resurrect_actor``).
+"""
+
+from repro.actors import Actor, ActorSystem
+from repro.cluster import Provisioner
+from repro.sim import Simulator
+
+
+class Holder(Actor):
+    def __init__(self, items, tags=None):
+        self.items = items
+        self.tags = tags if tags is not None else {}
+
+    def stash(self, value):
+        yield self.compute(0.1)
+        self.items.append(value)
+        self.tags[value] = True
+        return list(self.items)
+
+
+def make_system(servers=2):
+    sim = Simulator()
+    prov = Provisioner(sim, default_type="m5.large")
+    for _ in range(servers):
+        prov.boot_server(immediate=True)
+    sim.run()
+    return sim, ActorSystem(sim, prov)
+
+
+def crash_and_resurrect(sim, system, ref):
+    server = system.server_of(ref)
+    tombstones = {record.ref.actor_id: record
+                  for record in system.directory.records()
+                  if record.server is server}
+    system.crash_server(server)
+    assert system.resurrect_actor(tombstones[ref.actor_id]) is ref
+    sim.run()
+    return system.directory.lookup(ref.actor_id)
+
+
+def test_mutating_positional_arg_does_not_rewrite_tombstone():
+    sim, system = make_system()
+    seed_items = ["a"]
+    ref = system.create_actor(Holder, seed_items,
+                              server=system.provisioner.servers[0])
+    record = system.directory.lookup(ref.actor_id)
+    # The instance intentionally shares the caller's object...
+    assert record.instance.items is seed_items
+    # ...but the record's recorded args are an independent deep copy,
+    # for positional args exactly like for keyword args.
+    assert record.spawn_args[0] == ["a"]
+    assert record.spawn_args[0] is not seed_items
+
+    record.instance.items.append("mutated")
+    revived = crash_and_resurrect(sim, system, ref)
+    assert revived.instance.items == ["a"]
+
+
+def test_isolation_chains_across_generations():
+    sim, system = make_system(servers=4)   # one host per generation
+    ref = system.create_actor(Holder, ["a"], tags={"a": True},
+                              server=system.provisioner.servers[0])
+    for generation in range(3):
+        record = system.directory.lookup(ref.actor_id)
+        # Every generation boots from pristine spawn-time state...
+        assert record.instance.items == ["a"]
+        assert record.instance.tags == {"a": True}
+        # ...mutates it in place...
+        record.instance.items.append(f"gen{generation}")
+        record.instance.tags[generation] = True
+        # ...and the next resurrection must not inherit the mutation
+        # (nor may its record alias the instance it just built from).
+        assert record.spawn_args[0] is not record.instance.items
+        assert record.spawn_kwargs["tags"] is not record.instance.tags
+        crash_and_resurrect(sim, system, ref)

@@ -15,6 +15,17 @@ fixes:
 - ``actor-cpu-overcount``: per-actor CPU% was not clamped at the
   bucketed-meter window edge, unlike ``Server.cpu_percent`` (fixed in
   the profiling collector).
+- ``migration-onto-minority-side``: a lossy cut opening right after
+  GEM planning let a majority-side LEM migrate an actor onto the
+  minority side (fixed by the execute-time destination quorum recheck).
+- ``silent-abort-target-crash-while-draining``: when the migration
+  target crashed while the protocol was still draining the actor's
+  in-flight handler, the early exit reset ``migrating`` without
+  notifying hooks — the checker (and durability's journal) saw a
+  migration that never aborted, tripping ``single-flight`` on the
+  retry (fixed by routing that exit through ``_rollback``;
+  durability's serialize CPU stretched handler runtimes enough to
+  expose the window).
 
 New shrunk artifacts land here via
 ``python -m repro.cli fuzz --seeds N --out tests/fuzz/corpus``

@@ -84,6 +84,43 @@ def test_partition_profile_does_not_perturb_default_mapping():
             seed, profile="default")
 
 
+def test_durability_profile_always_checkpoints_through_a_crash():
+    for seed in range(30):
+        scenario = generate_scenario(seed, profile="durability")
+        assert scenario.servers >= 3
+        durability = scenario.durability
+        assert durability is not None and durability["enabled"]
+        assert durability["checkpoint_interval_ms"] > 0
+        assert durability["replication_factor"] < scenario.servers
+        # Every durability scenario exercises recovery: at least one
+        # crash, and a failure detector armed to resurrect the victims.
+        crashes = [f for f in scenario.faults
+                   if f["fault"] == "crash-server"]
+        assert crashes, f"seed {seed} generated no crash"
+        assert scenario.suspicion_timeout_ms is not None
+        assert "durable" in scenario.describe()
+
+
+def test_durability_profile_is_deterministic():
+    for seed in range(30):
+        assert generate_scenario(seed, profile="durability") == \
+            generate_scenario(seed, profile="durability")
+
+
+def test_durability_scenario_round_trips_through_json():
+    scenario = generate_scenario(3, profile="durability")
+    assert Scenario.from_jsonable(scenario.to_jsonable()) == scenario
+
+
+def test_predurability_artifacts_still_load():
+    """Corpus artifacts written before the durability field existed have
+    no ``durability`` key — they must keep loading, with durability off."""
+    data = generate_scenario(0).to_jsonable()
+    data.pop("durability", None)
+    scenario = Scenario.from_jsonable(data)
+    assert scenario.durability is None
+
+
 def test_unknown_profile_rejected():
     with pytest.raises(ValueError, match="profile"):
         generate_scenario(0, profile="tsunami")
