@@ -15,7 +15,7 @@ from .actor import ANY_TYPE, Actor, ActorTypeSchema, describe_actor_class
 from .client import Client, DeadLetter
 from .directory import ActorRecord, Directory
 from .hooks import RuntimeHooks
-from .message import CLIENT_KIND, Message
+from .message import CLIENT_KIND, Message, Overloaded
 from .refs import ActorRef
 from .system import ActorSystem, PlacementPolicy
 
@@ -31,6 +31,7 @@ __all__ = [
     "DeadLetter",
     "Directory",
     "Message",
+    "Overloaded",
     "PlacementPolicy",
     "RuntimeHooks",
     "describe_actor_class",

@@ -36,7 +36,7 @@ ANY_TYPE = "any"
 
 _RESERVED_METHODS = frozenset({
     "compute", "call", "tell", "sleep", "on_start", "on_migrated",
-    "snapshot_state", "restore_state",
+    "snapshot_state", "restore_state", "storm_tick",
 })
 
 
@@ -144,6 +144,18 @@ class Actor:
 
     def on_migrated(self, old_server: Any, new_server: Any) -> None:
         """Called after a live migration completes."""
+
+    # -- chaos surface (repro.chaos) -----------------------------------------
+
+    def storm_tick(self, cpu_ms: float = 0.0):
+        """Handler targeted by ``EventStorm``/``HotKeyFlood`` faults.
+
+        Burns ``cpu_ms`` of CPU and returns nothing — a unit of junk
+        load every actor type accepts.  Reserved (not part of the EPL
+        schema) so injecting a storm cannot change rule validation.
+        """
+        if cpu_ms > 0.0:
+            yield self.compute(cpu_ms)
 
     # -- durable state (repro.durability) ------------------------------------
 

@@ -22,6 +22,7 @@ from typing import Any, List, Optional, Tuple
 
 from ..cluster import AvailabilityMeter, GaugeSeries
 from ..sim import Signal, Timeout
+from .message import Overloaded
 from .refs import ActorRef
 from .system import ActorSystem
 
@@ -41,7 +42,7 @@ class DeadLetter:
     ref: ActorRef
     function: str
     attempts: int
-    last_outcome: str  # "failure" | "timeout"
+    last_outcome: str  # "failure" | "timeout" | "rejected" | "shed"
 
 
 class Client:
@@ -57,10 +58,24 @@ class Client:
         Retries after the first attempt of a :meth:`reliable_call`.
     backoff_base_ms / backoff_cap_ms:
         First retry delay and its cap; the delay doubles per attempt
-        (capped exponential backoff, no jitter — runs stay deterministic).
+        (capped exponential backoff; deterministic unless ``jitter_frac``
+        is set).
+    jitter_frac:
+        Fraction of each backoff delay randomized away (0.0 = none, the
+        default, keeping existing traces bit-identical).  With jitter
+        ``f`` the actual delay is uniform in ``[backoff * (1 - f),
+        backoff]``, drawn from the dedicated ``client-retry-jitter``
+        stream — seeded runs stay reproducible, but N clients that
+        timed out together no longer retry in lockstep (no synchronized
+        retry storm).
+    max_dead_letters:
+        Bound on :attr:`dead_letters`; beyond it the oldest entry is
+        dropped and :attr:`dead_letters_dropped` incremented, so long
+        fuzz campaigns cannot grow the list without limit.  0 keeps
+        every dead letter.
     meter:
         Optional :class:`AvailabilityMeter` receiving one outcome per
-        attempt (success / failure / timeout).
+        attempt (success / failure / timeout / rejected / shed).
     """
 
     def __init__(self, system: ActorSystem, name: str = "client",
@@ -69,6 +84,8 @@ class Client:
                  max_retries: int = 0,
                  backoff_base_ms: float = 100.0,
                  backoff_cap_ms: float = 5_000.0,
+                 jitter_frac: float = 0.0,
+                 max_dead_letters: int = 1_024,
                  meter: Optional[AvailabilityMeter] = None) -> None:
         if timeout_ms is not None and timeout_ms <= 0:
             raise ValueError("timeout_ms must be positive (or None)")
@@ -76,6 +93,10 @@ class Client:
             raise ValueError("max_retries must be non-negative")
         if backoff_base_ms <= 0 or backoff_cap_ms < backoff_base_ms:
             raise ValueError("need 0 < backoff_base_ms <= backoff_cap_ms")
+        if not 0.0 <= jitter_frac <= 1.0:
+            raise ValueError("jitter_frac must be in [0, 1]")
+        if max_dead_letters < 0:
+            raise ValueError("max_dead_letters must be >= 0")
         self.system = system
         self.name = name
         self.request_bytes = request_bytes
@@ -83,20 +104,34 @@ class Client:
         self.max_retries = max_retries
         self.backoff_base_ms = backoff_base_ms
         self.backoff_cap_ms = backoff_cap_ms
+        self.jitter_frac = jitter_frac
+        self.max_dead_letters = max_dead_letters
         self.meter = meter
         self.latencies = GaugeSeries(name=f"{name}.latency")
         self.completed = 0
         self.failed = 0
         self.retries_used = 0
+        self.attempts = 0
         self.dead_letters: List[DeadLetter] = []
+        self.dead_letters_dropped = 0
+        # One shared stream for all clients: mutually independent of
+        # every other consumer, and never drawn from unless jitter is on.
+        self._jitter_rng = None
+
+    @property
+    def dead_letters_total(self) -> int:
+        """All dead letters ever, including ones the bound evicted."""
+        return len(self.dead_letters) + self.dead_letters_dropped
 
     def call(self, ref: ActorRef, function: str, *args: Any,
-             size_bytes: Optional[float] = None) -> Signal:
+             size_bytes: Optional[float] = None,
+             deadline_ms: Optional[float] = None) -> Signal:
         """Send one request; returns the reply signal (yield it)."""
         return self.system.client_call(
             ref, function, *args,
             size_bytes=size_bytes if size_bytes is not None
-            else self.request_bytes)
+            else self.request_bytes,
+            deadline_ms=deadline_ms)
 
     def timed_call(self, ref: ActorRef, function: str, *args: Any,
                    size_bytes: Optional[float] = None):
@@ -105,10 +140,17 @@ class Client:
         Use with ``result, latency = yield from client.timed_call(...)``.
         """
         start = self.system.sim.now
+        self.attempts += 1
         result = yield self.call(ref, function, *args, size_bytes=size_bytes)
         latency = self.system.sim.now - start
         self.latencies.record(self.system.sim.now, latency)
-        if result is None:
+        if isinstance(result, Overloaded):
+            self.failed += 1
+            if self.meter is not None:
+                self.meter.record(
+                    "rejected" if result.reason == "admission" else "shed")
+            result = None
+        elif result is None:
             self.failed += 1
             if self.meter is not None:
                 self.meter.record_failure()
@@ -129,7 +171,10 @@ class Client:
         exhausted (the request is then appended to :attr:`dead_letters`).
         A ``None`` reply — the target actor is gone — counts as a failed
         attempt and is retried too, because a crashed actor may be
-        resurrected by the elasticity runtime between attempts.
+        resurrected by the elasticity runtime between attempts.  An
+        :class:`~repro.actors.Overloaded` NACK (admission control or a
+        shedding mailbox turned the request away) is likewise retried:
+        the server said *try later*, and the backoff provides the later.
         """
         sim = self.system.sim
         deadline = self.timeout_ms if timeout_ms is None else timeout_ms
@@ -138,12 +183,21 @@ class Client:
         backoff = self.backoff_base_ms
         outcome = "failure"
         for attempt in range(1, retries + 2):
-            reply = self.call(ref, function, *args, size_bytes=size_bytes)
+            absolute_deadline = (
+                sim.now + deadline
+                if deadline is not None and self.system.overload is not None
+                else None)
+            self.attempts += 1
+            reply = self.call(ref, function, *args, size_bytes=size_bytes,
+                              deadline_ms=absolute_deadline)
             if deadline is not None:
                 sim.schedule(deadline, reply.trigger, _TIMED_OUT)
             value = yield reply
             if value is _TIMED_OUT:
                 outcome = "timeout"
+            elif isinstance(value, Overloaded):
+                outcome = ("rejected" if value.reason == "admission"
+                           else "shed")
             elif value is None:
                 outcome = "failure"
             else:
@@ -158,13 +212,27 @@ class Client:
             if attempt >= retries + 1:
                 break
             self.retries_used += 1
-            yield Timeout(sim, backoff)
+            yield Timeout(sim, self._backoff_delay(backoff))
             backoff = min(backoff * 2.0, self.backoff_cap_ms)
         self.failed += 1
         self.dead_letters.append(DeadLetter(
             time_ms=sim.now, ref=ref, function=function,
             attempts=retries + 1, last_outcome=outcome))
+        if (self.max_dead_letters
+                and len(self.dead_letters) > self.max_dead_letters):
+            del self.dead_letters[0]
+            self.dead_letters_dropped += 1
         return None
+
+    def _backoff_delay(self, backoff: float) -> float:
+        """Apply seeded jitter to one backoff delay (no-op at 0.0)."""
+        if self.jitter_frac <= 0.0:
+            return backoff
+        if self._jitter_rng is None:
+            self._jitter_rng = self.system.streams.stream(
+                "client-retry-jitter")
+        return backoff * (1.0 - self.jitter_frac
+                          + self.jitter_frac * self._jitter_rng.random())
 
     def mean_latency(self) -> float:
         return self.latencies.mean()

@@ -34,6 +34,17 @@ class RuntimeHooks:
                              message: "Message") -> None:
         """``message`` entered ``record``'s mailbox on its current server."""
 
+    def on_message_shed(self, record: "ActorRecord", message: "Message",
+                        reason: str) -> None:
+        """``message`` was dropped by ``record``'s bounded mailbox.
+        ``reason`` is ``"shed"`` (mailbox full) or ``"deadline"`` (the
+        client's deadline expired before arrival)."""
+
+    def on_request_rejected(self, record: "ActorRecord",
+                            message: "Message") -> None:
+        """Server-level admission control refused the client call
+        ``message`` before it entered ``record``'s mailbox."""
+
     def on_compute(self, record: "ActorRecord", busy_ms: float) -> None:
         """``record`` occupied a core for ``busy_ms`` (speed-scaled)."""
 

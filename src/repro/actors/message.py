@@ -15,14 +15,33 @@ from typing import Any, Optional, Tuple
 
 from ..sim import Signal
 
-__all__ = ["Message", "CLIENT_KIND", "DEFAULT_MESSAGE_BYTES",
-           "DEFAULT_REPLY_BYTES"]
+__all__ = ["Message", "Overloaded", "CLIENT_KIND",
+           "DEFAULT_MESSAGE_BYTES", "DEFAULT_REPLY_BYTES"]
 
 CLIENT_KIND = "client"
 DEFAULT_MESSAGE_BYTES = 512.0
 DEFAULT_REPLY_BYTES = 256.0
 
 _message_ids = itertools.count(1)
+
+
+class Overloaded:
+    """Retriable NACK delivered as a reply when overload protection
+    refuses a client call.
+
+    ``reason`` is ``"admission"`` (server-level admission control turned
+    the request away before it queued) or ``"shed"`` (the target's
+    bounded mailbox dropped it).  Clients treat both as retriable —
+    unlike a timeout, the server paid almost nothing to say no.
+    """
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"Overloaded({self.reason!r})"
 
 
 @dataclass
@@ -41,6 +60,11 @@ class Message:
     message_id: int = field(default_factory=lambda: next(_message_ids))
     forwards: int = 0
     remote: bool = False  # set at routing time: crossed a server boundary
+    #: Absolute sim time after which the caller no longer wants the
+    #: reply.  Only set by clients when overload protection is active;
+    #: the ``deadline`` shedding policy drops expired messages on
+    #: arrival instead of wasting a saturated server's cycles.
+    deadline_ms: Optional[float] = None
 
     def is_client_call(self) -> bool:
         return self.caller_kind == CLIENT_KIND

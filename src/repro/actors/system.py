@@ -33,7 +33,7 @@ from ..sim import (Interrupted, Queue, RandomStreams, Signal, Simulator,
 from .actor import Actor
 from .directory import ActorRecord, Directory
 from .hooks import RuntimeHooks
-from .message import CLIENT_KIND, DEFAULT_REPLY_BYTES, Message
+from .message import CLIENT_KIND, DEFAULT_REPLY_BYTES, Message, Overloaded
 from .refs import ActorRef
 
 __all__ = ["ActorSystem", "PlacementPolicy"]
@@ -89,6 +89,15 @@ class ActorSystem:
         #: enabled ``DurabilityManager``; ``None`` keeps every durability
         #: call site in this module a single attribute check.
         self.durability = None
+        #: Overload-protection subsystem (``repro.overload``), attached
+        #: by the elasticity manager when its config enables it; ``None``
+        #: keeps every overload call site a single attribute check and
+        #: the delivery path byte-identical to an unprotected run.
+        self.overload = None
+        #: True only inside :meth:`crash_server`'s destroy loop, so the
+        #: disposition ledger can tell "lost with its server" apart from
+        #: "target destroyed under it".
+        self._crashing = False
 
     # ------------------------------------------------------------------
     # hooks
@@ -172,7 +181,14 @@ class ActorSystem:
         mailbox = self._mailboxes.pop(ref.actor_id, None)
         if mailbox is not None:
             for message in mailbox.clear():
-                if message is not _STOP and message.reply is not None:
+                if message is _STOP:
+                    continue
+                if self.overload is not None:
+                    if self._crashing:
+                        self.overload.note_crashed(message)
+                    else:
+                        self.overload.note_dead_target(message)
+                if message.reply is not None:
                     message.reply.trigger(None)
             mailbox.put(_STOP)
         # Fail the in-flight request too (its handler dies with the
@@ -210,8 +226,14 @@ class ActorSystem:
         """
         lost_records = list(self.directory.on_server(server))
         lost = [record.ref for record in lost_records]
-        for ref in lost:
-            self.destroy_actor(ref)
+        self._crashing = True
+        try:
+            for ref in lost:
+                self.destroy_actor(ref)
+        finally:
+            self._crashing = False
+        if self.overload is not None:
+            self.overload.note_server_crashed(server.name)
         if server in self.provisioner.servers:
             self.provisioner.retire_server(server)
         else:
@@ -287,16 +309,22 @@ class ActorSystem:
 
     def client_call(self, ref: ActorRef, function: str, *args: Any,
                     size_bytes: float = 512.0,
-                    reply_bytes: float = DEFAULT_REPLY_BYTES) -> Signal:
+                    reply_bytes: float = DEFAULT_REPLY_BYTES,
+                    deadline_ms: Optional[float] = None) -> Signal:
         """Invoke ``function`` on ``ref`` from an external client.
 
         Returns the reply signal; yield it from a client process.
+        ``deadline_ms`` (absolute sim time) lets the ``deadline``
+        shedding policy drop the message if it arrives too late.
         """
         reply = Signal(self.sim)
         message = Message(
             target_id=ref.actor_id, function=function, args=tuple(args),
             caller_kind=CLIENT_KIND, caller_id=None, size_bytes=size_bytes,
-            reply=reply, reply_bytes=reply_bytes, sent_at=self.sim.now)
+            reply=reply, reply_bytes=reply_bytes, sent_at=self.sim.now,
+            deadline_ms=deadline_ms)
+        if self.overload is not None:
+            self.overload.note_issued(message)
         self._route(None, message)
         return reply
 
@@ -349,6 +377,8 @@ class ActorSystem:
         """First-hop routing from the sender's current server."""
         target = self.directory.try_lookup(message.target_id)
         if target is None:
+            if self.overload is not None:
+                self.overload.note_no_target(message)
             if message.reply is not None:
                 message.reply.trigger(None)
             return
@@ -358,6 +388,8 @@ class ActorSystem:
                                                        target.server):
             # Lost in transit (chaos fault): the message never arrives
             # and no reply fires — recovery is the caller's timeout/retry.
+            if self.overload is not None:
+                self.overload.note_fabric_lost(message)
             return
         delay = self.fabric.delivery_delay(
             src_server, target.server, message.size_bytes)
@@ -370,6 +402,8 @@ class ActorSystem:
         """Message arrival at a server; forwards if the actor moved."""
         target = self.directory.try_lookup(message.target_id)
         if target is None:
+            if self.overload is not None:
+                self.overload.note_dead_target(message)
             if message.reply is not None:
                 message.reply.trigger(None)
             return
@@ -378,6 +412,8 @@ class ActorSystem:
             # host forwards it, paying one more network hop (which a
             # degraded or partitioned fabric may also lose).
             if self.fabric.drop_message(arrived_at, target.server):
+                if self.overload is not None:
+                    self.overload.note_fabric_lost(message)
                 return
             message.forwards += 1
             delay = self.fabric.delivery_delay(
@@ -386,14 +422,79 @@ class ActorSystem:
             return
         mailbox = self._mailboxes.get(message.target_id)
         if mailbox is None:
+            if self.overload is not None:
+                self.overload.note_dead_target(message)
             if message.reply is not None:
                 message.reply.trigger(None)
+            return
+        if self.overload is not None and not self._admit(
+                message, target, mailbox, arrived_at):
             return
         for hooks in self.hooks:
             hooks.on_message_delivered(target, message)
             if message.remote or message.forwards:
                 hooks.on_bytes_received(target, message.size_bytes)
         mailbox.put(message)
+        if self.overload is not None:
+            self.overload.note_mailbox_depth(len(mailbox))
+
+    def _admit(self, message: Message, target: ActorRecord, mailbox: Queue,
+               arrived_at: Server) -> bool:
+        """Overload-protection checkpoint at the mailbox door.
+
+        Returns True when the message may enter the mailbox; otherwise
+        the message's fate (NACK, drop, or backpressured retry) has
+        already been settled here.  Ordering matters: expired work is
+        waste regardless of queue depth, admission control protects the
+        whole server, and the mailbox bound protects the one actor.
+        """
+        overload = self.overload
+        config = overload.config
+        now = self.sim.now
+        if (config.policy == "deadline" and message.deadline_ms is not None
+                and now >= message.deadline_ms):
+            overload.note_shed(message, target.server.name,
+                               target.ref.actor_id, reason="deadline")
+            for hooks in self.hooks:
+                hooks.on_message_shed(target, message, "deadline")
+            if message.reply is not None:
+                # The caller's timeout already fired; this trigger is a
+                # no-op kept for symmetry with the shed path.
+                message.reply.trigger(Overloaded("deadline"))
+            return False
+        if message.is_client_call() and (
+                (config.admission_queue_depth
+                 and len(mailbox) >= config.admission_queue_depth)
+                or (config.admission_cpu_perc
+                    and target.server.cpu_percent(
+                        config.admission_cpu_window_ms)
+                    >= config.admission_cpu_perc)):
+            overload.note_rejected(message)
+            for hooks in self.hooks:
+                hooks.on_request_rejected(target, message)
+            if message.reply is not None:
+                message.reply.trigger(Overloaded("admission"))
+            return False
+        capacity = config.mailbox_capacity
+        if capacity and len(mailbox) >= capacity:
+            if config.policy == "block":
+                # Credit-based backpressure: the message stays the
+                # sender's problem until the receiver drains a slot.
+                overload.note_backpressure(message)
+                self.sim.schedule(config.block_retry_ms, self._deliver,
+                                  message, arrived_at)
+                return False
+            # shed / deadline policies: deterministic drop-newest.
+            overload.note_shed(message, target.server.name,
+                               target.ref.actor_id)
+            for hooks in self.hooks:
+                hooks.on_message_shed(target, message, "shed")
+            if message.reply is not None:
+                message.reply.trigger(
+                    Overloaded("shed") if message.is_client_call()
+                    else None)
+            return False
+        return True
 
     # -- dispatch -------------------------------------------------------------
 
@@ -403,6 +504,8 @@ class ActorSystem:
             message = yield mailbox.get()
             if message is _STOP:
                 return
+            if self.overload is not None:
+                self.overload.note_consumed(message)
             gate = self._gates.get(actor_id)
             if gate is not None:
                 yield gate  # migration in progress: wait for it to finish
@@ -608,6 +711,11 @@ class ActorSystem:
     def server_of(self, ref: ActorRef) -> Server:
         """The server currently hosting ``ref``."""
         return self.directory.lookup(ref.actor_id).server
+
+    def mailbox_depth(self, actor_id: int) -> int:
+        """Messages currently queued for ``actor_id`` (0 if gone)."""
+        mailbox = self._mailboxes.get(actor_id)
+        return len(mailbox) if mailbox is not None else 0
 
     def actors_on(self, server: Server) -> List[ActorRecord]:
         """Directory records of all actors hosted on ``server``."""

@@ -2,22 +2,26 @@
 
 Declarative fault plans (:class:`FaultPlan`) executed by a simulation
 process (:class:`ChaosEngine`): fail-stop server crashes, GEM kills,
-transient network degradation, per-link network partitions, and limping
-(CPU-slowed) servers — all deterministic under a fixed seed so failures
-are exactly replayable.
+transient network degradation, per-link network partitions, limping
+(CPU-slowed) servers, and load storms (:class:`EventStorm`,
+:class:`HotKeyFlood`) that flood the data plane with real client
+calls — all deterministic under a fixed seed so failures are exactly
+replayable.
 """
 
 from .engine import ChaosEngine
-from .plan import (CrashServer, DegradeNetwork, Fault, FaultPlan, KillGem,
-                   PartitionNetwork, SlowServer, fault_from_dict,
-                   fault_to_dict)
+from .plan import (CrashServer, DegradeNetwork, EventStorm, Fault, FaultPlan,
+                   HotKeyFlood, KillGem, PartitionNetwork, SlowServer,
+                   fault_from_dict, fault_to_dict)
 
 __all__ = [
     "ChaosEngine",
     "CrashServer",
     "DegradeNetwork",
+    "EventStorm",
     "Fault",
     "FaultPlan",
+    "HotKeyFlood",
     "KillGem",
     "PartitionNetwork",
     "SlowServer",

@@ -3,7 +3,8 @@
 The engine is a simulation process.  It walks the plan in time order,
 injects each fault through the public runtime surfaces (``crash_server``,
 ``GEM.fail``, ``NetworkFabric.degrade``, ``NetworkFabric.partition``,
-``Server.set_speed_factor``) and
+``Server.set_speed_factor``, ``ActorSystem.client_call`` for load
+storms) and
 schedules the matching heal when the fault declares one.  Every injection
 and heal is appended to :attr:`ChaosEngine.log` and — when an elasticity
 manager is attached — emitted on its event bus as ``fault-injected`` /
@@ -29,8 +30,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..actors import ActorSystem
 from ..cluster import Server
 from ..sim import Timeout, spawn
-from .plan import (CrashServer, DegradeNetwork, Fault, FaultPlan, KillGem,
-                   PartitionNetwork, SlowServer)
+from .plan import (CrashServer, DegradeNetwork, EventStorm, Fault, FaultPlan,
+                   HotKeyFlood, KillGem, PartitionNetwork, SlowServer)
 
 __all__ = ["ChaosEngine"]
 
@@ -95,6 +96,10 @@ class ChaosEngine:
             self._slow_server(fault)
         elif isinstance(fault, PartitionNetwork):
             self._partition_network(fault)
+        elif isinstance(fault, EventStorm):
+            self._event_storm(fault)
+        elif isinstance(fault, HotKeyFlood):
+            self._hot_key_flood(fault)
 
     # -- fault handlers --------------------------------------------------
 
@@ -221,6 +226,78 @@ class ChaosEngine:
                    messages_dropped=fabric.messages_dropped)
         if self.manager is not None:
             self.manager.note_partition_healed(token)
+
+    def _event_storm(self, fault: EventStorm) -> None:
+        server = None
+        if fault.server_index is not None:
+            server = self._target_server(fault.server_index, "event-storm")
+            if server is None:
+                return
+        self.faults_injected += 1
+        self._emit("fault-injected", fault="event-storm",
+                   rate_per_ms=fault.rate_per_ms, cpu_ms=fault.cpu_ms,
+                   duration_ms=fault.duration_ms,
+                   server=server.name if server is not None else None)
+        spawn(self.system.sim,
+              self._storm(fault, lambda: self._storm_target(server)),
+              name="chaos-event-storm")
+
+    def _hot_key_flood(self, fault: HotKeyFlood) -> None:
+        victim = self._ranked_actor(fault.actor_rank)
+        if victim is None:
+            self._skip("hot-key-flood", reason="no-live-actors")
+            return
+        self.faults_injected += 1
+        self._emit("fault-injected", fault="hot-key-flood",
+                   rate_per_ms=fault.rate_per_ms, cpu_ms=fault.cpu_ms,
+                   duration_ms=fault.duration_ms, victim=victim.actor_id)
+
+        def target():
+            # Re-pick by the same rank rule if the victim dies (crash or
+            # scale-in) mid-flood, so the hot key stays hot.
+            nonlocal victim
+            if self.system.directory.try_lookup(victim.actor_id) is None:
+                victim = self._ranked_actor(fault.actor_rank) or victim
+            return victim
+
+        spawn(self.system.sim, self._storm(fault, target),
+              name="chaos-hot-key-flood")
+
+    def _ranked_actor(self, rank: int):
+        records = sorted(self.system.directory.records(),
+                         key=lambda record: record.ref.actor_id)
+        if not records:
+            return None
+        return records[rank % len(records)].ref
+
+    def _storm_target(self, server: Optional[Server]):
+        records = self.system.directory.on_server(server) \
+            if server is not None else list(self.system.directory.records())
+        if not records:
+            return None
+        records.sort(key=lambda record: record.ref.actor_id)
+        return self.rng.choice(records).ref
+
+    def _storm(self, fault, target):
+        """Shared flood loop: fire ``storm_tick`` calls at ``rate_per_ms``
+        until the window closes.  Replies are fire-and-forget; shed or
+        rejected storm calls land in the overload ledger like any other
+        client traffic."""
+        sim = self.system.sim
+        end = sim.now + fault.duration_ms
+        interval = 1.0 / fault.rate_per_ms
+        calls_sent = 0
+        while sim.now < end:
+            ref = target()
+            if ref is not None:
+                self.system.client_call(ref, "storm_tick", fault.cpu_ms,
+                                        size_bytes=fault.size_bytes)
+                calls_sent += 1
+            yield Timeout(sim, interval)
+        self._emit("fault-healed",
+                   fault="event-storm" if isinstance(fault, EventStorm)
+                   else "hot-key-flood",
+                   calls_sent=calls_sent)
 
     def _slow_server(self, fault: SlowServer) -> None:
         server = self._target_server(fault.server_index, "slow-server")

@@ -20,6 +20,10 @@ Fault types
 - :class:`PartitionNetwork` — sever the links between a named group of
   servers (plus, optionally, a set of GEMs) and the rest of the fleet
   for ``duration_ms``; symmetric or asymmetric, absolute or lossy.
+- :class:`EventStorm` — flood the fleet (or one server) with junk
+  client calls at a fixed rate for ``duration_ms``.
+- :class:`HotKeyFlood` — aim the same flood at a *single* actor (the
+  hot key), picked deterministically by rank at injection time.
 
 Server-targeting faults refer to servers by *index into the fleet as it
 stood when the chaos engine started*, so a plan's meaning does not shift
@@ -32,8 +36,8 @@ from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 __all__ = ["CrashServer", "KillGem", "DegradeNetwork", "SlowServer",
-           "PartitionNetwork", "FaultPlan", "Fault", "fault_to_dict",
-           "fault_from_dict"]
+           "PartitionNetwork", "EventStorm", "HotKeyFlood", "FaultPlan",
+           "Fault", "fault_to_dict", "fault_from_dict"]
 
 
 @dataclass(frozen=True)
@@ -154,11 +158,81 @@ class PartitionNetwork:
             raise ValueError("loss must be in (0, 1]")
 
 
+@dataclass(frozen=True)
+class EventStorm:
+    """Flood the fleet with junk client calls for ``duration_ms``.
+
+    Every storm call is a real client request to a random live actor's
+    reserved ``storm_tick`` handler, burning ``cpu_ms`` of CPU — so
+    storms exercise the full overload path: admission control,
+    mailbox bounds, and the conservation ledger all see them.
+    ``server_index`` (into the fleet at chaos start, like
+    :class:`CrashServer`) narrows the flood to one server's actors;
+    ``None`` storms the whole fleet.
+    """
+
+    at_ms: float
+    duration_ms: float
+    #: Storm calls per millisecond (aggregate, not per actor).
+    rate_per_ms: float = 0.5
+    #: CPU burned by each storm call on the target's server.
+    cpu_ms: float = 1.0
+    size_bytes: float = 512.0
+    server_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ValueError("at_ms must be non-negative")
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if self.rate_per_ms <= 0:
+            raise ValueError("rate_per_ms must be positive")
+        if self.cpu_ms < 0:
+            raise ValueError("cpu_ms must be non-negative")
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.server_index is not None and self.server_index < 0:
+            raise ValueError("server_index must be non-negative")
+
+
+@dataclass(frozen=True)
+class HotKeyFlood:
+    """Aim an :class:`EventStorm`-style flood at one hot actor.
+
+    The victim is chosen deterministically at injection time:
+    ``actor_rank`` indexes into the live actors sorted by actor id
+    (modulo the population, so a plan never misses).  This is the
+    Elasticutor-style skew burst: one key absorbs the whole flood while
+    its neighbours idle.
+    """
+
+    at_ms: float
+    duration_ms: float
+    rate_per_ms: float = 0.5
+    cpu_ms: float = 1.0
+    size_bytes: float = 512.0
+    actor_rank: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ValueError("at_ms must be non-negative")
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if self.rate_per_ms <= 0:
+            raise ValueError("rate_per_ms must be positive")
+        if self.cpu_ms < 0:
+            raise ValueError("cpu_ms must be non-negative")
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.actor_rank < 0:
+            raise ValueError("actor_rank must be non-negative")
+
+
 Fault = Union[CrashServer, KillGem, DegradeNetwork, SlowServer,
-              PartitionNetwork]
+              PartitionNetwork, EventStorm, HotKeyFlood]
 
 _FAULT_TYPES = (CrashServer, KillGem, DegradeNetwork, SlowServer,
-                PartitionNetwork)
+                PartitionNetwork, EventStorm, HotKeyFlood)
 
 _FAULT_NAMES: Dict[str, type] = {
     "crash-server": CrashServer,
@@ -166,6 +240,8 @@ _FAULT_NAMES: Dict[str, type] = {
     "degrade-network": DegradeNetwork,
     "slow-server": SlowServer,
     "partition-network": PartitionNetwork,
+    "event-storm": EventStorm,
+    "hot-key-flood": HotKeyFlood,
 }
 
 

@@ -66,6 +66,13 @@ class _CheckerHooks(RuntimeHooks):
     def on_actor_resurrected(self, record: ActorRecord) -> None:
         self.checker._on_resurrected(record)
 
+    def on_message_shed(self, record: ActorRecord, message,
+                        reason: str) -> None:
+        self.checker._hook_sheds += 1
+
+    def on_request_rejected(self, record: ActorRecord, message) -> None:
+        self.checker._hook_rejects += 1
+
 
 class InvariantChecker:
     """Continuously checks the invariant catalogue against a live run.
@@ -127,6 +134,13 @@ class InvariantChecker:
         #: actor id -> seq -> {"digest", "replicas"} of acknowledged
         #: checkpoints, as carried on checkpoint-replicated events.
         self._acked_cps: Dict[int, Dict[int, Dict[str, Any]]] = {}
+        # -- overload state (independent hook counters + brownout
+        # timelines re-derived from events, NOT from the overload
+        # manager's own hysteresis machine) ----------------------------
+        self._hook_sheds = 0
+        self._hook_rejects = 0
+        self._browned_out: Dict[str, float] = {}   # server -> entered at
+        self._brownout_low_since: Dict[str, float] = {}
 
     # -- partition side re-derivation ---------------------------------
 
@@ -394,6 +408,13 @@ class InvariantChecker:
             self._check_stale_rejection(detail)
         elif kind == "partition-healed":
             self._check_partition_healed(detail)
+        elif kind == "brownout-entered":
+            self._browned_out[detail["server"]] = \
+                self.manager.system.sim.now
+            self._brownout_low_since.pop(detail["server"], None)
+        elif kind == "brownout-exited":
+            self._browned_out.pop(detail["server"], None)
+            self._brownout_low_since.pop(detail["server"], None)
         elif kind == "checkpoint-written":
             self._check_checkpoint_written(detail)
         elif kind == "checkpoint-replicated":
@@ -640,6 +661,38 @@ class InvariantChecker:
                 f"{server}: actors' state memory sums to "
                 f"{summed:.3f}MB but the server has {booked:.3f}MB "
                 f"booked", server=server, booked=booked, summed=summed)
+        self._check_brownout_exit(server, detail)
+
+    def _check_brownout_exit(self, server: str,
+                             detail: Dict[str, Any]) -> None:
+        """brownout-exit: once a browned-out server's round CPU stays at
+        or below the exit watermark, brownout must lift within a bounded
+        window — (exit_rounds + 2) stretched periods gives the hysteresis
+        its full budget plus scheduling slack.  Timeline re-derived from
+        brownout-entered/-exited events and per-round CPU samples."""
+        overload = getattr(self.manager, "overload", None)
+        if overload is None or server not in self._browned_out:
+            return
+        now = self.manager.system.sim.now
+        cpu = detail.get("server_cpu_perc", 0.0)
+        oconfig = overload.config
+        if cpu > oconfig.brownout_exit_cpu_perc + _PERC_EPS:
+            self._brownout_low_since.pop(server, None)
+            return
+        low_since = self._brownout_low_since.setdefault(server, now)
+        bound = ((oconfig.brownout_exit_rounds + 2)
+                 * oconfig.brownout_stretch * self.manager.config.period_ms)
+        if now - low_since > bound + _EPS:
+            self._violate(
+                "brownout-exit",
+                f"{server} has reported CPU <= the exit watermark "
+                f"({oconfig.brownout_exit_cpu_perc:.0f}%) for "
+                f"{now - low_since:.0f}ms but is still browned out "
+                f"(bound: {bound:.0f}ms)", server=server,
+                low_since=low_since, cpu_perc=cpu)
+            # One violation per stuck episode, not one per round.
+            self._browned_out.pop(server, None)
+            self._brownout_low_since.pop(server, None)
 
     # -- durability: checkpoints and restores --------------------------
 
@@ -776,6 +829,18 @@ class InvariantChecker:
                     f"{server.memory_used_mb:.3f}MB != "
                     f"{expected:.3f}MB of hosted actor state",
                     server=server.name)
+        overload = getattr(system, "overload", None)
+        if overload is not None and overload.config.mailbox_capacity:
+            capacity = overload.config.mailbox_capacity
+            for record in system.directory.records():
+                depth = system.mailbox_depth(record.ref.actor_id)
+                if depth > capacity:
+                    self._violate(
+                        "no-message-loss-without-shed-record",
+                        f"{record.ref} mailbox holds {depth} messages; "
+                        f"configured capacity is {capacity}",
+                        actor=str(record.ref), depth=depth,
+                        capacity=capacity)
         tracked = set(self._alive)
         if tracked != directory_ids:
             missing = sorted(tracked - directory_ids)[:5]
@@ -791,6 +856,7 @@ class InvariantChecker:
     def final_check(self) -> List[Violation]:
         """Run the end-of-run checks and return all violations."""
         self._sweep()
+        self._check_conservation()
         fault_free = (self._first_fault_ms is None
                       and not self._crashed_servers)
         if fault_free:
@@ -805,3 +871,46 @@ class InvariantChecker:
                         f"meter {index}: {bad} failed/timed-out calls "
                         f"in a fault-free run", counts=dict(counts))
         return self.violations
+
+    def _check_conservation(self) -> None:
+        """admission-conservation + no-message-loss-without-shed-record:
+        audit the overload manager's disposition ledger against itself
+        and against the checker's own hook counters."""
+        overload = getattr(self.manager, "overload", None)
+        if overload is None:
+            return
+        self.checks_run += 1
+        for mid, first, second in overload.double_dispositions[:5]:
+            self._violate(
+                "admission-conservation",
+                f"message {mid} reached two terminal dispositions: "
+                f"{first!r} then {second!r}", message_id=mid,
+                first=first, second=second)
+        balance = overload.conservation_balance()
+        issued = balance.pop("issued")
+        outstanding = balance.pop("outstanding")
+        terminal = sum(balance.values())
+        if issued != terminal + outstanding:
+            self._violate(
+                "admission-conservation",
+                f"{issued} client messages issued but "
+                f"{terminal} terminal + {outstanding} outstanding = "
+                f"{terminal + outstanding}", issued=issued,
+                outstanding=outstanding, **balance)
+        # Every drop the data plane performed fired a hook the checker
+        # counted; the ledger must have a record for each of them.
+        if self._hook_sheds > overload.total_shed():
+            self._violate(
+                "no-message-loss-without-shed-record",
+                f"hooks observed {self._hook_sheds} shed messages but "
+                f"the ledger records only {overload.total_shed()}",
+                hook_sheds=self._hook_sheds,
+                ledger_sheds=overload.total_shed())
+        if self._hook_rejects > overload.counts["rejected"]:
+            self._violate(
+                "admission-conservation",
+                f"hooks observed {self._hook_rejects} rejected requests "
+                f"but the ledger records only "
+                f"{overload.counts['rejected']}",
+                hook_rejects=self._hook_rejects,
+                ledger_rejects=overload.counts["rejected"])

@@ -84,6 +84,21 @@ INVARIANTS: Dict[str, str] = {
     "no-minority-restore": (
         "while a partition is active, no state restore reads from a "
         "replica hosted on a quorum-less side's server"),
+    "no-message-loss-without-shed-record": (
+        "with overload protection active, no bounded mailbox ever "
+        "exceeds its capacity, and every message dropped by the data "
+        "plane leaves a shed record (ledger counts agree with hook "
+        "observations)"),
+    "admission-conservation": (
+        "every client message reaches exactly one terminal "
+        "disposition — delivered, shed, rejected, deadline-dropped, "
+        "fabric-lost, or dead on a crashed/missing target — never "
+        "zero, never two: issued equals the terminal sum plus "
+        "messages still in flight"),
+    "brownout-exit": (
+        "brownout is not sticky: once a browned-out server's load "
+        "falls back below the exit watermark, brownout lifts within a "
+        "bounded number of (stretched) reporting rounds"),
 }
 
 

@@ -239,6 +239,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     started = time.monotonic()
     failures = 0
     total_drops = 0
+    total_shed = 0
+    total_dead_letters = 0
     for index in range(args.seeds):
         if args.budget_s and time.monotonic() - started > args.budget_s:
             print(f"budget of {args.budget_s}s exhausted after "
@@ -249,6 +251,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         result = run_scenario(scenario)
         status = result.summary()
         total_drops += result.messages_dropped
+        total_shed += result.messages_shed
+        total_dead_letters += result.dead_letters
         print(f"seed {seed:6d}  {scenario.describe():50s} {status}")
         if result.ok:
             continue
@@ -263,9 +267,12 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"    failure minimized to {path} "
               f"({result.summary()})")
     elapsed = time.monotonic() - started
+    overload_note = (f", {total_shed} shed, "
+                     f"{total_dead_letters} dead-letter(s)"
+                     if total_shed or total_dead_letters else "")
     print(f"{args.seeds} seed(s) in {elapsed:.1f}s: "
           f"{failures} failure(s), "
-          f"{total_drops} fabric message(s) dropped")
+          f"{total_drops} fabric message(s) dropped{overload_note}")
     return 1 if failures else 0
 
 
@@ -373,12 +380,15 @@ def main(argv: Sequence[str] = None) -> int:
     p_fuzz.add_argument("--out", default="fuzz-artifacts",
                         help="directory for shrunk failure artifacts")
     p_fuzz.add_argument("--profile",
-                        choices=("default", "partition", "durability"),
+                        choices=("default", "partition", "durability",
+                                 "overload"),
                         default="default",
                         help="generator emphasis: 'partition' injects a "
                              "network partition into every scenario; "
                              "'durability' enables checkpointing and "
-                             "crashes a server mid-run")
+                             "crashes a server mid-run; 'overload' "
+                             "enables bounded mailboxes/brownout and "
+                             "injects a load storm")
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="write failures unshrunk")
     p_fuzz.add_argument("--replay", metavar="FILE",

@@ -118,14 +118,19 @@ class AvailabilityMeter:
     """Per-window request-outcome accounting for availability reporting.
 
     Clients (or any request source) record each request as ``success``,
-    ``failure`` (error reply — typically the target actor is gone), or
-    ``timeout`` (no reply within the caller's deadline).  Outcomes are
+    ``failure`` (error reply — typically the target actor is gone),
+    ``timeout`` (no reply within the caller's deadline), ``rejected``
+    (admission control turned it away with a retriable ``Overloaded``
+    NACK), or ``shed`` (a bounded mailbox dropped it).  Outcomes are
     bucketed into fixed-width time windows so benchmarks can report
     availability *during* a fault window separately from availability
     after recovery, plus how long the disruption lasted.
+
+    Accounting is conserved by construction: every recorded attempt is
+    exactly one outcome, so ``sum(totals.values()) == issued``.
     """
 
-    OUTCOMES = ("success", "failure", "timeout")
+    OUTCOMES = ("success", "failure", "timeout", "rejected", "shed")
 
     def __init__(self, sim: Simulator, window_ms: float = 5_000.0) -> None:
         if window_ms <= 0:
@@ -159,6 +164,17 @@ class AvailabilityMeter:
 
     def record_timeout(self) -> None:
         self.record("timeout")
+
+    def record_rejected(self) -> None:
+        self.record("rejected")
+
+    def record_shed(self) -> None:
+        self.record("shed")
+
+    @property
+    def issued(self) -> int:
+        """Total attempts recorded, across all outcomes."""
+        return len(self._samples)
 
     # -- queries -------------------------------------------------------------
 

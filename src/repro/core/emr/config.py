@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ...durability import DurabilityConfig
+from ...overload import OverloadConfig
 
 __all__ = ["EmrConfig"]
 
@@ -88,6 +89,12 @@ class EmrConfig:
     #: the subsystem fully inert: no hooks, no scheduling, no RNG, so
     #: fault-free golden traces stay bit-identical.
     durability: Optional[DurabilityConfig] = None
+    #: Overload protection (bounded mailboxes, admission control,
+    #: brownout reporting).  ``None`` keeps the subsystem fully inert:
+    #: the actor system's delivery path stays byte-identical, LEMs
+    #: always ship full REPORTs, and the failure detector grants no
+    #: drowning grace — golden traces stay bit-identical.
+    overload: Optional[OverloadConfig] = None
     #: Seed a resurrected actor's EPR profile from its pre-crash stats
     #: instead of starting cold, so rules re-converge faster after a
     #: recovery.  Off by default (a restarted actor's past rates may no
@@ -144,6 +151,10 @@ class EmrConfig:
                 and not isinstance(self.durability, DurabilityConfig)):
             raise ValueError("durability must be a DurabilityConfig or None, "
                              f"got {type(self.durability).__name__}")
+        if (self.overload is not None
+                and not isinstance(self.overload, OverloadConfig)):
+            raise ValueError("overload must be an OverloadConfig or None, "
+                             f"got {type(self.overload).__name__}")
 
     def stability_window_ms(self) -> float:
         return self.period_ms if self.stability_ms is None else self.stability_ms

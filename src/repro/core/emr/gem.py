@@ -54,6 +54,14 @@ class GEM:
                                   ServerSnapshot, Signal]] = []
         self._processing_scheduled = False
         self._boots_this_round = 0
+        #: Last-known-good snapshot per server id (time, server snap,
+        #: actor snaps).  Only maintained while overload protection is
+        #: active: a browned-out LEM reports less often, and planning
+        #: against a bounded-staleness snapshot of a drowning server
+        #: beats planning as if the server did not exist.
+        self._last_known_good: Dict[int, Tuple[
+            float, ServerSnapshot, List[ActorSnapshot]]] = {}
+        self.stale_snapshots_used = 0
 
     def fail(self) -> None:
         """Simulate a GEM crash: stop replying to reports."""
@@ -107,6 +115,10 @@ class GEM:
             actors.extend(actor_snaps)
             actors_by_server[server_snap.server.server_id] = list(actor_snaps)
 
+        if self.manager.overload is not None:
+            self._fold_stale_snapshots(reports, servers, actors,
+                                       actors_by_server)
+
         scope = EvaluationScope(
             servers=servers, actors=actors,
             resolve_ref=self.manager.resolve_ref_global)
@@ -144,6 +156,44 @@ class GEM:
             lem_actions = queues.get(server_snap.server.server_id, [])
             self.manager.system.sim.schedule(delay, reply.trigger,
                                              (lem_actions, self.epoch))
+
+    def _fold_stale_snapshots(
+            self, reports, servers: List[ServerSnapshot],
+            actors: List[ActorSnapshot],
+            actors_by_server: Dict[int, List[ActorSnapshot]]) -> None:
+        """Brownout fallback: refresh the last-known-good cache from this
+        round's reports, then plan against bounded-staleness snapshots of
+        browned-out servers that skipped the round.
+
+        Only *browned-out* servers are substituted — a server that is
+        silent without having announced brownout is a failure-detector
+        problem, not a planning problem.  No RREPLY is routed to a
+        substituted server (its LEM did not report), so stale snapshots
+        inform other servers' decisions without commanding the drowning
+        one.
+        """
+        overload = self.manager.overload
+        now = self.manager.system.sim.now
+        for _lem, actor_snaps, server_snap, _reply in reports:
+            self._last_known_good[server_snap.server.server_id] = (
+                now, server_snap, list(actor_snaps))
+        reported = set(actors_by_server)
+        for server_id in sorted(self._last_known_good):
+            when, server_snap, cached = self._last_known_good[server_id]
+            if not server_snap.server.running:
+                del self._last_known_good[server_id]
+                continue
+            if (server_id in reported
+                    or now - when > overload.config.stale_snapshot_ms
+                    or not overload.is_browned_out(server_snap.server.name)):
+                continue
+            servers.append(server_snap)
+            actors.extend(cached)
+            actors_by_server[server_id] = list(cached)
+            self.stale_snapshots_used += 1
+            self.manager.emit("stale-snapshot-used", gem_id=self.gem_id,
+                              server=server_snap.server.name,
+                              age_ms=now - when)
 
     # -- applyResRules -----------------------------------------------------
 

@@ -80,6 +80,16 @@ class LEM:
             if not (self.manager.running and self.server.running):
                 return
             yield from self._round()
+            overload = self.manager.overload
+            if (overload is not None
+                    and overload.is_browned_out(self.server.name)
+                    and overload.config.brownout_stretch > 1):
+                # Brownout: stretch the reporting period — skip the next
+                # stretch-1 boundaries, then realign as usual.  Every
+                # skipped round is profiling and control traffic a
+                # saturated server does not pay.
+                yield Timeout(sim, (overload.config.brownout_stretch - 1)
+                              * config.period_ms)
 
     def _round(self):
         sim = self.manager.system.sim
@@ -101,12 +111,26 @@ class LEM:
         # _emit_round_debug racy.
         mem_used_mb = self.server.memory_used_mb
 
+        overload = self.manager.overload
+        browned_out = False
+        if overload is not None:
+            server_snap.mailbox_backlog = sum(
+                self.manager.system.mailbox_depth(record.ref.actor_id)
+                for record in records)
+            server_snap.messages_shed = overload.shed_by_server.get(
+                self.server.name, 0)
+            browned_out = overload.note_lem_round(
+                self.server, server_snap.cpu_perc, sim.now)
+
         lem_actions = self._apply_act_rules(actor_snaps, server_snap)
 
         gem_actions: List[Action] = []
         gem = self.manager.pick_gem()
         if gem is not None and self.manager.policy.resource_rules:
             related = self._collect_actors_for_res_rules(actor_snaps)
+            if (browned_out
+                    and len(related) > overload.config.brownout_top_k):
+                related = self._truncate_report(related)
             reply = Signal(sim)
             if self.manager.report_reachable(self.server, gem):
                 sim.schedule(config.control_latency_ms, gem.receive_report,
@@ -137,6 +161,21 @@ class LEM:
         for action in final:
             yield from self._execute(action)
 
+    def _truncate_report(
+            self, related: List[ActorSnapshot]) -> List[ActorSnapshot]:
+        """Brownout REPORT compression: keep only the top-k actors by
+        CPU share (deterministic: ties broken by actor id).  The GEM
+        still sees the server-level totals, so its region view stays
+        correct; what it loses is per-actor detail about the cold tail —
+        exactly the actors no resource rule is about to move."""
+        top_k = self.manager.overload.config.brownout_top_k
+        truncated = sorted(related,
+                           key=lambda s: (-s.cpu_perc, s.actor_id))[:top_k]
+        self.manager.emit("report-truncated", server=self.server.name,
+                          kept=len(truncated), dropped=len(related)
+                          - len(truncated))
+        return truncated
+
     def _emit_round_debug(self, actor_snaps: List[ActorSnapshot],
                           server_snap: ServerSnapshot,
                           mem_used_mb: float,
@@ -146,6 +185,10 @@ class LEM:
         """Verbose per-round events for the invariant checker (gated on
         ``manager.debug_events`` so normal runs pay nothing)."""
         manager = self.manager
+        system = manager.system
+        depths = tuple(system.mailbox_depth(snap.actor_id)
+                       for snap in actor_snaps)
+        overload = manager.overload
         manager.emit(
             "lem-round", server=self.server.name,
             server_cpu_perc=server_snap.cpu_perc,
@@ -155,7 +198,16 @@ class LEM:
             actor_mem_mb=sum(snap.mem_mb for snap in actor_snaps),
             server_mem_used_mb=mem_used_mb,
             memory_mb=self.server.itype.memory_mb,
-            actor_cpu_percs=tuple(snap.cpu_perc for snap in actor_snaps))
+            actor_cpu_percs=tuple(snap.cpu_perc for snap in actor_snaps),
+            # Overload diagnosability: queue depth and drop accounting
+            # in every round event, so an overload incident can be
+            # reconstructed from a trace without re-running.
+            mailbox_backlog=sum(depths),
+            mailbox_depth_max=max(depths, default=0),
+            messages_shed=(overload.shed_by_server.get(self.server.name, 0)
+                           if overload is not None else 0),
+            brownout=(overload.is_browned_out(self.server.name)
+                      if overload is not None else False))
         if lem_actions or gem_actions:
             candidates: Dict[int, list] = {}
             for action in list(lem_actions) + list(gem_actions):

@@ -106,6 +106,11 @@ class ElasticityManager:
         #: Durable-state subsystem; created at start() when an enabled
         #: DurabilityConfig is carried on the EmrConfig, else None.
         self.durability = None
+        #: Overload-protection subsystem; created at start() when an
+        #: OverloadConfig is carried on the EmrConfig, else None.  The
+        #: same object is installed as ``system.overload`` so the data
+        #: plane and control plane share one ledger + brownout machine.
+        self.overload = None
         self.placement = PlasmaPlacement(self)
         self.gems: List[GEM] = [GEM(self, i)
                                 for i in range(self.config.gem_count)]
@@ -159,6 +164,11 @@ class ElasticityManager:
             from ...durability import DurabilityManager
             self.durability = DurabilityManager(self)
             self.durability.start()
+        if self.config.overload is not None:
+            from ...overload import OverloadManager
+            self.overload = OverloadManager(
+                self.system, self.config.overload, emit=self.emit)
+            self.system.overload = self.overload
         for server in self.system.provisioner.servers:
             self._add_lem(server)
         spawn(self.system.sim, self._janitor(), name="emr/janitor")
@@ -174,6 +184,10 @@ class ElasticityManager:
         if self.durability is not None:
             self.durability.stop()
             self.durability = None
+        if self.overload is not None:
+            if self.system.overload is self.overload:
+                self.system.overload = None
+            self.overload = None
         if self.profiler in self.system.hooks:
             self.system.remove_hooks(self.profiler)
         if self._system_hooks in self.system.hooks:
@@ -241,6 +255,10 @@ class ElasticityManager:
         if self._partitions and server.server_id in self._isolated_servers:
             return
         self._last_report[server] = self.system.sim.now
+        if self.overload is not None:
+            # The LEM spoke: if it had been flagged as drowning, the
+            # next silence starts a fresh announcement.
+            self.overload.note_report_received(server.name)
 
     def _note_server_crash(self, server: Server,
                            lost: List[ActorRecord]) -> None:
@@ -273,6 +291,23 @@ class ElasticityManager:
             now = sim.now
             for server, last in list(self._last_report.items()):
                 if now - last > timeout:
+                    if (self.overload is not None
+                            and server.server_id not in self._cut_off_servers
+                            and self.overload.is_browned_out(server.name)
+                            and now - last <= timeout
+                            * self.overload.config.brownout_stretch):
+                        # Drowning, not dead: the LEM announced brownout,
+                        # so its reporting period is stretched and the
+                        # silence is expected.  Grant the same stretch
+                        # factor of grace before suspecting — resurrecting
+                        # actors off a merely-slow server would duplicate
+                        # them.  Beyond the stretched timeout the server
+                        # is treated as dead like any other (staleness
+                        # stays bounded).
+                        if self.overload.note_drowning(server.name):
+                            self.emit("server-drowning", server=server.name,
+                                      silence_ms=now - last)
+                        continue
                     del self._last_report[server]
                     if server.server_id in self._cut_off_servers:
                         # Silent because the partition eats its

@@ -88,6 +88,13 @@ class ServerSnapshot:
     actor_count: int
     vcpus: int
     instance_type: str
+    #: Overload telemetry, filled by the LEM only when overload
+    #: protection is active (zero otherwise): total messages queued in
+    #: this server's actor mailboxes at snapshot time, and cumulative
+    #: messages shed here.  Lets a GEM (and traces) see *queueing*
+    #: pressure, which CPU percent alone understates.
+    mailbox_backlog: int = 0
+    messages_shed: int = 0
 
     @property
     def name(self) -> str:

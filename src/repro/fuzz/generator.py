@@ -168,6 +168,18 @@ def _gen_faults(rng: random.Random, scenario: Dict[str, Any],
         if rng.random() < 0.3:
             faults.extend(_gen_faults(rng, scenario))
         return faults
+    if profile == "overload":
+        # Overload campaigns always inject at least one load storm, so
+        # mailbox bounds, admission control, and the disposition ledger
+        # are under pressure on every seed; optionally stacked with a
+        # second storm or faults from the regular pool (a storm during a
+        # partition or crash is where accounting bugs hide).
+        faults = [_gen_storm(rng, scenario)]
+        if rng.random() < 0.3:
+            faults.append(_gen_storm(rng, scenario))
+        if rng.random() < 0.3:
+            faults.extend(_gen_faults(rng, scenario))
+        return faults
     if rng.random() < 0.5:
         return []
     duration = scenario["duration_ms"]
@@ -205,6 +217,25 @@ def _gen_faults(rng: random.Random, scenario: Dict[str, Any],
     return faults
 
 
+def _gen_storm(rng: random.Random,
+               scenario: Dict[str, Any]) -> Dict[str, Any]:
+    """One random load-storm fault (event-storm or hot-key-flood)."""
+    duration = scenario["duration_ms"]
+    fault: Dict[str, Any] = {
+        "at_ms": round(rng.uniform(0.15, 0.5) * duration, 1),
+        "duration_ms": round(rng.uniform(0.15, 0.4) * duration, 1),
+        "rate_per_ms": rng.choice((0.25, 0.5, 1.0, 2.0)),
+        "cpu_ms": rng.choice((0.5, 1.0, 2.0))}
+    if rng.random() < 0.7:
+        fault["fault"] = "event-storm"
+        if rng.random() < 0.4:
+            fault["server_index"] = rng.randrange(scenario["servers"])
+    else:
+        fault["fault"] = "hot-key-flood"
+        fault["actor_rank"] = rng.randrange(8)
+    return fault
+
+
 # -- durable state ---------------------------------------------------------
 
 def _gen_durability(rng: random.Random,
@@ -228,6 +259,39 @@ def _gen_durability(rng: random.Random,
         config["snapshot_fraction"] = rng.choice((0.25, 0.5))
     if rng.random() < 0.25:
         config["ship_transfer_checkpoint"] = False
+    return config
+
+
+# -- overload protection ---------------------------------------------------
+
+def _gen_overload(rng: random.Random) -> Dict[str, Any]:
+    """A random enabled ``OverloadConfig`` kwargs dict (plus the
+    runner-level ``client_jitter_frac`` key).
+
+    Capacities sit deliberately low so fuzz-sized storms actually fill
+    mailboxes; brownout watermarks sit low for the same reason the rule
+    thresholds do (small fleets plateau well under paper-scale load).
+    """
+    capacity = rng.choice((8, 16, 32, 64))
+    config: Dict[str, Any] = {
+        "mailbox_capacity": capacity,
+        "policy": rng.choice(("shed", "shed", "block", "deadline")),
+    }
+    if config["policy"] == "block":
+        config["block_retry_ms"] = rng.choice((0.25, 0.5, 1.0))
+    if rng.random() < 0.5:
+        config["admission_queue_depth"] = max(2, capacity // 2)
+    if rng.random() < 0.3:
+        config["admission_cpu_perc"] = rng.choice((85.0, 95.0))
+    enter = rng.choice((50.0, 70.0, 90.0))
+    config["brownout_enter_cpu_perc"] = enter
+    config["brownout_exit_cpu_perc"] = enter - rng.choice((20.0, 30.0))
+    config["brownout_enter_rounds"] = rng.choice((1, 2))
+    config["brownout_exit_rounds"] = rng.choice((1, 2))
+    config["brownout_stretch"] = rng.choice((2, 3))
+    config["brownout_top_k"] = rng.choice((4, 8))
+    if rng.random() < 0.5:
+        config["client_jitter_frac"] = rng.choice((0.1, 0.25, 0.5))
     return config
 
 
@@ -273,8 +337,13 @@ def generate_scenario(seed: int, profile: str = "default") -> Scenario:
       placement has real choices), suspicion always armed (crashed
       actors actually resurrect), and at least one mid-run
       ``crash-server`` fault to force checkpoint-restore.
+    - ``"overload"``: every scenario runs with overload protection
+      enabled (bounded mailboxes with a random policy, sometimes
+      admission control, brownout armed) and at least one load storm
+      (``event-storm`` / ``hot-key-flood``), so shedding, backpressure,
+      and the disposition ledger are exercised on every seed.
     """
-    if profile not in ("default", "partition", "durability"):
+    if profile not in ("default", "partition", "durability", "overload"):
         raise ValueError(f"unknown generator profile {profile!r}")
     rng = random.Random(seed)
     app = rng.choice(("pagerank", "estore", "chatroom"))
@@ -324,5 +393,10 @@ def generate_scenario(seed: int, profile: str = "default") -> Scenario:
         if fields["suspicion_timeout_ms"] is None:
             fields["suspicion_timeout_ms"] = period_ms + 1_000.0
         fields["durability"] = _gen_durability(rng, period_ms)
+    if profile == "overload":
+        # Same branch-confinement rule as durability: the extra draws
+        # only happen for overload campaigns, so every other profile's
+        # seed mapping stays bit-identical.
+        fields["overload"] = _gen_overload(rng)
     fields["faults"] = tuple(_gen_faults(rng, fields, profile))
     return Scenario(**fields)

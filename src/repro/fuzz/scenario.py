@@ -61,6 +61,10 @@ class Scenario:
     #: Absent from older corpus artifacts, which therefore keep
     #: replaying with durability off.
     durability: Optional[Dict[str, Any]] = None
+    #: -- overload protection (``OverloadConfig`` kwargs plus the
+    #: runner-level ``client_jitter_frac`` key; ``None`` = off).  Like
+    #: ``durability``, absent from older corpus artifacts.
+    overload: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.app not in APPS:
@@ -79,6 +83,8 @@ class Scenario:
                            tuple(dict(f) for f in self.faults))
         if self.durability is not None:
             object.__setattr__(self, "durability", dict(self.durability))
+        if self.overload is not None:
+            object.__setattr__(self, "overload", dict(self.overload))
 
     # -- serialization -------------------------------------------------
 
@@ -130,4 +136,6 @@ class Scenario:
             parts.append("autoscale")
         if self.durability is not None:
             parts.append("durable")
+        if self.overload is not None:
+            parts.append("overload")
         return " ".join(parts)

@@ -3,11 +3,13 @@
 from .clients import closed_loop, start_closed_loop
 from .distributions import (WeightedChoice, cascade_split, hot_one_split,
                             zipf_weights)
-from .schedules import (constant_schedule, normal_wave_schedule,
+from .schedules import (burst_windows, constant_schedule,
+                        flash_crowd_schedule, normal_wave_schedule,
                         round_join_schedule)
 
 __all__ = [
     "closed_loop", "start_closed_loop",
     "WeightedChoice", "cascade_split", "hot_one_split", "zipf_weights",
-    "constant_schedule", "normal_wave_schedule", "round_join_schedule",
+    "burst_windows", "constant_schedule", "flash_crowd_schedule",
+    "normal_wave_schedule", "round_join_schedule",
 ]

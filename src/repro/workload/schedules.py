@@ -6,7 +6,8 @@ import random
 from typing import List, Tuple
 
 __all__ = ["normal_wave_schedule", "round_join_schedule",
-           "constant_schedule"]
+           "constant_schedule", "flash_crowd_schedule",
+           "burst_windows"]
 
 
 def normal_wave_schedule(num_clients: int, join_mean_ms: float,
@@ -47,3 +48,47 @@ def round_join_schedule(num_clients: int, rounds: int, round_ms: float,
 def constant_schedule(num_clients: int) -> List[float]:
     """All clients present from time zero."""
     return [0.0] * num_clients
+
+
+def flash_crowd_schedule(num_clients: int, at_ms: float, spread_ms: float,
+                         rng: random.Random) -> List[float]:
+    """Overload schedule: the whole population joins in one burst.
+
+    Every client joins at a uniformly random instant inside the
+    ``[at_ms, at_ms + spread_ms)`` window — the flash-crowd arrival that
+    admission control and load shedding exist for.  ``spread_ms == 0``
+    degenerates to a perfectly synchronized thundering herd.
+    """
+    if at_ms < 0:
+        raise ValueError("at_ms must be non-negative")
+    if spread_ms < 0:
+        raise ValueError("spread_ms must be non-negative")
+    joins = [at_ms + rng.random() * spread_ms for _ in range(num_clients)]
+    joins.sort()
+    return joins
+
+
+def burst_windows(duration_ms: float, burst_ms: float, idle_ms: float,
+                  think_ms: float,
+                  burst_think_ms: float) -> List[Tuple[float, float, float]]:
+    """A square-wave load profile: alternating burst and idle windows.
+
+    Returns ``(start_ms, end_ms, think_ms)`` triples covering
+    ``[0, duration_ms)``, alternating the idle think time with the (much
+    smaller) burst think time.  Drive a client loop by picking the think
+    time for the current window; the bursty arrival pattern is what the
+    AvailabilityMeter conservation property tests run under.
+    """
+    if burst_ms <= 0 or idle_ms <= 0:
+        raise ValueError("burst_ms and idle_ms must be positive")
+    if duration_ms <= 0:
+        raise ValueError("duration_ms must be positive")
+    windows: List[Tuple[float, float, float]] = []
+    now, bursting = 0.0, False
+    while now < duration_ms:
+        span = burst_ms if bursting else idle_ms
+        end = min(now + span, duration_ms)
+        windows.append((now, end,
+                        burst_think_ms if bursting else think_ms))
+        now, bursting = end, not bursting
+    return windows

@@ -46,7 +46,8 @@ def test_reliable_call_succeeds_first_try():
     bed.run(until_ms=5_000.0)
     assert out == [7]
     assert client.completed == 1 and client.retries_used == 0
-    assert meter.totals == {"success": 1, "failure": 0, "timeout": 0}
+    assert meter.totals == {"success": 1, "failure": 0, "timeout": 0,
+                            "rejected": 0, "shed": 0}
     assert len(client.latencies) == 1
 
 
@@ -140,6 +141,78 @@ def test_retry_bridges_actor_resurrection():
     assert meter.totals["failure"] >= 1
     assert meter.totals["success"] == 1
     assert client.dead_letters == []
+
+
+def test_jitter_frac_validated():
+    bed = build_cluster(1)
+    with pytest.raises(ValueError):
+        Client(bed.system, jitter_frac=1.5)
+    with pytest.raises(ValueError):
+        Client(bed.system, jitter_frac=-0.1)
+    with pytest.raises(ValueError):
+        Client(bed.system, max_dead_letters=-1)
+
+
+def _storm_finish_times(jitter_frac, seed=23):
+    """Six identical clients give up on a dead actor; when did each
+    finish its full retry sequence?"""
+    bed = build_cluster(1, seed=seed)
+    ref = bed.system.create_actor(Echo)
+    bed.system.crash_server(bed.servers[0])
+    finished = {}
+    for i in range(6):
+        client = Client(bed.system, name=f"c{i}", timeout_ms=100.0,
+                        max_retries=4, backoff_base_ms=100.0,
+                        backoff_cap_ms=2_000.0, jitter_frac=jitter_frac)
+
+        def body(client=client):
+            yield from client.reliable_call(ref, "ping", 1)
+            finished[client.name] = bed.sim.now
+
+        spawn(bed.sim, body())
+    bed.run(until_ms=30_000.0)
+    assert len(finished) == 6
+    return finished
+
+
+def test_jitter_desynchronizes_retry_storms():
+    # Without jitter every client that failed together retries together:
+    # the synchronized retry storm re-hits the server as one spike.
+    lockstep = _storm_finish_times(0.0)
+    assert len(set(lockstep.values())) == 1
+    # With jitter the same six clients spread out...
+    jittered = _storm_finish_times(0.5)
+    assert len(set(jittered.values())) == 6
+    # ...while every delay stays within [backoff * (1 - f), backoff],
+    # so nobody finishes *later* than the lockstep schedule.
+    ceiling = next(iter(lockstep.values()))
+    total_backoff = 100.0 + 200.0 + 400.0 + 800.0  # 4 retries, doubled
+    for when in jittered.values():
+        assert when <= ceiling
+        assert when >= ceiling - 0.5 * total_backoff
+    # Seeded: the spread itself replays bit-identically.
+    assert _storm_finish_times(0.5) == jittered
+
+
+def test_dead_letter_ring_is_bounded():
+    bed = build_cluster(1)
+    ref = bed.system.create_actor(Echo)
+    bed.system.crash_server(bed.servers[0])
+    client = Client(bed.system, max_retries=0, max_dead_letters=2)
+    times = []
+
+    def body():
+        for _ in range(5):
+            yield from client.reliable_call(ref, "ping", 1)
+            times.append(bed.sim.now)
+
+    spawn(bed.sim, body())
+    bed.run(until_ms=10_000.0)
+    # Oldest entries evicted, total preserved for the CLI summary.
+    assert len(client.dead_letters) == 2
+    assert client.dead_letters_dropped == 3
+    assert client.dead_letters_total == 5
+    assert [letter.time_ms for letter in client.dead_letters] == times[-2:]
 
 
 def test_plain_call_and_timed_call_unchanged():

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.chaos import (CrashServer, DegradeNetwork, FaultPlan, KillGem,
-                         PartitionNetwork, SlowServer, fault_from_dict,
-                         fault_to_dict)
+from repro.chaos import (CrashServer, DegradeNetwork, EventStorm, FaultPlan,
+                         HotKeyFlood, KillGem, PartitionNetwork, SlowServer,
+                         fault_from_dict, fault_to_dict)
 
 
 def test_plan_orders_faults_by_time():
@@ -37,6 +37,10 @@ _ROUND_TRIP_FAULTS = [
                speed_factor=0.25),
     PartitionNetwork(at_ms=5_000.0, duration_ms=6_000.0, group=(0, 2),
                      symmetric=False, gems=(1,), loss=0.75),
+    EventStorm(at_ms=6_000.0, duration_ms=2_000.0, rate_per_ms=1.5,
+               cpu_ms=2.0, size_bytes=256.0, server_index=1),
+    HotKeyFlood(at_ms=7_000.0, duration_ms=2_000.0, rate_per_ms=2.0,
+                cpu_ms=0.5, size_bytes=128.0, actor_rank=3),
 ]
 
 
@@ -51,7 +55,8 @@ def test_fault_dict_round_trip(fault):
     data = fault_to_dict(fault)
     assert data["fault"] in {"crash-server", "kill-gem",
                              "degrade-network", "slow-server",
-                             "partition-network"}
+                             "partition-network", "event-storm",
+                             "hot-key-flood"}
     assert fault_from_dict(data) == fault
 
 

@@ -2,8 +2,12 @@
 
 import pytest
 
+from repro.actors import Actor, Client
+from repro.bench import build_cluster
 from repro.cluster import AvailabilityMeter
-from repro.sim import Simulator
+from repro.overload import OverloadConfig, OverloadManager
+from repro.sim import Simulator, Timeout, spawn
+from repro.workload import burst_windows
 
 
 def test_rejects_bad_window_and_outcome():
@@ -48,7 +52,8 @@ def test_per_window_buckets():
     meter.record("timeout", at=1_700.0)
     windows = meter.per_window()
     assert [start for start, _counts in windows] == [0.0, 1_000.0]
-    assert windows[1][1] == {"success": 0, "failure": 1, "timeout": 1}
+    assert windows[1][1] == {"success": 0, "failure": 1, "timeout": 1,
+                             "rejected": 0, "shed": 0}
 
 
 def test_recovery_time_spans_disruptions():
@@ -61,6 +66,59 @@ def test_recovery_time_spans_disruptions():
     meter.record("failure", at=7_500.0)
     meter.record("success", at=9_000.0)
     assert meter.recovery_time_ms() == pytest.approx(5_500.0)
+
+
+class _Busy(Actor):
+    def work(self):
+        yield self.compute(30.0)
+        return "ok"
+
+
+@pytest.mark.parametrize("seed", [3, 17, 92])
+def test_conservation_under_bursty_overloaded_schedule(seed):
+    """Property: every issued attempt lands in exactly one outcome
+    bucket, even when bursts drive the full overload machinery (shed
+    mailboxes, admission rejects, timeouts) at once."""
+    bed = build_cluster(1, seed=seed)
+    bed.system.overload = OverloadManager(
+        bed.system, OverloadConfig(mailbox_capacity=3, policy="shed",
+                                   admission_queue_depth=2))
+    ref = bed.system.create_actor(_Busy)
+    meter = AvailabilityMeter(bed.sim, window_ms=1_000.0)
+    windows = burst_windows(duration_ms=8_000.0, burst_ms=1_000.0,
+                            idle_ms=1_500.0, think_ms=400.0,
+                            burst_think_ms=1.0)
+    clients = [Client(bed.system, name=f"burst{i}", timeout_ms=500.0,
+                      max_retries=1, backoff_base_ms=50.0,
+                      backoff_cap_ms=200.0, meter=meter)
+               for i in range(4)]
+
+    def loop(client):
+        for start, end, think in windows:
+            if bed.sim.now < start:
+                yield Timeout(bed.sim, start - bed.sim.now)
+            while bed.sim.now < end:
+                yield from client.reliable_call(ref, "work")
+                yield Timeout(bed.sim, think)
+
+    for client in clients:
+        spawn(bed.sim, loop(client))
+    bed.run(until_ms=30_000.0)
+
+    issued = sum(client.attempts for client in clients)
+    assert issued > 0
+    assert sum(meter.totals.values()) == issued
+    # The bursts actually exercised the overload paths: some attempts
+    # succeeded, some were turned away.
+    assert meter.totals["success"] > 0
+    assert meter.totals["rejected"] + meter.totals["shed"] > 0
+    # The meter's view agrees with the data plane's disposition ledger.
+    overload = bed.system.overload
+    assert meter.totals["shed"] <= overload.total_shed()
+    assert meter.totals["rejected"] == overload.counts["rejected"]
+    per_window = meter.per_window()
+    assert sum(sum(counts.values()) for _start, counts in per_window) \
+        == issued
 
 
 def test_records_at_sim_now_by_default():

@@ -18,6 +18,12 @@ fixes:
 - ``migration-onto-minority-side``: a lossy cut opening right after
   GEM planning let a majority-side LEM migrate an actor onto the
   minority side (fixed by the execute-time destination quorum recheck).
+- ``overloaded-nack-summed-by-driver``: with overload protection on, a
+  raw client call can resolve to an ``Overloaded`` NACK; the pagerank
+  BSP driver summed the NACK as if it were a dangling-mass float and
+  crashed (fixed by treating shed/rejected replies as lost
+  contributions — found by the ``overload`` fuzz profile on its first
+  campaign).
 - ``silent-abort-target-crash-while-draining``: when the migration
   target crashed while the protocol was still draining the actor's
   in-flight handler, the early exit reset ``migrating`` without

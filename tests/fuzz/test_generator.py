@@ -121,6 +121,64 @@ def test_predurability_artifacts_still_load():
     assert scenario.durability is None
 
 
+def test_overload_profile_always_storms_a_protected_cluster():
+    from repro.overload import MAILBOX_POLICIES, OverloadConfig
+    for seed in range(30):
+        scenario = generate_scenario(seed, profile="overload")
+        overload = scenario.overload
+        assert overload is not None, f"seed {seed} generated no overload"
+        kwargs = dict(overload)
+        jitter = kwargs.pop("client_jitter_frac", 0.0)
+        assert 0.0 <= jitter <= 1.0
+        # Every remaining key must construct a valid OverloadConfig.
+        config = OverloadConfig(**kwargs)
+        assert config.policy in MAILBOX_POLICIES
+        assert config.mailbox_capacity > 0
+        assert (config.brownout_exit_cpu_perc
+                < config.brownout_enter_cpu_perc)
+        # Every overload scenario actually applies load pressure.
+        storms = [f for f in scenario.faults
+                  if f["fault"] in ("event-storm", "hot-key-flood")]
+        assert storms, f"seed {seed} generated no load storm"
+        for storm in storms:
+            assert storm["rate_per_ms"] > 0
+            assert storm["at_ms"] + storm["duration_ms"] \
+                <= scenario.duration_ms
+        assert "overload" in scenario.describe()
+
+
+def test_overload_profile_is_deterministic():
+    for seed in range(30):
+        assert generate_scenario(seed, profile="overload") == \
+            generate_scenario(seed, profile="overload")
+
+
+def test_overload_profile_does_not_perturb_other_profiles():
+    """The overload profile's extra RNG draws are branch-confined: the
+    default/partition/durability seed mappings predate it and must stay
+    bit-identical (corpus artifacts encode those mappings)."""
+    for seed in range(20):
+        assert generate_scenario(seed) == generate_scenario(
+            seed, profile="default")
+    generate_scenario(5, profile="overload")
+    # Interleaving overload generation must not leak state either.
+    assert generate_scenario(6) == generate_scenario(6, profile="default")
+
+
+def test_overload_scenario_round_trips_through_json():
+    scenario = generate_scenario(3, profile="overload")
+    assert Scenario.from_jsonable(scenario.to_jsonable()) == scenario
+
+
+def test_preoverload_artifacts_still_load():
+    """Corpus artifacts written before the overload field existed must
+    keep loading, with overload protection off."""
+    data = generate_scenario(0).to_jsonable()
+    data.pop("overload", None)
+    scenario = Scenario.from_jsonable(data)
+    assert scenario.overload is None
+
+
 def test_unknown_profile_rejected():
     with pytest.raises(ValueError, match="profile"):
         generate_scenario(0, profile="tsunami")

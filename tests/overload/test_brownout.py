@@ -1,0 +1,173 @@
+"""Control-plane brownout: LEM period stretching, REPORT truncation,
+drowning-vs-dead failure detection, and GEM stale-snapshot fallback.
+
+Each test drives one server genuinely hot (back-to-back short jobs on a
+single slow vCPU) so the brownout state machine trips on real profiler
+readings rather than fabricated events.
+"""
+
+from repro.actors import Actor, Client
+from repro.bench import build_cluster
+from repro.core import ElasticityManager, EmrConfig, compile_source
+from repro.overload import OverloadConfig
+from repro.sim import spawn
+
+
+class Hot(Actor):
+    def spin(self, cpu_ms):
+        yield self.compute(cpu_ms)
+        return True
+
+
+def _make(overload, hot_actors=1, seed=11, **config):
+    """Two-server cluster; ``hot_actors`` Hot actors packed on server 0.
+
+    The memory rule never fires (mem stays far below 95%), but a
+    non-empty resource-rule set is what makes LEMs ship REPORTs — and
+    it names ``Hot``, so those actors are report-related.
+    """
+    bed = build_cluster(2, seed=seed)
+    policy = compile_source(
+        "server.mem.perc > 95 => balance({Hot}, mem);", [Hot])
+    manager = ElasticityManager(
+        bed.system, policy,
+        EmrConfig(period_ms=1_000.0, gem_wait_ms=100.0,
+                  overload=overload, **config))
+    events = []
+    manager.add_listener(lambda kind, detail:
+                         events.append((kind, dict(detail))))
+    refs = [bed.system.create_actor(Hot, server=bed.servers[0])
+            for _ in range(hot_actors)]
+    cold = bed.system.create_actor(Hot, server=bed.servers[1])
+    return bed, manager, events, refs, cold
+
+
+def _pound(bed, refs, until_ms, loops_per_ref=3):
+    """Saturate the hosting server: concurrent back-to-back 20ms jobs."""
+    def loop(client, ref):
+        while bed.sim.now < until_ms:
+            yield client.call(ref, "spin", 20.0)
+
+    for i, ref in enumerate(refs):
+        for j in range(loops_per_ref):
+            client = Client(bed.system, name=f"pound-{i}-{j}")
+            spawn(bed.sim, loop(client, ref))
+
+
+def _names(events, kind):
+    return [detail.get("server") for k, detail in events if k == kind]
+
+
+def test_brownout_enters_stretches_reporting_and_exits():
+    overload = OverloadConfig(
+        mailbox_capacity=0,
+        brownout_enter_cpu_perc=40.0, brownout_exit_cpu_perc=10.0,
+        brownout_enter_rounds=1, brownout_exit_rounds=1,
+        brownout_stretch=3)
+    bed, manager, events, refs, _cold = _make(
+        overload, suspicion_timeout_ms=60_000.0)
+    _pound(bed, refs, until_ms=8_000.0)
+    manager.start()
+    omanager = manager.overload
+    bed.run(until_ms=30_000.0)
+
+    hot = bed.servers[0].name
+    entered = [(k, d) for k, d in events if k == "brownout-entered"]
+    exited = [(k, d) for k, d in events if k == "brownout-exited"]
+    assert hot in _names(events, "brownout-entered")
+    assert hot in _names(events, "brownout-exited")
+    # Hysteresis bracketed the load window: entered while pounding,
+    # exited only after the load stopped at t=8s.
+    first_enter = next(d for k, d in entered if d["server"] == hot)
+    first_exit = next(d for k, d in exited if d["server"] == hot)
+    assert first_enter["cpu_perc"] >= overload.brownout_enter_cpu_perc
+    assert first_exit["cpu_perc"] <= overload.brownout_exit_cpu_perc
+    assert not omanager.is_browned_out(hot)
+    # Stretching skipped rounds: the browned-out LEM reported strictly
+    # less often than its healthy neighbour over the same wall clock.
+    hot_lem = manager.lems[bed.servers[0].server_id]
+    cold_lem = manager.lems[bed.servers[1].server_id]
+    assert hot_lem.rounds_run < cold_lem.rounds_run
+    manager.stop()
+
+
+def test_browned_out_report_truncated_to_top_k():
+    overload = OverloadConfig(
+        mailbox_capacity=0,
+        brownout_enter_cpu_perc=40.0, brownout_exit_cpu_perc=10.0,
+        brownout_enter_rounds=1, brownout_exit_rounds=1,
+        brownout_stretch=2, brownout_top_k=3)
+    bed, manager, events, refs, _cold = _make(
+        overload, hot_actors=8, suspicion_timeout_ms=60_000.0,
+        lem_stagger_ms=0.0)
+    _pound(bed, refs, until_ms=15_000.0, loops_per_ref=1)
+    manager.start()
+    bed.run(until_ms=15_000.0)
+    manager.stop()
+
+    hot = bed.servers[0].name
+    truncated = [d for k, d in events if k == "report-truncated"]
+    assert truncated, "browned-out LEM never compressed a REPORT"
+    assert {d["server"] for d in truncated} == {hot}
+    for detail in truncated:
+        assert detail["kept"] == 3
+        assert detail["dropped"] == 8 - 3
+    # The healthy server's REPORTs are never truncated.
+    assert all(d["server"] != bed.servers[1].name for d in truncated)
+
+
+def test_drowning_server_is_not_falsely_suspected():
+    # Stretched reporting (every 3s) exceeds the raw suspicion timeout
+    # (2s): without the drowning grace the detector would declare the
+    # saturated server dead and resurrect its actors elsewhere.
+    overload = OverloadConfig(
+        mailbox_capacity=0,
+        brownout_enter_cpu_perc=40.0, brownout_exit_cpu_perc=10.0,
+        brownout_enter_rounds=1, brownout_exit_rounds=1,
+        brownout_stretch=3)
+    bed, manager, events, refs, _cold = _make(
+        overload, suspicion_timeout_ms=2_000.0)
+    _pound(bed, refs, until_ms=20_000.0)
+    manager.start()
+    bed.run(until_ms=20_000.0)
+    manager.stop()
+
+    hot = bed.servers[0].name
+    assert hot in _names(events, "brownout-entered")
+    assert hot in _names(events, "server-drowning")
+    assert hot not in _names(events, "server-suspected")
+    assert not any(k == "actor-lost" for k, _d in events)
+    # Announced once per silence episode (a REPORT arriving resets the
+    # episode), not on every detector tick inside the grace window:
+    # stretched reports land every 3s over 20s, so at most ~7 episodes.
+    drowning = _names(events, "server-drowning")
+    assert 1 <= drowning.count(hot) <= 7
+    # The actor stayed put: no false resurrection ever moved it.
+    for ref in refs:
+        record = bed.system.directory.try_lookup(ref.actor_id)
+        assert record is not None
+        assert record.server is bed.servers[0]
+
+
+def test_gem_plans_with_stale_snapshot_of_skipped_rounds():
+    overload = OverloadConfig(
+        mailbox_capacity=0,
+        brownout_enter_cpu_perc=40.0, brownout_exit_cpu_perc=10.0,
+        brownout_enter_rounds=1, brownout_exit_rounds=1,
+        brownout_stretch=3, stale_snapshot_ms=10_000.0)
+    bed, manager, events, refs, _cold = _make(
+        overload, suspicion_timeout_ms=60_000.0)
+    _pound(bed, refs, until_ms=20_000.0)
+    manager.start()
+    bed.run(until_ms=20_000.0)
+    manager.stop()
+
+    hot = bed.servers[0].name
+    used = [d for k, d in events if k == "stale-snapshot-used"]
+    assert used, "GEM never fell back to a cached snapshot"
+    assert {d["server"] for d in used} == {hot}
+    for detail in used:
+        # Bounded staleness: never older than the configured limit.
+        assert 0.0 < detail["age_ms"] <= overload.stale_snapshot_ms
+    assert sum(gem.stale_snapshots_used for gem in manager.gems) \
+        == len(used)
