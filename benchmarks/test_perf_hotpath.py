@@ -245,32 +245,78 @@ def test_gem_decision_latency(report):
 
 
 def test_sim_kernel_throughput(report):
-    """Event-loop and mailbox throughput (absolute trajectory numbers)."""
-    events = 100_000
+    """Event-loop and mailbox throughput.
 
-    def run_engine():
+    The engine workload mirrors the runtime's real traffic mix: each
+    future-dated event (a network delivery or timer) resumes a chain of
+    zero-delay continuations — in the actor runtime every process resume
+    and mailbox wakeup is a ``schedule(0.0, ...)``, so zero-delay events
+    dominate a live cluster's queue by a wide margin.  The headline
+    ``engine_events_per_sec`` is this mix under the default (calendar)
+    kernel; the same program under the heap kernel yields the
+    machine-independent ``kernel_latency_ratio`` that CI gates, and a
+    future-only sub-metric tracks the pure priority-queue path where the
+    calendar kernel's zero-delay fast path cannot help.
+    """
+    chain = 7        # zero-delay continuations per future-dated root
+    roots = 30_000
+    events = roots * (chain + 1)
+
+    def engine_mix(scheduler):
+        def run():
+            sim = Simulator(scheduler=scheduler)
+            fired = [0]
+
+            def resume(depth):
+                fired[0] += 1
+                if depth:
+                    sim.schedule(0.0, resume, depth - 1)
+
+            for index in range(roots):
+                sim.schedule(float(index % 64), resume, chain)
+            sim.run()
+            assert fired[0] == events
+        return run
+
+    calendar = time_ops(engine_mix("calendar"), ops=events, repeats=3)
+    heap = time_ops(engine_mix("heap"), ops=events, repeats=3)
+    kernel_ratio = calendar.best_s / heap.best_s
+
+    future_events = 100_000
+
+    def run_future():
         sim = Simulator()
         sink = [].append
-        for index in range(events):
+        for index in range(future_events):
             sim.schedule(float(index % 64), sink, index)
         sim.run()
 
-    engine = time_ops(run_engine, ops=events, repeats=3)
+    future = time_ops(run_future, ops=future_events, repeats=3)
 
     def run_queue():
         sim = Simulator()
         queue = Queue(sim)
-        for index in range(events):
+        for index in range(future_events):
             queue.put(index)
-        for _ in range(events):
+        for _ in range(future_events):
             queue.get_nowait()
 
-    mailbox = time_ops(run_queue, ops=2 * events, repeats=3)
-    report.add(f"engine: {engine.ops_per_sec:,.0f} events/s")
+    mailbox = time_ops(run_queue, ops=2 * future_events, repeats=3)
+    report.add(f"engine (calendar): {calendar.ops_per_sec:,.0f} events/s")
+    report.add(f"engine (heap):     {heap.ops_per_sec:,.0f} events/s")
+    report.add(f"kernel latency ratio (calendar/heap): {kernel_ratio:.3f}")
+    report.add(f"future-only: {future.ops_per_sec:,.0f} events/s")
     report.add(f"queue:  {mailbox.ops_per_sec:,.0f} ops/s")
     record_metrics("sim_kernel", {
-        "engine_events_per_sec": engine.ops_per_sec,
+        "engine_events_per_sec": calendar.ops_per_sec,
+        "engine_heap_events_per_sec": heap.ops_per_sec,
+        "future_events_per_sec": future.ops_per_sec,
+        "kernel_latency_ratio": kernel_ratio,
         "queue_ops_per_sec": mailbox.ops_per_sec,
     })
     report.write("perf_sim_kernel")
-    assert engine.ops_per_sec > 50_000
+    # The calendar kernel must stay well ahead of the heap kernel on the
+    # representative mix; CI additionally holds the absolute number to a
+    # floor against the committed baseline (see repro.bench.perf).
+    assert kernel_ratio < 0.66
+    assert calendar.ops_per_sec > 200_000

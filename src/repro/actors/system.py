@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import copy
 import itertools
+import os
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from ..cluster import NetworkFabric, Provisioner, Server
@@ -98,6 +99,17 @@ class ActorSystem:
         #: disposition ledger can tell "lost with its server" apart from
         #: "target destroyed under it".
         self._crashing = False
+        #: Coalesce back-to-back local sends that land at the same
+        #: instant on the same server into one engine event.  Provably
+        #: order-preserving (see :meth:`_route`); the golden-trace
+        #: refresh tests run every scenario with it off as well.
+        self.batch_local_delivery = os.environ.get(
+            "REPRO_BATCH_LOCAL_DELIVERY", "1").lower() not in (
+                "0", "false", "off")
+        #: The open delivery batch: ``[due, server, stamp, msg, ...]``.
+        #: Never cleared — a stale batch can never match again because
+        #: any later send's due time is strictly greater (delay > 0).
+        self._local_batch: Optional[List[Any]] = None
 
     # ------------------------------------------------------------------
     # hooks
@@ -396,7 +408,34 @@ class ActorSystem:
         if src_record is not None and message.remote:
             for hooks in self.hooks:
                 hooks.on_bytes_sent(src_record, message.size_bytes)
-        self.sim.schedule(delay, self._deliver, message, target.server)
+        if message.remote or not self.batch_local_delivery or delay <= 0.0:
+            self.sim.schedule(delay, self._deliver, message, target.server)
+            return
+        # Local fast path: co-located sends due at the same instant on
+        # the same server ride one engine event.  Coalescing is valid
+        # only while the scheduler's admission stamp is unchanged since
+        # the batch was scheduled: the batched messages then hold
+        # consecutive sequence numbers with nothing between them, so
+        # delivering in append order at `due` is bit-identical to the
+        # unbatched event order.  Any other schedule() closes the batch
+        # (conservatively — correctness never depends on coalescing).
+        due = self.sim.now + delay
+        batch = self._local_batch
+        if (batch is not None and batch[0] == due
+                and batch[1] is target.server
+                and batch[2] == self.sim.schedule_seq):
+            batch.append(message)
+            return
+        batch = [due, target.server, 0, message]
+        self.sim.schedule(delay, self._deliver_batch, batch)
+        batch[2] = self.sim.schedule_seq
+        self._local_batch = batch
+
+    def _deliver_batch(self, batch: List[Any]) -> None:
+        """Deliver a coalesced run of local messages in send order."""
+        server = batch[1]
+        for index in range(3, len(batch)):
+            self._deliver(batch[index], server)
 
     def _deliver(self, message: Message, arrived_at: Server) -> None:
         """Message arrival at a server; forwards if the actor moved."""

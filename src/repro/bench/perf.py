@@ -16,6 +16,13 @@ Two kinds of metrics are recorded per benchmark:
   incremental path relatively slower than the committed baseline by more
   than the tolerance fails the benchmark-smoke job.
 
+A few absolute metrics are additionally **floor-gated**
+(:func:`check_floors`): CI passes ``--floor bench.metric`` for numbers
+that must not collapse below a fraction of the committed baseline —
+e.g. ``sim_kernel.engine_events_per_sec``, where a silent fallback off
+the calendar kernel's fast paths would otherwise only show up as an
+untracked trajectory dip.
+
 ``python -m repro.bench.perf baseline.json current.json`` runs the
 regression check standalone (exit code 1 on regression).
 """
@@ -29,10 +36,16 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 __all__ = ["Timing", "time_ops", "default_bench_path", "load_bench",
-           "record_metrics", "check_regression"]
+           "record_metrics", "check_regression", "check_floors"]
 
 #: Tolerated relative growth of a ``*_ratio`` metric vs. the baseline.
 DEFAULT_MAX_REGRESSION = 0.20
+
+#: Fraction of the committed baseline a floor-gated absolute metric must
+#: still reach.  Generous because absolute numbers are machine-dependent;
+#: the floor exists to catch order-of-magnitude collapses (an accidental
+#: fallback to a slow path), not few-percent drift.
+DEFAULT_FLOOR_FRACTION = 0.90
 
 
 @dataclass
@@ -140,6 +153,44 @@ def check_regression(baseline: dict, current: dict,
     return failures
 
 
+def check_floors(baseline: dict, current: dict, floors: List[str],
+                 floor_fraction: float = DEFAULT_FLOOR_FRACTION
+                 ) -> List[str]:
+    """Hold selected absolute metrics to a floor against the baseline.
+
+    ``floors`` is a list of ``benchmark.metric`` paths (higher-is-better
+    throughput numbers, e.g. ``sim_kernel.engine_events_per_sec``).  A
+    metric fails when the current value drops below ``floor_fraction``
+    of the committed baseline value.  A floor naming a metric absent
+    from ``current`` also fails — silently dropping the gated number
+    must not pass the gate — while one absent from the *baseline* is
+    skipped, so a new metric can introduce its own floor.
+    """
+    failures: List[str] = []
+    base_benches = baseline.get("benchmarks", {})
+    cur_benches = current.get("benchmarks", {})
+    for path in floors:
+        name, _, key = path.partition(".")
+        if not key:
+            failures.append(f"{path}: floor must be benchmark.metric")
+            continue
+        base_value = base_benches.get(name, {}).get(key)
+        if base_value is None or base_value <= 0:
+            continue
+        value = cur_benches.get(name, {}).get(key)
+        floor = base_value * floor_fraction
+        if value is None:
+            failures.append(
+                f"{name}.{key}: metric missing from current run "
+                f"(floor {floor:,.2f})")
+        elif value < floor:
+            failures.append(
+                f"{name}.{key}: {value:,.2f} below floor {floor:,.2f} "
+                f"({100 * floor_fraction:.0f}% of baseline "
+                f"{base_value:,.2f})")
+    return failures
+
+
 def _main(argv: List[str]) -> int:
     import argparse
     parser = argparse.ArgumentParser(
@@ -148,12 +199,20 @@ def _main(argv: List[str]) -> int:
     parser.add_argument("current")
     parser.add_argument("--max-regress", type=float,
                         default=DEFAULT_MAX_REGRESSION)
+    parser.add_argument(
+        "--floor", action="append", default=[], metavar="BENCH.METRIC",
+        help="absolute metric that must stay above --floor-frac of the "
+             "baseline value (repeatable)")
+    parser.add_argument("--floor-frac", type=float,
+                        default=DEFAULT_FLOOR_FRACTION)
     args = parser.parse_args(argv)
     with open(args.baseline) as handle:
         baseline = json.load(handle)
     with open(args.current) as handle:
         current = json.load(handle)
     failures = check_regression(baseline, current, args.max_regress)
+    failures += check_floors(baseline, current, args.floor,
+                             args.floor_frac)
     for failure in failures:
         print(f"REGRESSION: {failure}")
     if not failures:

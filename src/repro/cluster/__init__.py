@@ -5,7 +5,8 @@ See DESIGN.md §2 for the substitution rationale.
 """
 
 from .instances import INSTANCE_TYPES, InstanceType, instance_type
-from .metrics import AvailabilityMeter, GaugeSeries, WindowedMeter
+from .metrics import (HAS_NUMPY, ArrayMeter, AvailabilityMeter,
+                      GaugeSeries, WindowedMeter)
 from .network import NetworkFabric
 from .provisioner import Provisioner
 from .server import CpuJob, Server
@@ -19,6 +20,8 @@ __all__ = [
     "NetworkFabric",
     "Provisioner",
     "WindowedMeter",
+    "ArrayMeter",
+    "HAS_NUMPY",
     "GaugeSeries",
     "AvailabilityMeter",
 ]

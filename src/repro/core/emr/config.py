@@ -60,6 +60,11 @@ class EmrConfig:
     #: byte-identical decision traces (the A/B equivalence tests rely on
     #: this flag).
     incremental_profiling: bool = True
+    #: Explicit EPR meter implementation (``"ring"``, ``"windowed"`` or
+    #: ``"array"`` — numpy-batched adds).  ``None`` derives the backend
+    #: from ``incremental_profiling``.  All backends produce bit-identical
+    #: totals and therefore byte-identical decision traces.
+    meter_backend: Optional[str] = None
     #: Failure detection: a server whose LEM has not reported for this
     #: long is suspected dead and its lost actors are resurrected.
     #: ``None`` (the default) disables detection; when set it must exceed

@@ -102,7 +102,8 @@ class ElasticityManager:
             system.sim, window_ms=self.config.period_ms,
             overhead_cpu_ms=self.config.profiling_overhead_cpu_ms,
             incremental=self.config.incremental_profiling,
-            warm_start=self.config.warm_start_profiles)
+            warm_start=self.config.warm_start_profiles,
+            meter_backend=self.config.meter_backend)
         #: Durable-state subsystem; created at start() when an enabled
         #: DurabilityConfig is carried on the EmrConfig, else None.
         self.durability = None

@@ -80,6 +80,11 @@ class ProfilingRuntime(RuntimeHooks):
         Maintain O(1) ring-buffer meters and reuse snapshot payloads for
         unchanged actors (see module docstring).  ``False`` selects the
         full-recompute reference path.
+    meter_backend:
+        Explicit meter implementation (``"ring"``, ``"windowed"`` or
+        ``"array"`` — the numpy-batched :class:`ArrayMeter`).  ``None``
+        (the default) derives the backend from ``incremental``.  All
+        backends produce bit-identical totals.
     warm_start:
         Keep the stats of destroyed actors in a bounded cache and, when
         an actor is resurrected, seed its new profile from the pre-crash
@@ -93,12 +98,14 @@ class ProfilingRuntime(RuntimeHooks):
     def __init__(self, sim: Simulator, window_ms: float = 60_000.0,
                  overhead_cpu_ms: float = 0.0,
                  incremental: bool = True,
-                 warm_start: bool = False) -> None:
+                 warm_start: bool = False,
+                 meter_backend: Optional[str] = None) -> None:
         self.sim = sim
         self.window_ms = window_ms
         self.overhead_cpu_ms = overhead_cpu_ms
         self.incremental = incremental
         self.warm_start = warm_start
+        self.meter_backend = meter_backend
         self._stats: Dict[int, ActorStats] = {}
         self._snap_cache: Dict[int, _SnapEntry] = {}
         self._retired: Dict[int, ActorStats] = {}
@@ -109,7 +116,8 @@ class ProfilingRuntime(RuntimeHooks):
 
     def _new_stats(self) -> ActorStats:
         return ActorStats(self.sim, window_ms=self.window_ms,
-                          use_ring=self.incremental)
+                          use_ring=self.incremental,
+                          backend=self.meter_backend)
 
     # -- RuntimeHooks ---------------------------------------------------------
 

@@ -36,7 +36,25 @@ class QueueGet(Waitable, Generic[T]):
         self._queue._drop_getter(self)
 
     def _deliver(self, item: T) -> None:
-        self._queue._sim.schedule(0.0, self._callback, item)
+        # The hop through the event queue keeps delivery asynchronous, but
+        # it also means the item is in flight for the rest of the current
+        # timestamp.  Track each delivery on the queue so Queue.clear()
+        # can reclaim it instead of handing a getter a stale item.  The
+        # cancel flag lives on the per-delivery entry, not the getter: a
+        # reclaimed getter can be re-delivered in the same timestamp,
+        # while the cancelled fire is still pending.
+        entry = [self, item, False]  # [getter, item, cancelled]
+        self._queue._inflight.append(entry)
+        self._queue._sim.schedule(0.0, self._fire, entry)
+
+    def _fire(self, entry: list) -> None:
+        if entry[2]:
+            return  # reclaimed by Queue.clear()
+        # Live deliveries fire in FIFO order (zero-delay events scheduled
+        # in append order) and clear() removes reclaimed entries, so this
+        # entry is the deque head.
+        self._queue._inflight.popleft()
+        self._callback(entry[1])
 
 
 class Queue(Generic[T]):
@@ -46,7 +64,7 @@ class Queue(Generic[T]):
     >>> # item = yield queue.get()
     """
 
-    __slots__ = ("_sim", "_items", "_getters")
+    __slots__ = ("_sim", "_items", "_getters", "_inflight")
 
     def __init__(self, sim: Simulator) -> None:
         self._sim = sim
@@ -54,6 +72,9 @@ class Queue(Generic[T]):
         # A deque so waking the oldest getter is O(1); mailboxes with a
         # deep backlog of waiters used to pay O(n) per put.
         self._getters: Deque[QueueGet[T]] = deque()
+        # Deliveries handed to a getter but not yet fired (the zero-delay
+        # hop in QueueGet._deliver).  clear() reclaims these.
+        self._inflight: Deque[tuple] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -79,9 +100,28 @@ class Queue(Generic[T]):
         return list(self._items)
 
     def clear(self) -> List[T]:
-        """Drop and return all queued items (used when draining mailboxes
-        during actor migration)."""
-        items = list(self._items)
+        """Drop and return all queued *and in-flight* items (used when
+        draining mailboxes during actor migration).
+
+        An item handed to a getter in the current timestamp but not yet
+        delivered is reclaimed: its scheduled delivery is cancelled and
+        the getter goes back to waiting, ahead of any younger waiters, so
+        a getter subscribed before ``clear()`` never observes a stale
+        item afterward.
+        """
+        inflight = self._inflight
+        items: List[T] = []
+        if inflight:
+            getters = []
+            while inflight:
+                entry = inflight.popleft()
+                entry[2] = True  # the pending _fire becomes a no-op
+                getters.append(entry[0])
+                items.append(entry[1])
+            # Reclaimed getters were dequeued before anyone currently in
+            # _getters arrived; restore them at the front, oldest first.
+            self._getters.extendleft(reversed(getters))
+        items.extend(self._items)
         self._items.clear()
         return items
 

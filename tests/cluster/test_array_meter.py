@@ -1,0 +1,209 @@
+"""ArrayMeter: numpy-batched windowed accumulation, bit-identical to the
+scalar meters.
+
+The profiling equivalence chain (``WindowedMeter`` == ``RingMeter`` ==
+byte-identical decision traces) only extends to the numpy backend if
+``ArrayMeter`` reproduces the same floats, including the association
+order of every sum.  These tests brute-force that claim against an
+independent model and against the scalar meters, over randomized and
+hypothesis-generated event streams, with interleaved queries (each query
+flushes the pending batch, so interleaving exercises the open-bucket
+continuation path) and the window-edge boundary bucket.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import HAS_NUMPY, ArrayMeter, WindowedMeter
+from repro.core.profiling import RingMeter
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+pytestmark = pytest.mark.skipif(not HAS_NUMPY, reason="numpy unavailable")
+
+BUCKET_MS = 500.0
+WINDOW_MS = 60_000.0
+
+
+class FakeSim:
+    """Just a clock; the meters only read ``now``."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def brute_force_total(events, now, window_ms, bucket_ms=BUCKET_MS):
+    """Independent model of the meters' windowed total.
+
+    Replays WindowedMeter's bucketization (append-or-merge in arrival
+    order) and sums the surviving buckets oldest-first — the association
+    every meter implementation must reproduce exactly.
+    """
+    buckets = []  # [index, total]
+    for when, amount in events:
+        index = int(when // bucket_ms)
+        if buckets and buckets[-1][0] == index:
+            buckets[-1][1] += amount
+        else:
+            buckets.append([index, amount])
+    if window_ms <= 0:
+        return 0.0
+    cutoff = int((now - window_ms) // bucket_ms)
+    result = 0.0
+    for index, total in buckets:
+        if index >= cutoff:
+            result += total
+    return result
+
+
+def test_monotone_streams_match_all_backends():
+    for seed in range(20):
+        rng = random.Random(seed)
+        sim = FakeSim()
+        meters = (WindowedMeter(sim, bucket_ms=BUCKET_MS),
+                  RingMeter(sim, WINDOW_MS, bucket_ms=BUCKET_MS),
+                  ArrayMeter(sim, WINDOW_MS, bucket_ms=BUCKET_MS))
+        events = []
+        for _ in range(1_500):
+            sim.now += rng.expovariate(1 / 300.0)
+            amount = rng.uniform(0.0, 7.0)
+            events.append((sim.now, amount))
+            for meter in meters:
+                meter.add(amount)
+            if rng.random() < 0.08:
+                window = rng.choice([WINDOW_MS, 20_000.0, 750.0, 0.0])
+                expected = brute_force_total(events, sim.now, window)
+                for meter in meters:
+                    assert meter.total(window) == expected, (seed, window)
+        assert len({m.lifetime_total for m in meters}) == 1
+
+
+def test_out_of_order_at_matches_ring_meter():
+    # Explicit out-of-order `at=` leaves WindowedMeter's retention model
+    # (it can revisit expired indices); the contract that matters is that
+    # the batched flush replays RingMeter's sequential semantics exactly.
+    for seed in range(20):
+        rng = random.Random(1_000 + seed)
+        sim = FakeSim()
+        ring = RingMeter(sim, WINDOW_MS, bucket_ms=BUCKET_MS)
+        array = ArrayMeter(sim, WINDOW_MS, bucket_ms=BUCKET_MS)
+        for _ in range(1_500):
+            sim.now += rng.expovariate(1 / 300.0)
+            amount = rng.uniform(0.0, 7.0)
+            at = (sim.now - rng.uniform(0.0, 5_000.0)
+                  if rng.random() < 0.25 else None)
+            ring.add(amount, at)
+            array.add(amount, at)
+            if rng.random() < 0.08:
+                window = rng.choice([WINDOW_MS, 20_000.0, 499.0])
+                assert ring.total(window) == array.total(window)
+        assert ring.lifetime_total == array.lifetime_total
+
+
+def test_window_edge_boundary_bucket_is_clamped_identically():
+    """The partially expired boundary bucket (index == cutoff) counts;
+    anything older is gone — the exact clamping rule whose absence
+    caused the actor-cpu-overcount corpus bug."""
+    sim = FakeSim()
+    meters = (WindowedMeter(sim, bucket_ms=BUCKET_MS),
+              RingMeter(sim, WINDOW_MS, bucket_ms=BUCKET_MS),
+              ArrayMeter(sim, WINDOW_MS, bucket_ms=BUCKET_MS))
+    for when in (0.0, 100.0, BUCKET_MS, WINDOW_MS - BUCKET_MS):
+        sim.now = when
+        for meter in meters:
+            meter.add(1.0)
+    # Just inside: every bucket still in the window.
+    sim.now = WINDOW_MS - 1.0
+    assert [m.total(WINDOW_MS) for m in meters] == [4.0] * 3
+    # One bucket past the edge: the two adds in bucket 0 fall below the
+    # cutoff together; the boundary bucket itself still counts.
+    sim.now = WINDOW_MS + BUCKET_MS
+    assert [m.total(WINDOW_MS) for m in meters] == [2.0] * 3
+    # Rate divisor clamps to elapsed time before one full window passed.
+    sim2 = FakeSim()
+    array = ArrayMeter(sim2, WINDOW_MS)
+    sim2.now = 1_000.0
+    array.add(5.0)
+    assert array.rate_per_ms(WINDOW_MS) == 5.0 / 1_000.0
+
+
+def test_flush_continues_open_bucket_sequentially():
+    # Adds split across flushes into the *same* bucket must accumulate
+    # with per-add association: old + a1 + a2, never old + (a1 + a2).
+    sim = FakeSim()
+    ring = RingMeter(sim, WINDOW_MS, bucket_ms=BUCKET_MS)
+    array = ArrayMeter(sim, WINDOW_MS, bucket_ms=BUCKET_MS)
+    amounts = [0.1, 0.2, 0.7, 1e-9, 3.3, 0.001]
+    for position, amount in enumerate(amounts):
+        sim.now = 10.0 + position  # all within bucket 0
+        ring.add(amount)
+        array.add(amount)
+        assert array.total() == ring.total()  # flush after every add
+
+
+def test_empty_and_zero_window_queries():
+    sim = FakeSim()
+    array = ArrayMeter(sim, WINDOW_MS)
+    assert array.total() == 0.0
+    assert array.total(0.0) == 0.0
+    assert array.rate_per_ms() == 0.0
+    array.add(2.0)
+    assert array.total(0.0) == 0.0
+    assert array.total() == 2.0
+
+
+def test_constructor_validation():
+    sim = FakeSim()
+    with pytest.raises(ValueError):
+        ArrayMeter(sim, WINDOW_MS, bucket_ms=0.0)
+    with pytest.raises(ValueError):
+        ArrayMeter(sim, -1.0)
+
+
+def test_actor_stats_backend_knob():
+    from repro.core.profiling import ActorStats
+    sim = FakeSim()
+    stats = ActorStats(sim, backend="array")
+    assert isinstance(stats.cpu, ArrayMeter)
+    stats.record_message("client", None, "read", 128.0)
+    assert isinstance(stats.call_counts[("client", "read")], ArrayMeter)
+    assert isinstance(ActorStats(sim).cpu, RingMeter)
+    assert isinstance(ActorStats(sim, use_ring=False).cpu, WindowedMeter)
+    with pytest.raises(ValueError):
+        ActorStats(sim, backend="bloom-filter")
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=5_000.0,
+                            allow_nan=False),
+                  st.floats(min_value=-100.0, max_value=100.0,
+                            allow_nan=False),
+                  st.booleans()),
+        min_size=1, max_size=120))
+    @settings(max_examples=100, deadline=None)
+    def test_property_totals_bit_identical(steps):
+        """For arbitrary monotone streams with interleaved queries, all
+        three meter backends return bit-identical totals that match the
+        independent brute-force model."""
+        sim = FakeSim()
+        meters = (WindowedMeter(sim, bucket_ms=BUCKET_MS),
+                  RingMeter(sim, WINDOW_MS, bucket_ms=BUCKET_MS),
+                  ArrayMeter(sim, WINDOW_MS, bucket_ms=BUCKET_MS))
+        events = []
+        for gap, amount, query in steps:
+            sim.now += gap
+            events.append((sim.now, amount))
+            for meter in meters:
+                meter.add(amount)
+            if query:
+                expected = brute_force_total(events, sim.now, WINDOW_MS)
+                totals = [meter.total(WINDOW_MS) for meter in meters]
+                assert totals == [expected] * 3

@@ -107,6 +107,88 @@ def test_producer_consumer_pipeline():
     assert consumed == [(2.0, 0), (4.0, 1), (6.0, 2), (8.0, 3), (10.0, 4)]
 
 
+def test_clear_reclaims_inflight_delivery():
+    """Regression: an item handed to a getter in the current timestamp
+    (but not yet delivered — the zero-delay hop) must be reclaimed by
+    ``clear()``, not delivered stale afterwards.
+
+    The old implementation only dropped queued items: the destroy/clear
+    +repopulate pattern used by ``destroy_actor`` could hand a waiting
+    dispatcher an item that ``clear()`` claimed to have returned.
+    """
+    sim = Simulator()
+    queue = Queue(sim)
+    seen = []
+    cleared = []
+
+    def consumer():
+        while True:
+            item = yield queue.get()
+            seen.append((sim.now, item))
+
+    spawn(sim, consumer())
+
+    def put_then_clear():
+        # The waiting getter is woken synchronously by put(), but the
+        # item is still in flight when clear() runs a moment later in
+        # the same timestamp.
+        queue.put("stale")
+        cleared.append(queue.clear())
+        queue.put("fresh")
+
+    sim.schedule(5.0, put_then_clear)
+    sim.run()
+    # clear() owns the in-flight item; the getter never observes it and
+    # is re-registered in time to receive the next put.
+    assert cleared == [["stale"]]
+    assert seen == [(5.0, "fresh")]
+
+
+def test_clear_orders_inflight_before_queued_items():
+    sim = Simulator()
+    queue = Queue(sim)
+
+    def consumer():
+        yield queue.get()
+
+    spawn(sim, consumer())
+    collected = []
+
+    def fill_then_clear():
+        queue.put("inflight")   # woken getter, delivery pending
+        queue.put("queued-1")   # no getters left: plain backlog
+        queue.put("queued-2")
+        collected.append(queue.clear())
+
+    sim.schedule(1.0, fill_then_clear)
+    sim.run()
+    assert collected == [["inflight", "queued-1", "queued-2"]]
+    assert len(queue) == 0
+
+
+def test_clear_restores_reclaimed_getter_ahead_of_younger_waiters():
+    sim = Simulator()
+    queue = Queue(sim)
+    seen = []
+
+    def consumer(name):
+        item = yield queue.get()
+        seen.append((name, item))
+
+    spawn(sim, consumer("old"))
+    spawn(sim, consumer("new"))  # younger waiter, behind "old"
+
+    def scramble():
+        queue.put("reclaimed")  # wakes "old"; delivery is in flight
+        queue.clear()           # reclaims it; "old" goes back to the front
+        queue.put("first")
+        queue.put("second")
+
+    sim.schedule(1.0, scramble)
+    sim.run()
+    assert seen == [("old", "first"), ("new", "second")]
+
+
 def test_interrupted_getter_loses_no_items():
     sim = Simulator()
     queue = Queue(sim)

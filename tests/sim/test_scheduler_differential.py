@@ -1,0 +1,246 @@
+"""Differential harness: heap kernel vs calendar kernel.
+
+The calendar-queue kernel is only admissible if it is *indistinguishable*
+from the reference heap kernel: same callbacks, in the same order, at the
+same ``now``, for any schedule.  These tests run randomized seeded
+schedule programs against both kernels and diff the full pop trajectory.
+Shapes are chosen to hit every storage class of the calendar kernel:
+
+- **dense** sub-bucket delays (active-bucket bisect drains),
+- **sparse** multi-second gaps (the ladder/spill fallback, including the
+  horizon-doubling adaptation),
+- **same-timestamp bursts** (FIFO tie-break across bucket, spill and
+  zero-delay storage for one instant),
+- **cancel-heavy** periodic timers (``every``/cancel interleavings),
+- stepped ``run(until=...)`` and mid-run ``stop()``.
+
+Callbacks draw from a per-run ``random.Random(seed)``: both kernels make
+identical draws *because* they fire callbacks in identical order, so any
+ordering divergence snowballs into an obvious log mismatch.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import (DEFAULT_SCHEDULER, CalendarSimulator,
+                              HeapSimulator, SimulationError)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+KERNELS = ("heap", "calendar")
+
+# Delay menus per shape.  Values are chosen to straddle the calendar
+# kernel's 1.0 ms bucket width: same-bucket, adjacent-bucket, far-bucket.
+DENSE_DELAYS = (0.0, 0.0, 0.01, 0.07, 0.3, 0.5, 0.77, 1.0, 1.5, 2.25)
+SPARSE_DELAYS = (0.0, 1.0, 2.5, 40.0, 400.0, 3_000.0, 25_000.0)
+BURST_DELAYS = (0.0, 1.0, 1.0, 2.0, 2.0, 2.0, 5.0, 10.0)
+
+
+def run_program(scheduler, seed, delays, initial=40, budget=2_500,
+                fanout=3, with_timers=False, until_steps=None):
+    """Run one randomized schedule program; return its full trajectory.
+
+    The trajectory records, for every fired event, ``(event id, now,
+    pending count)`` — callback identity, firing time, and a queue-size
+    probe — plus the periodic-timer fires and the final clock.
+    """
+    sim = Simulator(scheduler=scheduler)
+    rng = random.Random(seed)
+    log = []
+    state = {"next_id": 0, "scheduled": 0}
+
+    def fire(ident):
+        log.append((ident, sim.now, sim.pending_events()))
+        for _ in range(rng.randrange(fanout + 1)):
+            if state["scheduled"] >= budget:
+                return
+            state["scheduled"] += 1
+            state["next_id"] += 1
+            child = state["next_id"]
+            delay = rng.choice(delays)
+            if rng.random() < 0.1:
+                sim.schedule_at(sim.now + delay, fire, child)
+            else:
+                sim.schedule(delay, fire, child)
+
+    for _ in range(initial):
+        state["scheduled"] += 1
+        state["next_id"] += 1
+        sim.schedule(rng.choice(delays), fire, state["next_id"])
+
+    cancels = []
+    if with_timers:
+        for index in range(10):
+            period = 3.0 + (index % 7)
+            cancel = sim.every(period, lambda i=index: log.append(
+                ("timer", i, sim.now)))
+            cancels.append(cancel)
+        # Cancel a few timers from inside the run, at seeded times.
+        for index in (1, 4, 7):
+            sim.schedule(50.0 * (index + 1), cancels[index])
+
+    if until_steps is None:
+        final = sim.run()
+    else:
+        final = sim.now
+        for step in until_steps:
+            final = sim.run(until=final + step)
+    for cancel in cancels:
+        cancel()  # stop periodic timers so an unbounded run terminates
+    if until_steps is not None:
+        sim.run()  # drain the tail for a complete comparison
+    log.append(("final", sim.now, sim.pending_events()))
+    return log, final
+
+
+def assert_kernels_agree(**kwargs):
+    reference = run_program("heap", **kwargs)
+    candidate = run_program("calendar", **kwargs)
+    assert candidate == reference
+
+
+@pytest.mark.parametrize("seed", [42, 7, 101, 2024, 555])
+def test_dense_schedules_identical(seed):
+    assert_kernels_agree(seed=seed, delays=DENSE_DELAYS)
+
+
+@pytest.mark.parametrize("seed", [42, 7, 101, 2024, 555])
+def test_sparse_schedules_identical(seed):
+    assert_kernels_agree(seed=seed, delays=SPARSE_DELAYS, budget=1_500)
+
+
+@pytest.mark.parametrize("seed", [42, 7, 101, 2024, 555])
+def test_same_timestamp_bursts_identical(seed):
+    assert_kernels_agree(seed=seed, delays=BURST_DELAYS)
+
+
+@pytest.mark.parametrize("seed", [42, 7, 101])
+def test_cancel_heavy_timer_schedules_identical(seed):
+    # Bounded run: un-cancelled periodic timers never drain on their own.
+    assert_kernels_agree(seed=seed, delays=DENSE_DELAYS, budget=800,
+                         with_timers=True, until_steps=[200.0, 300.0])
+
+
+@pytest.mark.parametrize("seed", [42, 7, 101])
+def test_stepped_until_runs_identical(seed):
+    # Stepped run(until=...) exercises the bounded-run boundary: events
+    # due exactly at the limit fire, the clock parks exactly on `until`.
+    assert_kernels_agree(seed=seed, delays=SPARSE_DELAYS, budget=600,
+                         until_steps=[7.0, 0.0, 13.5, 250.0, 9_000.0])
+
+
+@pytest.mark.parametrize("scheduler", KERNELS)
+def test_stop_mid_run_leaves_identical_state(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    seen = []
+    for index in range(20):
+        sim.schedule(float(index), seen.append, index)
+    sim.schedule(10.0, sim.stop)
+    sim.run()
+    # stop() halts after the current callback; events 0..10 fired (the
+    # stop callback was scheduled after index 10's event, same instant).
+    assert seen == list(range(11))
+    assert sim.now == 10.0
+    remaining = sim.pending_events()
+    sim.run()
+    assert seen == list(range(20))
+    assert remaining == 9
+
+
+@pytest.mark.parametrize("scheduler", KERNELS)
+def test_peek_tracks_next_event(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    assert sim.peek() is None
+    sim.schedule(5.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.peek() == 2.0
+    probes = []
+    sim.schedule(2.0, lambda: probes.append(sim.peek()))
+    sim.run(until=2.0)
+    # During the probe the 5.0 event is next-up; afterwards it still is.
+    assert probes == [5.0]
+    assert sim.peek() == 5.0
+    sim.run()
+    assert sim.peek() is None
+
+
+def test_default_scheduler_dispatch():
+    # The default kernel follows $REPRO_SIM_SCHEDULER (calendar unless
+    # overridden) so the whole suite can be re-run on the heap kernel.
+    assert DEFAULT_SCHEDULER == os.environ.get(
+        "REPRO_SIM_SCHEDULER", "calendar")
+    assert Simulator().scheduler_name == DEFAULT_SCHEDULER
+    assert isinstance(Simulator(scheduler="calendar"), CalendarSimulator)
+    assert isinstance(Simulator(scheduler="heap"), HeapSimulator)
+    with pytest.raises(SimulationError):
+        Simulator(scheduler="splay-tree")
+
+
+@pytest.mark.parametrize("scheduler", KERNELS)
+def test_direct_kernel_construction(scheduler):
+    cls = {"heap": HeapSimulator, "calendar": CalendarSimulator}[scheduler]
+    sim = cls()
+    assert sim.scheduler_name == scheduler
+    with pytest.raises(SimulationError):
+        cls(scheduler="heap" if scheduler == "calendar" else "calendar")
+
+
+def test_calendar_bucket_width_knob():
+    sim = CalendarSimulator(bucket_width_ms=0.25)
+    seen = []
+    for index in range(8):
+        sim.schedule(index * 0.1, seen.append, index)
+    sim.run()
+    assert seen == list(range(8))
+    with pytest.raises(SimulationError):
+        CalendarSimulator(bucket_width_ms=0.0)
+
+
+def test_calendar_horizon_adapts_on_sparse_schedules():
+    sim = CalendarSimulator()
+    for index in range(64):
+        sim.schedule(1_000.0 * (index + 1), lambda: None)
+    sim.run()
+    # Every activation held one event, so the ladder horizon doubled
+    # until sparse traffic stopped paying bucket bookkeeping.
+    assert sim._horizon > 1
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(st.lists(
+        st.sampled_from([0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 7.5]),
+        min_size=1, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_fifo_tie_break_property(delays):
+        """Events at equal timestamps fire in insertion order — on both
+        kernels, for arbitrary quantized schedules."""
+        logs = {}
+        for scheduler in KERNELS:
+            sim = Simulator(scheduler=scheduler)
+            log = logs[scheduler] = []
+            for order, delay in enumerate(delays):
+                sim.schedule(delay, log.append, (delay, order))
+            sim.run()
+        for scheduler, log in logs.items():
+            by_time = {}
+            for delay, order in log:
+                by_time.setdefault(delay, []).append(order)
+            for delay, orders in by_time.items():
+                assert orders == sorted(orders), (scheduler, delay)
+        assert logs["heap"] == logs["calendar"]
+
+    @given(st.integers(min_value=0, max_value=2**31),
+           st.sampled_from([DENSE_DELAYS, SPARSE_DELAYS, BURST_DELAYS]))
+    @settings(max_examples=25, deadline=None)
+    def test_random_programs_identical_property(seed, delays):
+        assert_kernels_agree(seed=seed, delays=delays, initial=10,
+                             budget=300)
