@@ -57,12 +57,17 @@ class ActorSystem:
 
     def __init__(self, sim: Simulator, provisioner: Provisioner,
                  fabric: Optional[NetworkFabric] = None,
-                 streams: Optional[RandomStreams] = None) -> None:
+                 streams: Optional[RandomStreams] = None,
+                 directory: Optional[Directory] = None) -> None:
         self.sim = sim
         self.provisioner = provisioner
         self.fabric = fabric or NetworkFabric(sim)
         self.streams = streams or RandomStreams()
-        self.directory = Directory()
+        #: ``directory`` lets a caller install a
+        #: :class:`~repro.actors.sharded_directory.ShardedDirectory`;
+        #: the default flat map reproduces the paper's single
+        #: authoritative view.
+        self.directory = directory if directory is not None else Directory()
         self.hooks: List[RuntimeHooks] = []
         self.placement_policy: Optional[PlacementPolicy] = None
 
@@ -79,11 +84,15 @@ class ActorSystem:
         #: that cannot arrive (severed link) before rolling back.  The
         #: elasticity manager overrides this from its config.
         self.migration_phase_timeout_ms = 2_000.0
-        #: Destination servers holding a prepared (not yet committed)
-        #: copy of a migrating actor's state, by actor id.  Purely
-        #: logical bookkeeping: memory is allocated only at commit, so a
-        #: rollback leaves no trace on the destination.
-        self._prepared: Dict[int, Server] = {}
+        #: Migrations holding a prepared (not yet committed) copy of
+        #: state on their destination, by actor id: ``(record, target)``.
+        #: Purely logical bookkeeping: memory is allocated only at
+        #: commit, so a rollback leaves no trace on the destination.
+        #: The owning record is kept so an aborted transfer's late
+        #: cleanup can never prune the entry of a *superseding*
+        #: migration (started for the same actor id after a
+        #: resurrection).
+        self._prepared: Dict[int, Tuple[ActorRecord, Server]] = {}
         #: Migrations rolled back by a partition or phase timeout.
         self.migrations_rolled_back = 0
         #: Durable-state subsystem (``repro.durability``), attached by an
@@ -213,7 +222,14 @@ class ActorSystem:
         self.directory.unregister(ref.actor_id)
         self._busy.pop(ref.actor_id, None)
         self._gates.pop(ref.actor_id, None)
-        self._idle_signals.pop(ref.actor_id, None)
+        # A migration proc draining the in-flight handler blocks on this
+        # signal; trigger it so the proc wakes, sees the record is gone,
+        # and runs its abort path — otherwise it leaks forever and its
+        # bookkeeping (the migrating flag, a later _prepared entry) is
+        # never cleaned up.
+        idle = self._idle_signals.pop(ref.actor_id, None)
+        if idle is not None:
+            idle.trigger()
         for hooks in self.hooks:
             hooks.on_actor_destroyed(record)
 
@@ -633,11 +649,28 @@ class ActorSystem:
         return (self.fabric.link_blocked(src, dst)
                 or self.fabric.link_blocked(dst, src))
 
+    def _prune_prepared(self, record: ActorRecord) -> None:
+        """Drop ``record``'s prepared-copy entry — and only its own.
+
+        After a crash + resurrection, a *new* migration of the same
+        actor id may have prepared its own copy by the time the old
+        aborted transfer's proc wakes up; an unconditional pop here
+        would prune the superseding migration's in-progress record.
+        """
+        actor_id = record.ref.actor_id
+        entry = self._prepared.get(actor_id)
+        if entry is not None and entry[0] is record:
+            self._prepared.pop(actor_id, None)
+
     def _abort_lost(self, record: ActorRecord, gate: Signal, done: Signal,
                     source: Server, target: Server) -> None:
         # The actor died mid-protocol (its source server crashed):
         # destroy_actor already settled memory and mailbox state.
-        self._prepared.pop(record.ref.actor_id, None)
+        self._prune_prepared(record)
+        # Clear the tombstone's in-progress flag: resurrection copies
+        # bookkeeping off the tombstone, and a stale migrating=True
+        # would make the revived actor look permanently mid-migration.
+        record.migrating = False
         gate.trigger()
         done.trigger(False)
         for hooks in self.hooks:
@@ -648,10 +681,11 @@ class ActorSystem:
         # Source keeps the live actor; the destination discards its
         # prepared copy (nothing was ever allocated there).
         actor_id = record.ref.actor_id
-        self._prepared.pop(actor_id, None)
+        self._prune_prepared(record)
         self.migrations_rolled_back += 1
         record.migrating = False
-        if actor_id in self._gates:
+        if (actor_id in self._gates
+                and self.directory.try_lookup(actor_id) is record):
             self._gates[actor_id] = None
         gate.trigger()
         done.trigger(False)
@@ -668,6 +702,12 @@ class ActorSystem:
                 idle = Signal(self.sim)
                 self._idle_signals[actor_id] = idle
             yield idle
+            if self.directory.try_lookup(actor_id) is not record:
+                # destroy_actor woke us: the actor died (or was
+                # superseded by a resurrection) while we drained its
+                # in-flight handler.
+                self._abort_lost(record, gate, done, record.server, target)
+                return
         source = record.server
         if not target.running:
             # The destination died while we drained the in-flight
@@ -690,7 +730,7 @@ class ActorSystem:
                 self._rollback(record, gate, done, source, target,
                                "prepare-timeout")
                 return
-        self._prepared[actor_id] = target
+        self._prepared[actor_id] = (record, target)
         if self.durability is not None:
             self.durability.on_migration_prepared(record, source, target)
         # TRANSFER: full state over the slower NIC (plus the protocol's
@@ -728,7 +768,7 @@ class ActorSystem:
                 self._rollback(record, gate, done, source, target,
                                "commit-timeout")
                 return
-        self._prepared.pop(actor_id, None)
+        self._prune_prepared(record)
         source.free_memory(record.instance.state_size_mb)
         target.allocate_memory(record.instance.state_size_mb)
         record.server = target
@@ -736,6 +776,10 @@ class ActorSystem:
         record.placement_epoch = self._current_epoch()
         record.migrations += 1
         record.migrating = False
+        # Epoch-fenced cache invalidation: a sharded directory drops
+        # every cached entry for this actor at the commit point (no-op
+        # on the flat map).
+        self.directory.note_commit(actor_id, record.placement_epoch)
         self._gates[actor_id] = None
         gate.trigger()
         record.instance.on_migrated(source, target)

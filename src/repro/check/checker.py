@@ -141,6 +141,16 @@ class InvariantChecker:
         self._hook_rejects = 0
         self._browned_out: Dict[str, float] = {}   # server -> entered at
         self._brownout_low_since: Dict[str, float] = {}
+        # -- hierarchical control-plane state (re-derived from
+        # group-assigned / gem-aggregate events, NOT from the
+        # hierarchy's own ServerGroupMap) ------------------------------
+        self._group_of_server: Dict[str, int] = {}
+        #: group -> recent (cpu_sum, server_count, actor_count) tuples,
+        #: newest last.  Root rounds are compared against this short
+        #: history rather than only the newest aggregate: an aggregate
+        #: published while its delta is still in flight to the root is
+        #: legitimate one-step staleness, not a folding bug.
+        self._aggregate_history: Dict[int, List[tuple]] = {}
 
     # -- partition side re-derivation ---------------------------------
 
@@ -421,6 +431,12 @@ class InvariantChecker:
             self._check_checkpoint_replicated(detail)
         elif kind == "state-restored":
             self._check_state_restored(detail)
+        elif kind == "group-assigned":
+            self._check_group_assigned(detail)
+        elif kind == "gem-aggregate":
+            self._check_gem_aggregate(detail)
+        elif kind == "root-round":
+            self._check_root_round(detail)
 
     def _check_migration_start(self, detail: Dict[str, Any]) -> None:
         self.checks_run += 1
@@ -478,8 +494,51 @@ class InvariantChecker:
                         f"{detail[end]} on a quorum-less partition side",
                         **detail)
         self._check_event_epoch("migration-started", detail)
+        self._check_migration_authority(detail, actor)
         self._inflight[actor_id] = {"at": now, "src": detail["src"],
                                     "dst": detail["dst"]}
+
+    def _check_migration_authority(self, detail: Dict[str, Any],
+                                   actor) -> None:
+        """cross-group-single-authority, migration half: a resource
+        migration (balance/reserve — drains surface as balance plans)
+        crossing a group boundary must come from the root tier, and a
+        root-issued one must actually cross.  Interaction migrations
+        (colocate/separate) are actor-local authority and may cross
+        freely.  Group membership comes from group-assigned events, so
+        flat runs (no groups) skip the check entirely."""
+        src_group = self._group_of_server.get(detail["src"])
+        dst_group = self._group_of_server.get(detail["dst"])
+        if src_group is None or dst_group is None:
+            return
+        issuer = detail.get("issuer", "lem")
+        crosses = src_group != dst_group
+        if (crosses and issuer != "root"
+                and detail.get("action") in ("balance", "reserve")
+                and not self._group_leaves_all_failed(src_group)):
+            # The leaves-all-failed escape hatch: with its whole leaf
+            # set down, a group's LEMs fall back to foreign leaves
+            # (availability over locality, like GEM adoption), whose
+            # plans may legitimately cross the boundary.
+            self._violate(
+                "cross-group-single-authority",
+                f"{detail.get('action')} migration of {actor} crosses "
+                f"groups {src_group}->{dst_group} but was issued by "
+                f"{issuer!r}, not the root tier", **detail)
+        if issuer == "root" and not crosses:
+            self._violate(
+                "cross-group-single-authority",
+                f"root-issued migration of {actor} stays inside group "
+                f"{src_group} — the root arbitrates only cross-group "
+                f"moves", **detail)
+
+    def _group_leaves_all_failed(self, group: int) -> bool:
+        hierarchy = getattr(self.manager, "hierarchy", None)
+        if hierarchy is None:
+            return False
+        leaves = [gem for gem in self.manager.gems
+                  if hierarchy.leaf_group.get(gem.gem_id) == group]
+        return bool(leaves) and all(gem.failed for gem in leaves)
 
     def _check_actions_resolved(self, detail: Dict[str, Any]) -> None:
         self.checks_run += 1
@@ -801,6 +860,85 @@ class InvariantChecker:
                 f"{newest_readable} is acknowledged and still readable",
                 newest_readable=newest_readable, **detail)
 
+    # -- hierarchical control plane ------------------------------------
+
+    def _check_group_assigned(self, detail: Dict[str, Any]) -> None:
+        """cross-group-single-authority, membership half: a server is
+        assigned to exactly one group, forever (membership never
+        reshuffles — a crashed server keeps its slot)."""
+        self.checks_run += 1
+        server = detail.get("server")
+        group = detail.get("group")
+        known = self._group_of_server.get(server)
+        if known is not None and known != group:
+            self._violate(
+                "cross-group-single-authority",
+                f"server {server} reassigned from group {known} to "
+                f"group {group}", **detail)
+            return
+        self._group_of_server[server] = group
+
+    def _check_gem_aggregate(self, detail: Dict[str, Any]) -> None:
+        """aggregate-consistency, leaf half: the carried sums must equal
+        a recomputation over the carried per-server values, and every
+        covered server must belong to the aggregate's group."""
+        self.checks_run += 1
+        group = detail.get("group")
+        cpu_percs = tuple(detail.get("server_cpu_percs", ()))
+        names = tuple(detail.get("server_names", ()))
+        cpu_sum = detail.get("cpu_sum", 0.0)
+        tolerance = _PERC_EPS * max(1, len(cpu_percs))
+        if abs(sum(cpu_percs) - cpu_sum) > tolerance:
+            self._violate(
+                "aggregate-consistency",
+                f"group {group} aggregate carries cpu_sum "
+                f"{cpu_sum:.3f} but its per-server values sum to "
+                f"{sum(cpu_percs):.3f}", **detail)
+        if detail.get("server_count") != len(names) \
+                or len(names) != len(cpu_percs):
+            self._violate(
+                "aggregate-consistency",
+                f"group {group} aggregate server_count "
+                f"{detail.get('server_count')} != {len(names)} named "
+                f"servers / {len(cpu_percs)} cpu values", **detail)
+        for name in names:
+            assigned = self._group_of_server.get(name)
+            if assigned is not None and assigned != group:
+                self._violate(
+                    "aggregate-consistency",
+                    f"group {group} aggregate covers server {name}, "
+                    f"which is assigned to group {assigned}", **detail)
+        history = self._aggregate_history.setdefault(group, [])
+        history.append((cpu_sum, detail.get("server_count"),
+                        detail.get("actor_count")))
+        del history[:-3]
+
+    def _check_root_round(self, detail: Dict[str, Any]) -> None:
+        """aggregate-consistency, root half: every folded per-group view
+        must match one of the group's recently published full aggregates
+        (a delta-folding bug makes the view match none of them)."""
+        self.checks_run += 1
+        for item in detail.get("groups", ()):
+            group, cpu_sum, server_count, actor_count = item
+            history = self._aggregate_history.get(group)
+            if not history:
+                self._violate(
+                    "aggregate-consistency",
+                    f"root folded a view for group {group}, which never "
+                    f"published an aggregate", **detail)
+                continue
+            matched = any(
+                abs(cpu_sum - h_cpu) <= _PERC_EPS * max(1, h_servers or 1)
+                and server_count == h_servers and actor_count == h_actors
+                for h_cpu, h_servers, h_actors in history)
+            if not matched:
+                self._violate(
+                    "aggregate-consistency",
+                    f"root view of group {group} "
+                    f"(cpu_sum={cpu_sum:.3f}, servers={server_count}, "
+                    f"actors={actor_count}) matches none of the group's "
+                    f"recent aggregates {history}", **detail)
+
     # -- periodic sweep ------------------------------------------------
 
     def _sweep(self) -> None:
@@ -841,6 +979,13 @@ class InvariantChecker:
                         f"configured capacity is {capacity}",
                         actor=str(record.ref), depth=depth,
                         capacity=capacity)
+        coverage = getattr(system.directory, "coverage_errors", None)
+        if coverage is not None:
+            # Sharded directory: audit ring ownership vs the shard maps
+            # vs the authoritative map (the audit itself lives with the
+            # directory; the sweep just runs it every interval).
+            for error in coverage()[:5]:
+                self._violate("shard-coverage", error)
         tracked = set(self._alive)
         if tracked != directory_ids:
             missing = sorted(tracked - directory_ids)[:5]

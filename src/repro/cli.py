@@ -381,14 +381,16 @@ def main(argv: Sequence[str] = None) -> int:
                         help="directory for shrunk failure artifacts")
     p_fuzz.add_argument("--profile",
                         choices=("default", "partition", "durability",
-                                 "overload"),
+                                 "overload", "scale"),
                         default="default",
                         help="generator emphasis: 'partition' injects a "
                              "network partition into every scenario; "
                              "'durability' enables checkpointing and "
                              "crashes a server mid-run; 'overload' "
                              "enables bounded mailboxes/brownout and "
-                             "injects a load storm")
+                             "injects a load storm; 'scale' runs the "
+                             "hierarchical control plane over a sharded "
+                             "directory with a randomized group topology")
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="write failures unshrunk")
     p_fuzz.add_argument("--replay", metavar="FILE",

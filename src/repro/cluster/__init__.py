@@ -4,6 +4,7 @@ This package stands in for the Amazon EC2 deployment used in the paper.
 See DESIGN.md §2 for the substitution rationale.
 """
 
+from .groups import ServerGroupMap
 from .instances import INSTANCE_TYPES, InstanceType, instance_type
 from .metrics import (HAS_NUMPY, ArrayMeter, AvailabilityMeter,
                       GaugeSeries, WindowedMeter)
@@ -16,6 +17,7 @@ __all__ = [
     "INSTANCE_TYPES",
     "instance_type",
     "Server",
+    "ServerGroupMap",
     "CpuJob",
     "NetworkFabric",
     "Provisioner",

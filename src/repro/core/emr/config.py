@@ -24,6 +24,31 @@ class EmrConfig:
 
     #: Elasticity (time) period between management rounds.
     period_ms: float = 60_000.0
+    #: Control-plane topology.  ``"flat"`` is the paper's layout: every
+    #: GEM evaluates whatever servers happened to report to it.
+    #: ``"hierarchical"`` adds a two-tier GEM tree: leaf GEMs own
+    #: contiguous server groups and run the unchanged evaluation loop
+    #: over group-local snapshots, while a root tier consumes
+    #: delta-compressed per-group aggregates (top-k hot actors + summed
+    #: resource vectors) and arbitrates only cross-group migrations and
+    #: fleet scaling.  With a single group the tree degenerates to the
+    #: flat layout bit-for-bit (the differential harness pins this).
+    control_plane: str = "flat"
+    #: Servers per leaf group in hierarchical mode.  ``None`` means one
+    #: group spanning the whole fleet (the degenerate tree used by the
+    #: flat-vs-hierarchical equivalence tests).  Benchmarks size it
+    #: ~sqrt(fleet) so root decision cost stays sub-linear in servers.
+    server_group_size: Optional[int] = None
+    #: Hot actors each leaf aggregate carries to the root (per group).
+    group_top_k: int = 8
+    #: Mean-CPU gap (percentage points) between the hottest and coldest
+    #: group before the root plans cross-group migrations.
+    cross_group_band: float = 20.0
+    #: Consistent-hash directory shards (``None``/1 keeps the flat
+    #: authoritative map; the fuzz "scale" profile randomizes this).
+    directory_shards: Optional[int] = None
+    #: Virtual nodes per directory shard on the hash ring.
+    directory_virtual_nodes: int = 16
     #: Placement stability: an actor may move only after this long on its
     #: current server.  ``None`` means one elasticity period.
     stability_ms: Optional[float] = None
@@ -111,6 +136,21 @@ class EmrConfig:
             raise ValueError("period_ms must be positive")
         if self.gem_count < 1:
             raise ValueError("gem_count must be at least 1")
+        if self.control_plane not in ("flat", "hierarchical"):
+            raise ValueError(
+                f"control_plane must be 'flat' or 'hierarchical', "
+                f"got {self.control_plane!r}")
+        if (self.server_group_size is not None
+                and self.server_group_size < 1):
+            raise ValueError("server_group_size must be positive (or None)")
+        if self.group_top_k < 1:
+            raise ValueError("group_top_k must be at least 1")
+        if self.cross_group_band <= 0:
+            raise ValueError("cross_group_band must be positive")
+        if self.directory_shards is not None and self.directory_shards < 1:
+            raise ValueError("directory_shards must be positive (or None)")
+        if self.directory_virtual_nodes < 1:
+            raise ValueError("directory_virtual_nodes must be at least 1")
         if self.stability_ms is not None and self.stability_ms < 0:
             raise ValueError("stability_ms must be non-negative")
         if self.gem_wait_ms < 0 or self.gem_reply_timeout_ms <= 0:

@@ -157,6 +157,13 @@ class GEM:
             self.manager.system.sim.schedule(delay, reply.trigger,
                                              (lem_actions, self.epoch))
 
+        # Hierarchical mode: ship this group's delta-compressed
+        # aggregate up to the root tier.  An inert (single-group) tree
+        # publishes nothing — bit-identical to flat mode.
+        hierarchy = self.manager.hierarchy
+        if hierarchy is not None and hierarchy.active():
+            hierarchy.publish(self, servers, actors_by_server)
+
     def _fold_stale_snapshots(
             self, reports, servers: List[ServerSnapshot],
             actors: List[ActorSnapshot],

@@ -1,0 +1,363 @@
+"""Two-tier GEM tree for cluster-scale control (hierarchical mode).
+
+Flat PLASMA lets every GEM evaluate whatever servers reported to it —
+fine at 10 servers, quadratic pain at 5,000.  With
+``EmrConfig.control_plane="hierarchical"``:
+
+- **Leaf tier**: the fleet is split into contiguous *server groups*
+  (:class:`~repro.cluster.ServerGroupMap`); each group gets its own set
+  of ``gem_count`` leaf GEMs running the unchanged Algorithm-2 loop over
+  group-local snapshots.  LEMs shuffle among their *group's* leaves only
+  (same RNG stream, same draw — with one group this is bit-identical to
+  flat mode, which the differential harness pins).
+- **Root tier**: after each processing round a leaf publishes a
+  :class:`GroupAggregate` — summed resource vectors plus the top-k hot
+  actors, *not* per-actor rows — to the single :class:`RootGem`.
+  Aggregates are **delta-compressed** (only fields that changed since
+  the group's last publish ship) and **batched** (the root folds
+  everything arriving within one collection window before deciding).
+  The root arbitrates exactly two things: cross-group migrations (top-k
+  hot actors from the hottest group onto the coldest group's least
+  loaded server) and fleet scaling (a veto over leaf scale votes when a
+  majority of *other* groups disagrees).
+
+With a single group the tree is degenerate and the hierarchy is fully
+inert: no aggregates, no root events, no root decisions — the leaf set
+behaves exactly like the flat GEM set.  Root decision cost is
+``O(groups · top_k)`` per round, so sizing groups ~sqrt(fleet) keeps it
+sub-linear in server count (``benchmarks/test_scale_cluster.py`` gates
+this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ...cluster import Server, ServerGroupMap
+from ...sim import Timeout, spawn
+from ..profiling import ActorSnapshot, ServerSnapshot
+from .actions import Action
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .gem import GEM
+    from .manager import ElasticityManager
+
+__all__ = ["ControlHierarchy", "GroupAggregate", "RootGem"]
+
+
+@dataclass
+class GroupAggregate:
+    """One leaf group's compressed REPORT to the root tier.
+
+    Summed resource vectors and a bounded hot set — the root never sees
+    per-actor rows, which is what keeps its per-round decision cost
+    independent of the actor population.
+    """
+
+    group: int
+    gem_id: int
+    epoch: int
+    server_count: int
+    actor_count: int
+    cpu_sum: float
+    mem_sum: float
+    net_sum: float
+    overload_fraction: float
+    underload_fraction: float
+    server_names: Tuple[str, ...]
+    server_cpu_percs: Tuple[float, ...]
+    top_actors: Tuple[ActorSnapshot, ...]
+    least_loaded: Optional[ServerSnapshot]
+
+    def delta_against(self, prev: Optional["GroupAggregate"]) -> Dict[str, Any]:
+        """Fields that changed since ``prev`` (everything on first
+        publish).  ``group``/``gem_id``/``epoch`` always ship — they are
+        the envelope, not payload."""
+        names = [f.name for f in dataclass_fields(self)]
+        if prev is None:
+            return {name: getattr(self, name) for name in names}
+        delta: Dict[str, Any] = {"group": self.group, "gem_id": self.gem_id,
+                                 "epoch": self.epoch}
+        for name in names:
+            if name in delta:
+                continue
+            if getattr(self, name) != getattr(prev, name):
+                delta[name] = getattr(self, name)
+        return delta
+
+
+def build_aggregate(group: int, gem: "GEM",
+                    servers: List[ServerSnapshot],
+                    actors_by_server: Dict[int, List[ActorSnapshot]],
+                    top_k: int) -> GroupAggregate:
+    """Fold a leaf round's group-local snapshot into an aggregate."""
+    actors: List[ActorSnapshot] = []
+    for snaps in actors_by_server.values():
+        actors.extend(snaps)
+    top = tuple(sorted(actors,
+                       key=lambda s: (-s.cpu_perc, s.actor_id))[:top_k])
+    least = None
+    if servers:
+        least = min(servers, key=lambda s: (s.cpu_perc, s.server.server_id))
+    return GroupAggregate(
+        group=group, gem_id=gem.gem_id, epoch=gem.epoch,
+        server_count=len(servers), actor_count=len(actors),
+        cpu_sum=sum(s.cpu_perc for s in servers),
+        mem_sum=sum(s.mem_perc for s in servers),
+        net_sum=sum(s.net_perc for s in servers),
+        overload_fraction=gem.overload_fraction,
+        underload_fraction=gem.underload_fraction,
+        server_names=tuple(s.server.name for s in servers),
+        server_cpu_percs=tuple(s.cpu_perc for s in servers),
+        top_actors=top, least_loaded=least)
+
+
+class RootGem:
+    """Root tier: folds per-group aggregate views, arbitrates only
+    cross-group migrations and fleet scaling."""
+
+    def __init__(self, manager: "ElasticityManager",
+                 hierarchy: "ControlHierarchy") -> None:
+        self.manager = manager
+        self.hierarchy = hierarchy
+        #: Folded per-group view: group -> field dict, updated by deltas.
+        self.views: Dict[int, Dict[str, Any]] = {}
+        self._flush_scheduled = False
+        self.rounds_processed = 0
+        self.cross_migrations_planned = 0
+        self.aggregates_received = 0
+
+    # -- aggregate ingest (delta-folded, batched) -----------------------
+
+    def receive_aggregate(self, group: int, delta: Dict[str, Any]) -> None:
+        self.aggregates_received += 1
+        self.views.setdefault(group, {}).update(delta)
+        if not self._flush_scheduled:
+            # Batch: every aggregate landing within one collection
+            # window rides the same root round.
+            self._flush_scheduled = True
+            self.manager.system.sim.schedule(
+                self.manager.config.gem_wait_ms, self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if not self.manager.running:
+            return
+        self.rounds_processed += 1
+        self.manager.emit("root-round", groups=tuple(
+            (group, view.get("cpu_sum", 0.0), view.get("server_count", 0),
+             view.get("actor_count", 0))
+            for group, view in sorted(self.views.items())))
+        for action in self.arbitrate(self.views):
+            self.cross_migrations_planned += 1
+            spawn(self.manager.system.sim, self._execute_cross(action),
+                  name=f"root/cross-migrate/{action.actor_id}")
+
+    # -- cross-group arbitration ----------------------------------------
+
+    def arbitrate(self, views: Dict[int, Dict[str, Any]]) -> List[Action]:
+        """Plan cross-group balance moves from the folded views.
+
+        Pure function of the views (no RNG, no clock mutation): hottest
+        group's top-k hot actors onto the coldest group's least loaded
+        server, only when the mean-CPU gap exceeds the band.  Cost is
+        ``O(groups + top_k)`` — independent of servers and actors.
+        """
+        config = self.manager.config
+        means: Dict[int, float] = {}
+        for group, view in views.items():
+            count = view.get("server_count", 0)
+            if count:
+                means[group] = view.get("cpu_sum", 0.0) / count
+        if len(means) < 2:
+            return []
+        hot = max(sorted(means), key=lambda g: means[g])
+        cold = min(sorted(means), key=lambda g: means[g])
+        if hot == cold or means[hot] - means[cold] <= config.cross_group_band:
+            return []
+        least = views[cold].get("least_loaded")
+        if least is None or not least.server.running:
+            return []
+        now = self.manager.system.sim.now
+        stability = config.stability_window_ms()
+        actions: List[Action] = []
+        for snap in views[hot].get("top_actors", ()):
+            if len(actions) >= config.max_moves_per_server:
+                break
+            if snap.pinned or snap.migrating:
+                continue
+            if now - snap.last_placed_at < stability:
+                continue
+            if snap.server is least.server:
+                continue
+            actions.append(Action(
+                kind="balance", actor=snap, src=snap.server,
+                dst=least.server, resource="cpu",
+                src_load_perc=means[hot]))
+        return actions
+
+    def _execute_cross(self, action: Action):
+        """Admission-checked execution of one root-planned move (the
+        same guards the LEM applies to its own actions)."""
+        manager = self.manager
+        sim = manager.system.sim
+        config = manager.config
+        record = manager.system.directory.try_lookup(action.actor_id)
+        if record is None or record.migrating or record.pinned:
+            return
+        if record.server is not action.src:
+            return  # stale: the actor moved since the aggregate
+        if not action.dst.running or manager.is_draining(action.dst):
+            return
+        if (manager.server_quorumless(action.src)
+                or manager.server_quorumless(action.dst)):
+            return
+        if sim.now - record.last_placed_at < config.stability_window_ms():
+            return
+        target_lem = manager.lem_for(action.dst)
+        if target_lem is None:
+            return
+        yield Timeout(sim, config.control_latency_ms)
+        accepted = target_lem.check_idle_res(action)
+        yield Timeout(sim, config.control_latency_ms)
+        if not accepted:
+            return
+        manager.system.migrate_actor(record.ref, action.dst)
+        manager.note_migration(action, issuer="root")
+
+    # -- fleet-scaling arbitration --------------------------------------
+
+    def concurs(self, requester_group: Optional[int], direction: str) -> bool:
+        """Root's scale-vote arbitration: a majority of the *other*
+        groups must not contradict the requesting group's view.  A group
+        with no view yet abstains in favour (same rule as a GEM that has
+        processed no rounds).  Vacuously true with one group — the
+        degenerate tree adds no veto, preserving flat equivalence."""
+        others = [group for group in self.hierarchy.groups.groups()
+                  if group != requester_group]
+        if not others:
+            return True
+        key = ("overload_fraction" if direction == "overloaded"
+               else "underload_fraction")
+        agreeing = 0
+        for group in others:
+            view = self.views.get(group)
+            if view is None or view.get(key, 0.0) >= 0.5:
+                agreeing += 1
+        return agreeing * 2 >= len(others)
+
+
+class ControlHierarchy:
+    """Wires groups, leaf GEMs and the root tier to one manager."""
+
+    def __init__(self, manager: "ElasticityManager") -> None:
+        self.manager = manager
+        self.groups = ServerGroupMap(manager.config.server_group_size)
+        #: gem_id -> group owning that leaf.
+        self.leaf_group: Dict[int, int] = {}
+        self.root = RootGem(manager, self)
+        self._last_published: Dict[int, GroupAggregate] = {}
+        #: Membership announcements, in assignment order.  A degenerate
+        #: (single-group) tree is inert and emits nothing; the backlog
+        #: is flushed the moment a second group opens.
+        self._memberships: List[Tuple[str, int, int]] = []
+        self._announced = 0
+        for server in manager.system.provisioner.servers:
+            self.groups.assign(server)
+
+    def build_leaf_gems(self) -> List["GEM"]:
+        """One set of ``gem_count`` leaf GEMs per initial group (a
+        groupless fleet still gets group 0's set so reports have
+        somewhere to go)."""
+        from .gem import GEM
+        gems: List[GEM] = []
+        for group in range(max(1, self.groups.group_count())):
+            for _ in range(self.manager.config.gem_count):
+                gem = GEM(self.manager, len(gems))
+                self.leaf_group[gem.gem_id] = group
+                gems.append(gem)
+        return gems
+
+    def active(self) -> bool:
+        """The tree only does work with more than one group; degenerate
+        (single-group) trees stay fully inert so hierarchical mode is
+        bit-identical to flat there."""
+        return self.groups.group_count() > 1
+
+    def note_server(self, server: Server) -> int:
+        """Assign (idempotently) a server to its group, growing the leaf
+        tier when the assignment opens a new group.
+
+        ``group-assigned`` events follow the inertness rule: nothing is
+        emitted while the tree is degenerate (one group — where the
+        event stream must stay bit-identical to flat mode); when a
+        second group opens, the whole backlog flushes in assignment
+        order, so the checker's membership view is complete before the
+        first aggregate can possibly be published.
+        """
+        group = self.groups.assign(server)
+        if group not in self.leaf_group.values():
+            from .gem import GEM
+            for _ in range(self.manager.config.gem_count):
+                gem = GEM(self.manager, len(self.manager.gems))
+                gem.epoch = self.manager.epoch
+                self.leaf_group[gem.gem_id] = group
+                self.manager.gems.append(gem)
+        self._memberships.append((server.name, server.server_id, group))
+        if self.active():
+            while self._announced < len(self._memberships):
+                name, server_id, grp = self._memberships[self._announced]
+                self._announced += 1
+                self.manager.emit("group-assigned", server=name,
+                                  server_id=server_id, group=grp)
+        return group
+
+    def group_for_server(self, server: Server) -> int:
+        group = self.groups.group_of(server.server_id)
+        if group is None:
+            group = self.groups.assign(server)
+        return group
+
+    def leaves_of(self, group: int) -> List["GEM"]:
+        return [gem for gem in self.manager.gems
+                if self.leaf_group.get(gem.gem_id) == group]
+
+    def publish(self, gem: "GEM", servers: List[ServerSnapshot],
+                actors_by_server: Dict[int, List[ActorSnapshot]]) -> None:
+        """Leaf round complete: delta-compress this group's aggregate
+        and ship it to the root (one control-latency hop)."""
+        config = self.manager.config
+        group = self.leaf_group.get(gem.gem_id)
+        if group is None:
+            # Groupless emergency respawn (see respawn_gem): it may have
+            # heard from several groups at once, so a "group" aggregate
+            # from it would be meaningless — skip.
+            return
+        # A leaf can transiently hear from foreign servers (their own
+        # group's leaves all failed, so they fell back to this one).
+        # Those reports inform this round's decisions, but the *group*
+        # aggregate covers only the group's own members.
+        own = [snap for snap in servers
+               if self.groups.group_of(snap.server.server_id) == group]
+        if not own:
+            return
+        own_actors = {server_id: snaps
+                      for server_id, snaps in actors_by_server.items()
+                      if self.groups.group_of(server_id) == group}
+        aggregate = build_aggregate(group, gem, own, own_actors,
+                                    config.group_top_k)
+        delta = aggregate.delta_against(self._last_published.get(group))
+        self._last_published[group] = aggregate
+        self.manager.emit(
+            "gem-aggregate", group=group, gem_id=gem.gem_id,
+            epoch=gem.epoch, server_names=aggregate.server_names,
+            server_cpu_percs=aggregate.server_cpu_percs,
+            cpu_sum=aggregate.cpu_sum, mem_sum=aggregate.mem_sum,
+            net_sum=aggregate.net_sum,
+            server_count=aggregate.server_count,
+            actor_count=aggregate.actor_count,
+            delta_fields=tuple(sorted(delta)))
+        self.manager.system.sim.schedule(
+            config.control_latency_ms, self.root.receive_aggregate,
+            group, delta)

@@ -125,7 +125,7 @@ class LEM:
         lem_actions = self._apply_act_rules(actor_snaps, server_snap)
 
         gem_actions: List[Action] = []
-        gem = self.manager.pick_gem()
+        gem = self.manager.pick_gem(self.server)
         if gem is not None and self.manager.policy.resource_rules:
             related = self._collect_actors_for_res_rules(actor_snaps)
             if (browned_out
@@ -368,7 +368,15 @@ class LEM:
             # view is partial and its control plane is cut off, so defer
             # every migration until the heal re-admits it.
             return
-        record = self.manager.system.directory.try_lookup(action.actor_id)
+        # Resolve through this LEM's lookup cache when the directory is
+        # sharded (epoch-fenced, so a commit since the fill forces the
+        # shard-consultation miss path); the flat map resolves directly.
+        directory = self.manager.system.directory
+        cached = getattr(directory, "cached_lookup", None)
+        if cached is not None:
+            record = cached(self.server.server_id, action.actor_id)
+        else:
+            record = directory.try_lookup(action.actor_id)
         if record is None or record.migrating:
             return
         if record.pinned and action.kind != "reserve":

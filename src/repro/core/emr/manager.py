@@ -113,8 +113,17 @@ class ElasticityManager:
         #: plane and control plane share one ledger + brownout machine.
         self.overload = None
         self.placement = PlasmaPlacement(self)
-        self.gems: List[GEM] = [GEM(self, i)
-                                for i in range(self.config.gem_count)]
+        #: Two-tier GEM tree (``control_plane="hierarchical"``): server
+        #: groups, per-group leaf GEMs, and the root aggregate tier.
+        #: None in flat mode — every consumer guards on that.
+        self.hierarchy = None
+        if self.config.control_plane == "hierarchical":
+            from .hierarchy import ControlHierarchy
+            self.hierarchy = ControlHierarchy(self)
+            self.gems: List[GEM] = self.hierarchy.build_leaf_gems()
+        else:
+            self.gems: List[GEM] = [GEM(self, i)
+                                    for i in range(self.config.gem_count)]
         self.lems: Dict[int, LEM] = {}
         self.migration_log: List[MigrationEvent] = []
         self._draining: Set[int] = set()
@@ -200,6 +209,8 @@ class ElasticityManager:
     def _add_lem(self, server: Server) -> None:
         if server.server_id in self.lems:
             return
+        if self.hierarchy is not None:
+            self.hierarchy.note_server(server)
         lem = LEM(self, server, self._lem_counter)
         # A server booted mid-run joins at the current control-plane
         # epoch: the manager that boots it hands over the configuration,
@@ -357,7 +368,13 @@ class ElasticityManager:
                       respawned=not survivors)
 
     def respawn_gem(self) -> GEM:
-        """Boot a replacement GEM (used when every GEM has failed)."""
+        """Boot a replacement GEM (used when every GEM has failed).
+
+        In hierarchical mode the respawn is deliberately *groupless*: it
+        belongs to no leaf set, so every group's LEMs reach it through
+        the ``pick_gem`` fallback and the fleet keeps a control plane
+        until real leaves recover.  It publishes no group aggregate.
+        """
         gem = GEM(self, len(self.gems))
         self.gems.append(gem)
         return gem
@@ -574,10 +591,25 @@ class ElasticityManager:
     # services used by LEMs and GEMs
     # ------------------------------------------------------------------
 
-    def pick_gem(self) -> Optional[GEM]:
+    def pick_gem(self, server: Optional[Server] = None) -> Optional[GEM]:
         """Random healthy GEM — the shuffling process of §4.3 that lets
-        LEMs route around failed GEMs."""
+        LEMs route around failed GEMs.
+
+        In hierarchical mode a LEM shuffles only among its server
+        group's leaf GEMs (falling back to the full alive set when the
+        group's leaves are all down, so an emergency respawn can serve
+        the whole fleet).  With one group the candidate list — and
+        therefore the RNG draw — is exactly the flat one, which keeps
+        the two control planes bit-identical there.
+        """
         alive = [gem for gem in self.gems if not gem.failed]
+        if self.hierarchy is not None and server is not None:
+            group = self.hierarchy.group_for_server(server)
+            in_group = [gem for gem in alive
+                        if self.hierarchy.leaf_group.get(gem.gem_id)
+                        == group]
+            if in_group:
+                alive = in_group
         if not alive:
             return None
         return self._gem_rng.choice(alive)
@@ -619,8 +651,14 @@ class ElasticityManager:
         return min(candidates,
                    key=lambda s: (s.memory_percent(), s.server_id))
 
-    def note_migration(self, action: Action) -> None:
-        """Record a started migration in the explainable event log."""
+    def note_migration(self, action: Action, issuer: str = "lem") -> None:
+        """Record a started migration in the explainable event log.
+
+        ``issuer`` says which authority executed the action: ``"lem"``
+        for the per-server loop (both its own and GEM-planned actions)
+        or ``"root"`` for a cross-group move arbitrated by the root tier
+        — the cross-group-single-authority invariant keys off it.
+        """
         rule_line = -1
         if 0 <= action.rule_index < len(self.policy.source_policy.rules):
             rule_line = self.policy.source_policy.rules[
@@ -634,7 +672,7 @@ class ElasticityManager:
             self.emit("migration-started", actor=str(action.actor.ref),
                       actor_id=action.actor_id, action=action.kind,
                       src=action.src.name, dst=action.dst.name,
-                      rule_index=action.rule_index,
+                      rule_index=action.rule_index, issuer=issuer,
                       pinned=record.pinned if record is not None else False,
                       dst_draining=action.dst.server_id in self._draining,
                       dst_running=action.dst.running,
@@ -667,6 +705,22 @@ class ElasticityManager:
             return False
         peers = [gem for gem in self.gems
                  if gem is not requester and not gem.failed]
+        if self.hierarchy is not None:
+            # Hierarchical mode: the vote is local to the requester's
+            # group (its co-leaves), but the root — which sees every
+            # group's folded aggregate — may veto when a majority of
+            # *other* groups contradicts the request.  With one group
+            # both clauses degenerate to the flat behaviour exactly.
+            group = self.hierarchy.leaf_group.get(requester.gem_id)
+            peers = [gem for gem in peers
+                     if self.hierarchy.leaf_group.get(gem.gem_id) == group]
+            if not self.hierarchy.root.concurs(group, direction):
+                if self.debug_events:
+                    self.emit("gem-vote", requester=requester.gem_id,
+                              direction=direction, peer_views=(),
+                              agreeing=0, decision=False,
+                              vetoed="root-arbiter")
+                return False
         if not peers:
             if self.debug_events:
                 self.emit("gem-vote", requester=requester.gem_id,

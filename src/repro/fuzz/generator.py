@@ -342,8 +342,14 @@ def generate_scenario(seed: int, profile: str = "default") -> Scenario:
       admission control, brownout armed) and at least one load storm
       (``event-storm`` / ``hot-key-flood``), so shedding, backpressure,
       and the disposition ledger are exercised on every seed.
+    - ``"scale"``: every scenario runs the hierarchical control plane
+      over a consistent-hash-sharded directory, with a randomized group
+      topology (fleet large enough for several groups) and shard count,
+      so the GEM tree, root arbitration, and shard/cache invariants are
+      exercised on every seed.
     """
-    if profile not in ("default", "partition", "durability", "overload"):
+    if profile not in ("default", "partition", "durability", "overload",
+                       "scale"):
         raise ValueError(f"unknown generator profile {profile!r}")
     rng = random.Random(seed)
     app = rng.choice(("pagerank", "estore", "chatroom"))
@@ -398,5 +404,15 @@ def generate_scenario(seed: int, profile: str = "default") -> Scenario:
         # only happen for overload campaigns, so every other profile's
         # seed mapping stays bit-identical.
         fields["overload"] = _gen_overload(rng)
+    if profile == "scale":
+        # Same branch-confinement rule again.  The fleet is regrown to
+        # several groups' worth of servers (the small draw above is
+        # overridden; fault server indices are drawn later, against the
+        # final count) and the whole cluster-scale machinery is armed.
+        fields["servers"] = rng.randrange(6, 13)
+        fields["control_plane"] = "hierarchical"
+        fields["server_group_size"] = rng.choice((2, 3, 4))
+        fields["directory_shards"] = rng.choice((2, 3, 5))
+        fields["directory_virtual_nodes"] = rng.choice((8, 16))
     fields["faults"] = tuple(_gen_faults(rng, fields, profile))
     return Scenario(**fields)

@@ -230,6 +230,13 @@ def run_scenario(scenario: Scenario, strict: bool = False,
                             instance_type=scenario.instance_type,
                             seed=scenario.seed,
                             boot_delay_ms=scenario.boot_delay_ms)
+        if scenario.directory_shards is not None:
+            # Swap in the sharded directory before any actor exists, so
+            # every record of the run lives under ring ownership.
+            from ..actors import ShardedDirectory
+            bed.system.directory = ShardedDirectory(
+                shards=scenario.directory_shards,
+                virtual_nodes=scenario.directory_virtual_nodes)
         policy = compile_source(scenario.policy_source(),
                                 actor_classes_for(scenario.app))
         jitter_frac = 0.0
@@ -253,7 +260,11 @@ def run_scenario(scenario: Scenario, strict: bool = False,
             suspicion_timeout_ms=scenario.suspicion_timeout_ms,
             durability=(DurabilityConfig(**scenario.durability)
                         if scenario.durability is not None else None),
-            overload=overload_config)
+            overload=overload_config,
+            control_plane=scenario.control_plane,
+            server_group_size=scenario.server_group_size,
+            directory_shards=scenario.directory_shards,
+            directory_virtual_nodes=scenario.directory_virtual_nodes)
         manager = ElasticityManager(bed.system, policy, config)
         tracer = None
         if with_trace:

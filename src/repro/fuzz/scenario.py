@@ -65,6 +65,13 @@ class Scenario:
     #: runner-level ``client_jitter_frac`` key; ``None`` = off).  Like
     #: ``durability``, absent from older corpus artifacts.
     overload: Optional[Dict[str, Any]] = None
+    #: -- cluster-scale control plane.  All default to the flat control
+    #: plane / flat directory, so older corpus artifacts (where these
+    #: fields are absent) keep replaying bit-identically.
+    control_plane: str = "flat"
+    server_group_size: Optional[int] = None
+    directory_shards: Optional[int] = None
+    directory_virtual_nodes: int = 16
 
     def __post_init__(self) -> None:
         if self.app not in APPS:
@@ -78,6 +85,9 @@ class Scenario:
             raise ValueError("period_ms must be positive")
         if self.clients < 0:
             raise ValueError("clients must be >= 0")
+        if self.control_plane not in ("flat", "hierarchical"):
+            raise ValueError(
+                f"unknown control_plane {self.control_plane!r}")
         object.__setattr__(self, "rules", tuple(self.rules))
         object.__setattr__(self, "faults",
                            tuple(dict(f) for f in self.faults))
@@ -138,4 +148,9 @@ class Scenario:
             parts.append("durable")
         if self.overload is not None:
             parts.append("overload")
+        if self.control_plane != "flat":
+            parts.append(f"{self.control_plane}"
+                         f"(groups of {self.server_group_size})")
+        if self.directory_shards is not None:
+            parts.append(f"{self.directory_shards} dir shard(s)")
         return " ".join(parts)

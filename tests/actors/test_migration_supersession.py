@@ -1,0 +1,136 @@
+"""Regression: a resurrection superseding an aborted two-phase transfer.
+
+Found by the fuzz "scale" profile: when a source server crashed
+mid-transfer and the failure path resurrected the actor (same
+``ActorRef``) fast enough to start a *new* migration before the old
+transfer proc woke up, the old proc's abort handling operated on the
+actor id rather than its own record — pruning the superseding
+migration's in-progress entry and leaving the tombstone flagged
+``migrating`` forever.  The fix keys every cleanup on record identity
+(``_prune_prepared``) and resets the tombstone's flag in
+``_abort_lost``; these tests pin both, plus the prompt-abort path when
+an actor is destroyed while its migration drains the in-flight handler.
+"""
+
+from repro.actors import Actor, ActorSystem
+from repro.cluster import Provisioner
+from repro.sim import Simulator, Timeout, spawn
+
+
+class BigWorker(Actor):
+    #: Large state => tens of milliseconds of transfer delay, a wide
+    #: window to crash the source mid-protocol.
+    state_size_mb = 64.0
+
+    def __init__(self):
+        self.processed = 0
+
+    def work(self, duration):
+        yield self.compute(duration)
+        self.processed += 1
+        return self.processed
+
+
+def make_system(servers=3):
+    sim = Simulator()
+    prov = Provisioner(sim, default_type="m5.large")
+    for _ in range(servers):
+        prov.boot_server(immediate=True)
+    sim.run()
+    return sim, ActorSystem(sim, prov)
+
+
+def test_resurrection_supersedes_aborted_transfer():
+    sim, system = make_system()
+    src, dst, spare = system.provisioner.servers
+    ref = system.create_actor(BigWorker, server=src)
+    old_record = system.directory.lookup(ref.actor_id)
+
+    done_old = system.migrate_actor(ref, dst)
+    sim.run(until=sim.now + 5.0)  # old proc is parked in its transfer
+    assert system._prepared[ref.actor_id][0] is old_record
+
+    # Source dies mid-transfer; the old proc keeps sleeping on its
+    # transfer timeout with a now-dead record.
+    system.crash_server(src)
+    assert system.directory.try_lookup(ref.actor_id) is None
+
+    # Resurrect under the same ref and immediately re-migrate: the new
+    # proc registers its own prepared entry for the same actor id.
+    revived = system.resurrect_actor(old_record, server=spare)
+    assert revived == ref
+    new_record = system.directory.lookup(ref.actor_id)
+    assert new_record is not old_record
+    done_new = system.migrate_actor(ref, dst)
+    sim.run(until=sim.now + 1.0)
+    assert system._prepared[ref.actor_id][0] is new_record
+
+    # Let the old proc wake and abort: it must prune only *its own*
+    # prepared entry, leaving the superseding migration's in place.
+    sim.run(until=sim.now + 60.0)
+    assert done_old.value is False
+    assert old_record.migrating is False  # tombstone flag reset
+    if not done_new.value:
+        assert system._prepared[ref.actor_id][0] is new_record
+
+    sim.run()
+    assert done_new.value is True
+    assert system.server_of(ref) is dst
+    assert system._prepared == {}  # nothing lingers after the dust settles
+    assert new_record.migrating is False
+    assert system._gates.get(ref.actor_id) is None
+
+
+def test_destroy_while_draining_aborts_promptly():
+    sim, system = make_system(servers=2)
+    src, dst = system.provisioner.servers
+    ref = system.create_actor(BigWorker, server=src)
+    record = system.directory.lookup(ref.actor_id)
+
+    # Park the actor in a long handler, then migrate: the proc blocks on
+    # the idle signal until the handler finishes.
+    from repro.actors import Client
+    client = Client(system, name="driver")
+    reply = client.call(ref, "work", 10_000.0)
+    sim.run(until=sim.now + 50.0)
+    done = system.migrate_actor(ref, dst)
+    sim.run(until=sim.now + 50.0)
+    assert record.migrating is True
+    assert done.value is None  # still draining
+
+    # Destroying the actor must wake the parked proc immediately — not
+    # leak it until the (never-coming) handler completion.
+    system.destroy_actor(ref)
+    sim.run(until=sim.now + 1.0)
+    assert done.value is False
+    assert record.migrating is False
+    assert ref.actor_id not in system._prepared
+    assert reply.value is None  # in-flight caller got a None reply
+
+    sim.run()
+    assert system.directory.try_lookup(ref.actor_id) is None
+
+
+def test_superseded_abort_does_not_clear_new_gate():
+    """The old proc's rollback path must not null the *new* record's
+    mailbox gate: gates are keyed by actor id, so only an
+    identity-matched record may clear one."""
+    sim, system = make_system()
+    src, dst, spare = system.provisioner.servers
+    ref = system.create_actor(BigWorker, server=src)
+    old_record = system.directory.lookup(ref.actor_id)
+
+    system.migrate_actor(ref, dst)
+    sim.run(until=sim.now + 5.0)
+    system.crash_server(src)
+    system.resurrect_actor(old_record, server=spare)
+    done_new = system.migrate_actor(ref, dst)
+    sim.run(until=sim.now + 1.0)
+    # The new migration's gate is up while it transfers.
+    assert system._gates.get(ref.actor_id) is not None
+
+    sim.run()
+    assert done_new.value is True
+    assert system.server_of(ref) is dst
+    assert system._gates.get(ref.actor_id) is None
+    assert system._prepared == {}

@@ -1,0 +1,267 @@
+"""Properties of the consistent-hash-sharded directory.
+
+Three claims make the sharded directory a safe replacement for the flat
+authoritative map, and each gets a property here:
+
+1. **Exactly-one-shard ownership** — after any interleaving of
+   register/unregister, every live record lives in exactly one shard
+   map, that map agrees with the ring owner, and the shard union equals
+   the authoritative map (``coverage_errors`` stays empty).
+2. **Bounded remapping** — adding or removing a shard moves only the
+   keys whose owning arc changed: ~``K/N`` of the keyspace, never a
+   full reshuffle, and never a key whose owner did not change.
+3. **Epoch-fenced caches** — a per-LEM cache can never serve an entry
+   filled before the latest migration commit of that actor: a commit
+   fences every cache, forcing the next lookup down the miss path.
+
+The properties are hypothesis-driven when hypothesis is installed
+(local dev); the deterministic unit tests below them always run.
+"""
+
+import pytest
+
+from repro.actors.directory import ActorRecord
+from repro.actors.refs import ActorRef
+from repro.actors.sharded_directory import HashRing, ShardedDirectory
+
+
+def _record(actor_id):
+    return ActorRecord(instance=None, ref=ActorRef(actor_id, "T"),
+                       server=None, created_at=0.0)
+
+
+# ---------------------------------------------------------------------------
+# HashRing units
+# ---------------------------------------------------------------------------
+
+def test_ring_owner_is_deterministic_and_total():
+    ring = HashRing(virtual_nodes=8)
+    for shard in range(4):
+        ring.add_shard(shard)
+    owners = {key: ring.owner(key) for key in range(1000)}
+    again = HashRing(virtual_nodes=8)
+    for shard in range(4):
+        again.add_shard(shard)
+    assert owners == {key: again.owner(key) for key in range(1000)}
+    assert set(owners.values()) <= {0, 1, 2, 3}
+    # Virtual nodes spread load: every shard owns something.
+    assert set(owners.values()) == {0, 1, 2, 3}
+
+
+def test_ring_rejects_duplicates_and_unknown_removals():
+    ring = HashRing()
+    ring.add_shard(0)
+    with pytest.raises(ValueError):
+        ring.add_shard(0)
+    with pytest.raises(ValueError):
+        ring.remove_shard(7)
+    with pytest.raises(ValueError):
+        HashRing(virtual_nodes=0)
+
+
+def test_empty_ring_refuses_lookup():
+    with pytest.raises(ValueError):
+        HashRing().owner(1)
+
+
+def test_directory_refuses_removing_last_shard():
+    directory = ShardedDirectory(shards=1)
+    with pytest.raises(ValueError):
+        directory.remove_shard(0)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic coverage / remapping / fencing checks
+# ---------------------------------------------------------------------------
+
+def test_register_unregister_keeps_exact_coverage():
+    directory = ShardedDirectory(shards=3, virtual_nodes=8)
+    for actor_id in range(1, 201):
+        directory.register(_record(actor_id))
+    assert directory.coverage_errors() == []
+    for actor_id in range(1, 201, 3):
+        directory.unregister(actor_id)
+    assert directory.coverage_errors() == []
+    live = {record.ref.actor_id for record in directory.records()}
+    sharded = set()
+    for shard_id in directory.shard_ids():
+        owned = set(directory.shard_records(shard_id))
+        assert sharded.isdisjoint(owned)
+        sharded |= owned
+    assert sharded == live
+
+
+def test_add_shard_moves_only_keys_whose_owner_changed():
+    directory = ShardedDirectory(shards=4, virtual_nodes=16)
+    keys = list(range(1, 1001))
+    for actor_id in keys:
+        directory.register(_record(actor_id))
+    before = {actor_id: directory.shard_of(actor_id) for actor_id in keys}
+    moved = directory.add_shard(4)
+    after = {actor_id: directory.shard_of(actor_id) for actor_id in keys}
+    changed = [actor_id for actor_id in keys
+               if before[actor_id] != after[actor_id]]
+    assert moved == len(changed)
+    # Every relocated key now belongs to the new shard (a key never hops
+    # between two surviving shards when one is *added*).
+    assert all(after[actor_id] == 4 for actor_id in changed)
+    # Bounded: ~K/N of the keyspace, comfortably below a reshuffle.
+    assert 0 < len(changed) < len(keys) // 2
+    assert directory.coverage_errors() == []
+
+
+def test_remove_shard_rehomes_only_its_keys():
+    directory = ShardedDirectory(shards=5, virtual_nodes=16)
+    keys = list(range(1, 1001))
+    for actor_id in keys:
+        directory.register(_record(actor_id))
+    victim_keys = set(directory.shard_records(2))
+    before = {actor_id: directory.shard_of(actor_id) for actor_id in keys}
+    moved = directory.remove_shard(2)
+    after = {actor_id: directory.shard_of(actor_id) for actor_id in keys}
+    changed = {actor_id for actor_id in keys
+               if before[actor_id] != after[actor_id]}
+    assert moved == len(changed)
+    assert changed == victim_keys  # survivors' keys never move
+    assert 2 not in directory.shard_ids()
+    assert directory.coverage_errors() == []
+    assert all(directory.try_lookup(actor_id) is not None
+               for actor_id in keys)
+
+
+def test_cache_is_fenced_by_commit_epoch():
+    directory = ShardedDirectory(shards=2, virtual_nodes=8)
+    record = _record(7)
+    directory.register(record)
+    # Fill two LEM caches, then verify a hit is served from each.
+    assert directory.cached_lookup(101, 7) is record
+    assert directory.cached_lookup(102, 7) is record
+    hits_before = directory.cache_hits
+    assert directory.cached_lookup(101, 7) is record
+    assert directory.cache_hits == hits_before + 1
+    # A migration commit fences *every* cache: both go down the miss
+    # path and re-fill at the new epoch.
+    directory.note_commit(7, epoch=3)
+    misses_before = directory.cache_misses
+    assert directory.cached_lookup(101, 7) is record
+    assert directory.cached_lookup(102, 7) is record
+    assert directory.cache_misses == misses_before + 2
+    assert directory.cache_invalidations >= 2
+    # Refilled entries are hits again until the next commit.
+    hits_before = directory.cache_hits
+    assert directory.cached_lookup(102, 7) is record
+    assert directory.cache_hits == hits_before + 1
+
+
+def test_cache_never_resurrects_unregistered_actor():
+    directory = ShardedDirectory(shards=2)
+    directory.register(_record(9))
+    assert directory.cached_lookup(1, 9) is not None
+    directory.unregister(9)
+    assert directory.cached_lookup(1, 9) is None
+    assert directory.try_lookup(9) is None
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties
+# ---------------------------------------------------------------------------
+
+def _hypothesis():
+    hypothesis = pytest.importorskip("hypothesis")
+    st = pytest.importorskip("hypothesis.strategies")
+    return hypothesis, st
+
+
+def test_property_exactly_one_shard_ownership():
+    hypothesis, st = _hypothesis()
+
+    @hypothesis.settings(max_examples=50, deadline=None)
+    @hypothesis.given(
+        shards=st.integers(min_value=1, max_value=8),
+        virtual_nodes=st.integers(min_value=1, max_value=32),
+        ops=st.lists(st.tuples(st.booleans(),
+                               st.integers(min_value=1, max_value=64)),
+                     max_size=120))
+    def check(shards, virtual_nodes, ops):
+        directory = ShardedDirectory(shards=shards,
+                                     virtual_nodes=virtual_nodes)
+        live = set()
+        for register, actor_id in ops:
+            if register and actor_id not in live:
+                directory.register(_record(actor_id))
+                live.add(actor_id)
+            elif not register:
+                directory.unregister(actor_id)
+                live.discard(actor_id)
+        assert directory.coverage_errors() == []
+        assert {r.ref.actor_id for r in directory.records()} == live
+        for actor_id in live:
+            assert directory.try_lookup(actor_id) is not None
+
+    check()
+
+
+def test_property_bounded_remapping():
+    hypothesis, st = _hypothesis()
+
+    @hypothesis.settings(max_examples=25, deadline=None)
+    @hypothesis.given(
+        shards=st.integers(min_value=2, max_value=6),
+        grow=st.booleans(),
+        seed_keys=st.sets(st.integers(min_value=1, max_value=10_000),
+                          min_size=50, max_size=300))
+    def check(shards, grow, seed_keys):
+        directory = ShardedDirectory(shards=shards, virtual_nodes=16)
+        for actor_id in seed_keys:
+            directory.register(_record(actor_id))
+        before = {a: directory.shard_of(a) for a in seed_keys}
+        if grow:
+            moved = directory.add_shard(shards)
+        else:
+            moved = directory.remove_shard(shards - 1)
+        after = {a: directory.shard_of(a) for a in seed_keys}
+        changed = {a for a in seed_keys if before[a] != after[a]}
+        assert moved == len(changed)
+        if grow:
+            # Only keys captured by the new shard's arcs moved.
+            assert all(after[a] == shards for a in changed)
+        else:
+            # Only the departing shard's keys moved.
+            assert all(before[a] == shards - 1 for a in changed)
+            assert all(after[a] != shards - 1 for a in seed_keys)
+        assert directory.coverage_errors() == []
+
+    check()
+
+
+def test_property_cache_never_stale_past_commit():
+    hypothesis, st = _hypothesis()
+
+    @hypothesis.settings(max_examples=50, deadline=None)
+    @hypothesis.given(
+        ops=st.lists(st.tuples(st.sampled_from(["lookup", "commit"]),
+                               st.integers(min_value=1, max_value=4),
+                               st.integers(min_value=1, max_value=8)),
+                     min_size=1, max_size=100))
+    def check(ops):
+        directory = ShardedDirectory(shards=3, virtual_nodes=8)
+        for actor_id in range(1, 9):
+            directory.register(_record(actor_id))
+        #: Shadow model: epoch each cache last observed per actor.
+        observed = {}
+        current = {actor_id: 0 for actor_id in range(1, 9)}
+        for op, cache_id, actor_id in ops:
+            if op == "commit":
+                directory.note_commit(actor_id)
+                current[actor_id] += 1
+            else:
+                misses = directory.cache_misses
+                record = directory.cached_lookup(cache_id, actor_id)
+                assert record is not None
+                key = (cache_id, actor_id)
+                if observed.get(key) != current[actor_id]:
+                    # The fence must have forced the miss path.
+                    assert directory.cache_misses == misses + 1
+                observed[key] = current[actor_id]
+
+    check()

@@ -38,7 +38,7 @@ def make_checker(strict=False, **config):
 
 
 def test_catalogue_shape():
-    assert len(INVARIANTS) == 20
+    assert len(INVARIANTS) == 23
     for name, description in INVARIANTS.items():
         assert name == name.lower()
         assert " " not in name
