@@ -20,6 +20,16 @@ over a virtual-node consistent-hash ring:
   *not* recalled — the stale host forwards it, paying one extra hop
   (``ActorSystem._deliver``'s existing forwarding path, unchanged).
   Staleness is therefore bounded to messages sent before the commit.
+- **Shard hosting and crash handoff**: shards are optionally *bound* to
+  host servers (:meth:`ShardedDirectory.bind_hosts`, round-robin; the
+  elasticity manager does this at start).  When a host crashes,
+  :meth:`ShardedDirectory.note_host_crashed` removes its shards from
+  the ring — the departing ranges rehash onto the surviving shards with
+  bounded movement — and drops the crashed server's lookup cache.  The
+  last shard is never removed (the id space must stay covered); it just
+  becomes unhosted.  ``coverage_errors`` audits the remap, and the
+  invariant checker runs that audit *during* churn (on every
+  crash/remap event), not only at the periodic sweep.
 
 The class subclasses ``Directory`` so iteration-order-sensitive
 consumers (the invariant checker's sweep, ``on_server``, golden traces)
@@ -112,9 +122,13 @@ class ShardedDirectory(Directory):
         #: Commit epoch per actor: bumped by ``note_commit`` when a
         #: migration flips the record, fencing out stale cache entries.
         self._commit_epoch: Dict[int, int] = {}
+        #: shard id -> hosting server id (``bind_hosts``); unbound
+        #: shards survive any crash.
+        self._shard_host: Dict[int, int] = {}
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_invalidations = 0
+        self.shards_lost = 0
 
     # -- shard ownership ------------------------------------------------
 
@@ -154,6 +168,45 @@ class ShardedDirectory(Directory):
                         records.pop(actor_id)
                     moved += 1
         return moved
+
+    # -- shard hosting / crash handoff ----------------------------------
+
+    def bind_hosts(self, servers: Iterable) -> None:
+        """Pin each shard to a host server, round-robin over ``servers``
+        in fleet order.  Idempotent per shard — rebinding does not move
+        already-bound shards."""
+        hosts = [server.server_id for server in servers]
+        if not hosts:
+            return
+        for index, shard_id in enumerate(sorted(self._shard_records)):
+            self._shard_host.setdefault(shard_id, hosts[index % len(hosts)])
+
+    def shard_host(self, shard_id: int) -> Optional[int]:
+        """Server id hosting ``shard_id``, or ``None`` if unbound."""
+        return self._shard_host.get(shard_id)
+
+    def note_host_crashed(self, server_id: int) -> Tuple[int, int]:
+        """A shard host left the fleet: remove the shards it hosted
+        from the ring (their ranges rehash onto the survivors) and drop
+        its lookup cache.  The last shard on the ring is never removed —
+        the id space must stay covered — it merely becomes unhosted.
+
+        Returns ``(shards_removed, records_moved)``.
+        """
+        self._caches.pop(server_id, None)
+        hosted = sorted(shard_id
+                        for shard_id, host in self._shard_host.items()
+                        if host == server_id)
+        shards_removed = 0
+        records_moved = 0
+        for shard_id in hosted:
+            del self._shard_host[shard_id]
+            if len(self.ring.shards()) <= 1:
+                continue  # sole surviving shard: unhosted, not removed
+            records_moved += self.remove_shard(shard_id)
+            shards_removed += 1
+            self.shards_lost += 1
+        return shards_removed, records_moved
 
     # -- Directory surface ---------------------------------------------
 

@@ -2,17 +2,17 @@
 
 Declarative fault plans (:class:`FaultPlan`) executed by a simulation
 process (:class:`ChaosEngine`): fail-stop server crashes, GEM kills,
-transient network degradation, per-link network partitions, limping
-(CPU-slowed) servers, and load storms (:class:`EventStorm`,
-:class:`HotKeyFlood`) that flood the data plane with real client
-calls — all deterministic under a fixed seed so failures are exactly
-replayable.
+hierarchical root-tier kills (:class:`KillRoot`), transient network
+degradation, per-link network partitions, limping (CPU-slowed) servers,
+and load storms (:class:`EventStorm`, :class:`HotKeyFlood`) that flood
+the data plane with real client calls — all deterministic under a fixed
+seed so failures are exactly replayable.
 """
 
 from .engine import ChaosEngine
 from .plan import (CrashServer, DegradeNetwork, EventStorm, Fault, FaultPlan,
-                   HotKeyFlood, KillGem, PartitionNetwork, SlowServer,
-                   fault_from_dict, fault_to_dict)
+                   HotKeyFlood, KillGem, KillRoot, PartitionNetwork,
+                   SlowServer, fault_from_dict, fault_to_dict)
 
 __all__ = [
     "ChaosEngine",
@@ -23,6 +23,7 @@ __all__ = [
     "FaultPlan",
     "HotKeyFlood",
     "KillGem",
+    "KillRoot",
     "PartitionNetwork",
     "SlowServer",
     "fault_from_dict",

@@ -2,9 +2,9 @@
 
 The engine is a simulation process.  It walks the plan in time order,
 injects each fault through the public runtime surfaces (``crash_server``,
-``GEM.fail``, ``NetworkFabric.degrade``, ``NetworkFabric.partition``,
-``Server.set_speed_factor``, ``ActorSystem.client_call`` for load
-storms) and
+``GEM.fail``, ``RootGem.fail``, ``NetworkFabric.degrade``,
+``NetworkFabric.partition``, ``Server.set_speed_factor``,
+``ActorSystem.client_call`` for load storms) and
 schedules the matching heal when the fault declares one.  Every injection
 and heal is appended to :attr:`ChaosEngine.log` and — when an elasticity
 manager is attached — emitted on its event bus as ``fault-injected`` /
@@ -31,7 +31,8 @@ from ..actors import ActorSystem
 from ..cluster import Server
 from ..sim import Timeout, spawn
 from .plan import (CrashServer, DegradeNetwork, EventStorm, Fault, FaultPlan,
-                   HotKeyFlood, KillGem, PartitionNetwork, SlowServer)
+                   HotKeyFlood, KillGem, KillRoot, PartitionNetwork,
+                   SlowServer)
 
 __all__ = ["ChaosEngine"]
 
@@ -47,8 +48,8 @@ class ChaosEngine:
         The faults to inject.
     manager:
         Optional :class:`~repro.core.emr.ElasticityManager`; needed for
-        :class:`KillGem` faults and for emitting fault events on the EMR
-        event bus (so tracers see them).
+        :class:`KillGem` / :class:`KillRoot` faults and for emitting
+        fault events on the EMR event bus (so tracers see them).
     rng:
         Random source for message-drop decisions.  Defaults to the
         system's dedicated ``chaos-drops`` stream.
@@ -90,6 +91,8 @@ class ChaosEngine:
             self._crash_server(fault)
         elif isinstance(fault, KillGem):
             self._kill_gem(fault)
+        elif isinstance(fault, KillRoot):
+            self._kill_root(fault)
         elif isinstance(fault, DegradeNetwork):
             self._degrade_network(fault)
         elif isinstance(fault, SlowServer):
@@ -141,10 +144,16 @@ class ChaosEngine:
         done._subscribe(booted)
 
     def _kill_gem(self, fault: KillGem) -> None:
-        if self.manager is None or fault.gem_id >= len(self.manager.gems):
+        # GEMs are addressed by stable id, not list position: respawns
+        # append to ``manager.gems``, so a raw index could make a
+        # replayed plan hit a different GEM than the one recorded.
+        gem = None
+        if self.manager is not None:
+            gem = next((g for g in self.manager.gems
+                        if g.gem_id == fault.gem_id), None)
+        if gem is None:
             self._skip("kill-gem", reason="no-such-gem", gem_id=fault.gem_id)
             return
-        gem = self.manager.gems[fault.gem_id]
         if gem.failed:
             self._skip("kill-gem", reason="gem-already-failed",
                        gem_id=fault.gem_id)
@@ -159,6 +168,36 @@ class ChaosEngine:
     def _recover_gem(self, gem) -> None:
         gem.recover()
         self._emit("fault-healed", fault="kill-gem", gem_id=gem.gem_id)
+
+    def _kill_root(self, fault: KillRoot) -> None:
+        hierarchy = getattr(self.manager, "hierarchy", None)
+        if hierarchy is None:
+            self._skip("kill-root", reason="no-hierarchy")
+            return
+        root = hierarchy.root
+        if root.failed:
+            self._skip("kill-root", reason="root-already-failed")
+            return
+        root.fail()
+        self.faults_injected += 1
+        self._emit("fault-injected", fault="kill-root",
+                   generation=root.generation)
+        if fault.recover_after_ms is not None:
+            self.system.sim.schedule(fault.recover_after_ms,
+                                     self._recover_root, root,
+                                     root.generation)
+
+    def _recover_root(self, root, generation: int) -> None:
+        if root.generation != generation or not root.failed:
+            # A leaf was promoted (or the detector respawned the root)
+            # while this incarnation was down: it stays retired — a
+            # superseded root must not regain authority.
+            self._emit("fault-healed", fault="kill-root", superseded=True,
+                       generation=root.generation)
+            return
+        root.recover()
+        self._emit("fault-healed", fault="kill-root", superseded=False,
+                   generation=root.generation)
 
     def _degrade_network(self, fault: DegradeNetwork) -> None:
         fabric = self.system.fabric

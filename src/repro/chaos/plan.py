@@ -13,6 +13,9 @@ Fault types
   optionally boot a replacement after ``replace_after_ms``.
 - :class:`KillGem` — stop a global elasticity manager from replying to
   REPORTs; optionally recover it later.
+- :class:`KillRoot` — fail the hierarchical control plane's root tier
+  (a no-op skip in flat mode); optionally recover it later.  A root
+  that was superseded by a promotion in the meantime stays retired.
 - :class:`DegradeNetwork` — multiply remote latencies and/or drop a
   fraction of remote messages for ``duration_ms``.
 - :class:`SlowServer` — scale a server's effective CPU speed (a
@@ -35,9 +38,9 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-__all__ = ["CrashServer", "KillGem", "DegradeNetwork", "SlowServer",
-           "PartitionNetwork", "EventStorm", "HotKeyFlood", "FaultPlan",
-           "Fault", "fault_to_dict", "fault_from_dict"]
+__all__ = ["CrashServer", "KillGem", "KillRoot", "DegradeNetwork",
+           "SlowServer", "PartitionNetwork", "EventStorm", "HotKeyFlood",
+           "FaultPlan", "Fault", "fault_to_dict", "fault_from_dict"]
 
 
 @dataclass(frozen=True)
@@ -61,7 +64,13 @@ class CrashServer:
 
 @dataclass(frozen=True)
 class KillGem:
-    """Stop GEM ``gem_id`` from replying to REPORTs at ``at_ms``."""
+    """Stop GEM ``gem_id`` from replying to REPORTs at ``at_ms``.
+
+    ``gem_id`` is the GEM's *stable id* (the ``GEM.gem_id`` attribute),
+    not a position in ``manager.gems`` — ``respawn_gem`` appends to that
+    list, so raw indices would let a replayed plan hit a different GEM
+    than the one the plan was recorded against.
+    """
 
     at_ms: float
     gem_id: int = 0
@@ -72,6 +81,27 @@ class KillGem:
             raise ValueError("at_ms must be non-negative")
         if self.gem_id < 0:
             raise ValueError("gem_id must be non-negative")
+        if self.recover_after_ms is not None and self.recover_after_ms <= 0:
+            raise ValueError("recover_after_ms must be positive")
+
+
+@dataclass(frozen=True)
+class KillRoot:
+    """Fail the hierarchical root tier at ``at_ms``.
+
+    Only meaningful when ``EmrConfig.control_plane="hierarchical"``; the
+    engine skips it (``fault-skipped``) in flat mode.  With
+    ``recover_after_ms`` set the *same incarnation* recovers only if no
+    leaf was promoted in the meantime — a superseded root must not
+    regain authority (the ``root-single-authority`` invariant).
+    """
+
+    at_ms: float
+    recover_after_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ValueError("at_ms must be non-negative")
         if self.recover_after_ms is not None and self.recover_after_ms <= 0:
             raise ValueError("recover_after_ms must be positive")
 
@@ -228,15 +258,16 @@ class HotKeyFlood:
             raise ValueError("actor_rank must be non-negative")
 
 
-Fault = Union[CrashServer, KillGem, DegradeNetwork, SlowServer,
+Fault = Union[CrashServer, KillGem, KillRoot, DegradeNetwork, SlowServer,
               PartitionNetwork, EventStorm, HotKeyFlood]
 
-_FAULT_TYPES = (CrashServer, KillGem, DegradeNetwork, SlowServer,
+_FAULT_TYPES = (CrashServer, KillGem, KillRoot, DegradeNetwork, SlowServer,
                 PartitionNetwork, EventStorm, HotKeyFlood)
 
 _FAULT_NAMES: Dict[str, type] = {
     "crash-server": CrashServer,
     "kill-gem": KillGem,
+    "kill-root": KillRoot,
     "degrade-network": DegradeNetwork,
     "slow-server": SlowServer,
     "partition-network": PartitionNetwork,

@@ -28,8 +28,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Set
 
+from dataclasses import fields as _dataclass_fields
+
 from ..actors import ActorRecord, RuntimeHooks
 from ..cluster import AvailabilityMeter, Server
+from ..core.emr.hierarchy import GroupAggregate
 from .invariants import INVARIANTS, InvariantError, Violation
 
 __all__ = ["InvariantChecker"]
@@ -37,6 +40,11 @@ __all__ = ["InvariantChecker"]
 _EPS = 1e-6
 _PERC_EPS = 1e-6
 _MEM_EPS_MB = 1e-6
+
+#: Every field a *full* (non-delta) group aggregate ships; derived from
+#: the dataclass schema, not from the hierarchy's runtime bookkeeping.
+_AGGREGATE_FIELDS = frozenset(
+    f.name for f in _dataclass_fields(GroupAggregate))
 
 
 class _CheckerHooks(RuntimeHooks):
@@ -151,6 +159,15 @@ class InvariantChecker:
         #: published while its delta is still in flight to the root is
         #: legitimate one-step staleness, not a folding bug.
         self._aggregate_history: Dict[int, List[tuple]] = {}
+        # -- hierarchical failover state (re-derived from fault and
+        # failover events, NOT from the RootGem's own flags) ------------
+        self._root_failed = False
+        self._root_generation = 0
+        #: Groups whose aggregate stream broke (root failover/recovery,
+        #: adoption change): their next gem-aggregate must be full.
+        self._groups_needing_full: Set[int] = set()
+        #: Root-issued migrations in flight: actor id -> started-at ms.
+        self._root_inflight: Dict[int, float] = {}
 
     # -- partition side re-derivation ---------------------------------
 
@@ -293,11 +310,13 @@ class InvariantChecker:
         self._server_of.pop(actor_id, None)
         self._placed_at.pop(actor_id, None)
         self._inflight.pop(actor_id, None)
+        self._root_inflight.pop(actor_id, None)
 
     def _on_migrated(self, record: ActorRecord, old_server: Server,
                      new_server: Server) -> None:
         actor_id = record.ref.actor_id
         now = self.manager.system.sim.now
+        self._root_inflight.pop(actor_id, None)
         start = self._inflight.pop(actor_id, None)
         if start is not None and start["src"] != old_server.name:
             self._violate(
@@ -325,6 +344,7 @@ class InvariantChecker:
     def _on_migration_aborted(self, record: ActorRecord, source: Server,
                               target: Server, reason: str) -> None:
         self._inflight.pop(record.ref.actor_id, None)
+        self._root_inflight.pop(record.ref.actor_id, None)
 
     def _on_server_crashed(self, server: Server,
                            lost: List[ActorRecord]) -> None:
@@ -342,6 +362,7 @@ class InvariantChecker:
             self._server_of.pop(actor_id, None)
             self._placed_at.pop(actor_id, None)
             self._inflight.pop(actor_id, None)
+            self._root_inflight.pop(actor_id, None)
 
     def _on_resurrected(self, record: ActorRecord) -> None:
         actor_id = record.ref.actor_id
@@ -402,10 +423,19 @@ class InvariantChecker:
                     "group": tuple(detail.get("group", ())),
                     "symmetric": detail.get("symmetric", True),
                     "loss": detail.get("loss", 1.0)}
+            elif detail.get("fault") == "kill-root":
+                self._root_failed = True
+            elif detail.get("fault") == "crash-server":
+                # Churn-time shard audit: a crash may remap the crashed
+                # host's shard range — the coverage property must hold
+                # *through* the handoff, not only at the next sweep.
+                self._audit_shards()
         elif kind == "fault-healed":
             if detail.get("fault") == "partition-network":
                 self._active_partitions.pop(detail.get("partition_id"),
                                             None)
+            elif detail.get("fault") == "kill-root":
+                self._check_root_healed(detail)
         elif kind == "epoch-advanced":
             self._check_epoch_advanced(detail)
         elif kind == "gem-degraded":
@@ -437,6 +467,15 @@ class InvariantChecker:
             self._check_gem_aggregate(detail)
         elif kind == "root-round":
             self._check_root_round(detail)
+        elif kind == "root-failover":
+            self._check_root_failover(detail)
+        elif kind in ("group-adopted", "group-adoption-released"):
+            # Either way the group's publisher changed: its delta
+            # baseline was reset, so the next aggregate must be full.
+            self.checks_run += 1
+            self._groups_needing_full.add(detail.get("group"))
+        elif kind == "shard-remapped":
+            self._audit_shards()
 
     def _check_migration_start(self, detail: Dict[str, Any]) -> None:
         self.checks_run += 1
@@ -495,6 +534,13 @@ class InvariantChecker:
                         **detail)
         self._check_event_epoch("migration-started", detail)
         self._check_migration_authority(detail, actor)
+        if detail.get("issuer") == "root":
+            if self._root_failed:
+                self._violate(
+                    "root-single-authority",
+                    f"root-issued migration of {actor} started while "
+                    f"the root is failed", **detail)
+            self._root_inflight[actor_id] = now
         self._inflight[actor_id] = {"at": now, "src": detail["src"],
                                     "dst": detail["dst"]}
 
@@ -515,11 +561,14 @@ class InvariantChecker:
         crosses = src_group != dst_group
         if (crosses and issuer != "root"
                 and detail.get("action") in ("balance", "reserve")
-                and not self._group_leaves_all_failed(src_group)):
+                and not self._group_leaves_all_failed(src_group)
+                and not self._group_leaves_all_failed(dst_group)):
             # The leaves-all-failed escape hatch: with its whole leaf
-            # set down, a group's LEMs fall back to foreign leaves
-            # (availability over locality, like GEM adoption), whose
-            # plans may legitimately cross the boundary.
+            # set down, a group's LEMs fall back to foreign leaves and
+            # the group itself is adopted by a surviving leaf
+            # (availability over locality).  The adopter plans over its
+            # home *and* adopted servers in one pool, so its plans may
+            # legitimately cross the boundary — in either direction.
             self._violate(
                 "cross-group-single-authority",
                 f"{detail.get('action')} migration of {actor} crosses "
@@ -884,6 +933,20 @@ class InvariantChecker:
         covered server must belong to the aggregate's group."""
         self.checks_run += 1
         group = detail.get("group")
+        if group in self._groups_needing_full:
+            # aggregate-resync-after-failover: this group's stream broke
+            # (root failover/recovery or an adoption change reset the
+            # delta baseline), so this aggregate must ship every field.
+            self._groups_needing_full.discard(group)
+            shipped = set(detail.get("delta_fields", ()))
+            missing = sorted(_AGGREGATE_FIELDS - shipped)
+            if missing:
+                self._violate(
+                    "aggregate-resync-after-failover",
+                    f"group {group}'s first aggregate after a failover "
+                    f"is a delta (missing fields: {missing}) — the new "
+                    f"publisher/consumer has no baseline to fold it "
+                    f"onto", **detail)
         cpu_percs = tuple(detail.get("server_cpu_percs", ()))
         names = tuple(detail.get("server_names", ()))
         cpu_sum = detail.get("cpu_sum", 0.0)
@@ -916,8 +979,28 @@ class InvariantChecker:
     def _check_root_round(self, detail: Dict[str, Any]) -> None:
         """aggregate-consistency, root half: every folded per-group view
         must match one of the group's recently published full aggregates
-        (a delta-folding bug makes the view match none of them)."""
+        (a delta-folding bug makes the view match none of them).  Also
+        the root-single-authority half that polices rounds: a failed or
+        superseded root incarnation must not hold rounds."""
         self.checks_run += 1
+        if self._root_failed:
+            self._violate(
+                "root-single-authority",
+                "root round held while the root is failed", **detail)
+        generation = detail.get("generation")
+        if generation is not None:
+            if generation < self._root_generation:
+                self._violate(
+                    "root-single-authority",
+                    f"root round carries generation {generation} but "
+                    f"the latest promoted generation is "
+                    f"{self._root_generation} — a superseded root is "
+                    f"still holding rounds", **detail)
+            else:
+                # A higher generation is a promotion that happened while
+                # the tree was inert (no root-failover event is emitted
+                # then); adopt it.
+                self._root_generation = generation
         for item in detail.get("groups", ()):
             group, cpu_sum, server_count, actor_count = item
             history = self._aggregate_history.get(group)
@@ -938,6 +1021,69 @@ class InvariantChecker:
                     f"(cpu_sum={cpu_sum:.3f}, servers={server_count}, "
                     f"actors={actor_count}) matches none of the group's "
                     f"recent aggregates {history}", **detail)
+
+    def _check_root_failover(self, detail: Dict[str, Any]) -> None:
+        """root-single-authority, promotion half: generations only move
+        forward, and a promotion transfers authority — the old
+        incarnation is retired, the new one rules.  Every known group's
+        aggregate stream restarts from a full publish."""
+        self.checks_run += 1
+        generation = detail.get("generation")
+        if generation is not None:
+            if generation <= self._root_generation:
+                self._violate(
+                    "root-single-authority",
+                    f"root failover to generation {generation} does not "
+                    f"advance the latest generation "
+                    f"{self._root_generation}", **detail)
+            self._root_generation = max(self._root_generation, generation)
+        self._root_failed = False
+        self._groups_needing_full.update(self._group_of_server.values())
+
+    def _check_root_healed(self, detail: Dict[str, Any]) -> None:
+        """A ``kill-root`` heal: a superseded incarnation stays retired
+        (the promotion already transferred authority); a genuine
+        recovery restores authority to the same generation, with its
+        views wiped — so every group must republish in full."""
+        self.checks_run += 1
+        if detail.get("superseded"):
+            return
+        self._root_failed = False
+        self._groups_needing_full.update(self._group_of_server.values())
+
+    def _audit_shards(self) -> None:
+        """Sharded directory: audit ring ownership vs the shard maps vs
+        the authoritative map.  Runs every sweep *and* at churn time
+        (crash-server injections and shard remaps), so a handoff that
+        transiently loses or duplicates records is caught in the act."""
+        coverage = getattr(self.manager.system.directory,
+                           "coverage_errors", None)
+        if coverage is None:
+            return
+        self.checks_run += 1
+        for error in coverage()[:5]:
+            self._violate("shard-coverage", error)
+
+    def _check_stranded_root_migrations(self) -> None:
+        """no-stranded-cross-group-migration: every root-issued
+        migration must reach commit or rollback within the two-phase
+        timeout budget, whatever happened to the root meanwhile.  The
+        bound is generous — drain + two phase-timeout waits + transfer —
+        so tripping it means the protocol genuinely lost the migration,
+        not that it is merely slow."""
+        now = self.manager.system.sim.now
+        config = self.manager.config
+        bound = (3 * config.migration_phase_timeout_ms
+                 + 2 * config.period_ms)
+        for actor_id, started in list(self._root_inflight.items()):
+            if now - started > bound:
+                del self._root_inflight[actor_id]
+                self._violate(
+                    "no-stranded-cross-group-migration",
+                    f"root-issued migration of actor {actor_id} started "
+                    f"at {started:.1f}ms is still unresolved after "
+                    f"{now - started:.1f}ms (bound {bound:.1f}ms)",
+                    actor_id=actor_id, started_at=started)
 
     # -- periodic sweep ------------------------------------------------
 
@@ -979,13 +1125,8 @@ class InvariantChecker:
                         f"configured capacity is {capacity}",
                         actor=str(record.ref), depth=depth,
                         capacity=capacity)
-        coverage = getattr(system.directory, "coverage_errors", None)
-        if coverage is not None:
-            # Sharded directory: audit ring ownership vs the shard maps
-            # vs the authoritative map (the audit itself lives with the
-            # directory; the sweep just runs it every interval).
-            for error in coverage()[:5]:
-                self._violate("shard-coverage", error)
+        self._audit_shards()
+        self._check_stranded_root_migrations()
         tracked = set(self._alive)
         if tracked != directory_ids:
             missing = sorted(tracked - directory_ids)[:5]

@@ -114,6 +114,24 @@ INVARIANTS: Dict[str, str] = {
         "migrations (balance/reserve/drain) crossing a group boundary "
         "are issued only by the root tier, and every root-issued "
         "migration actually crosses a group boundary"),
+    "root-single-authority": (
+        "at most one root incarnation holds authority at a time: while "
+        "the root is failed no root round runs and no root-issued "
+        "migration starts, root generations only move forward, and a "
+        "root round never carries a generation other than the latest "
+        "promoted one"),
+    "aggregate-resync-after-failover": (
+        "whenever a group's aggregate stream breaks — root promotion "
+        "or recovery, group adoption or release — the next aggregate "
+        "published for that group is full (every field ships), never a "
+        "delta against a baseline the new consumer or publisher does "
+        "not have"),
+    "no-stranded-cross-group-migration": (
+        "a root-issued cross-group migration started before the root "
+        "died is driven to commit or rollback by the two-phase "
+        "timeouts: no actor stays marked migrating longer than the "
+        "phase-timeout bound, and none is left migrating at the end of "
+        "the run beyond that bound"),
 }
 
 

@@ -241,6 +241,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     total_drops = 0
     total_shed = 0
     total_dead_letters = 0
+    total_root_failovers = 0
+    total_leaf_failovers = 0
     for index in range(args.seeds):
         if args.budget_s and time.monotonic() - started > args.budget_s:
             print(f"budget of {args.budget_s}s exhausted after "
@@ -253,6 +255,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         total_drops += result.messages_dropped
         total_shed += result.messages_shed
         total_dead_letters += result.dead_letters
+        total_root_failovers += result.root_failovers
+        total_leaf_failovers += result.leaf_failovers
         print(f"seed {seed:6d}  {scenario.describe():50s} {status}")
         if result.ok:
             continue
@@ -270,9 +274,14 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     overload_note = (f", {total_shed} shed, "
                      f"{total_dead_letters} dead-letter(s)"
                      if total_shed or total_dead_letters else "")
+    failover_note = (f", {total_root_failovers} root failover(s), "
+                     f"{total_leaf_failovers} leaf failover(s)"
+                     if total_root_failovers or total_leaf_failovers
+                     else "")
     print(f"{args.seeds} seed(s) in {elapsed:.1f}s: "
           f"{failures} failure(s), "
-          f"{total_drops} fabric message(s) dropped{overload_note}")
+          f"{total_drops} fabric message(s) dropped"
+          f"{overload_note}{failover_note}")
     return 1 if failures else 0
 
 
@@ -381,7 +390,7 @@ def main(argv: Sequence[str] = None) -> int:
                         help="directory for shrunk failure artifacts")
     p_fuzz.add_argument("--profile",
                         choices=("default", "partition", "durability",
-                                 "overload", "scale"),
+                                 "overload", "scale", "scale-chaos"),
                         default="default",
                         help="generator emphasis: 'partition' injects a "
                              "network partition into every scenario; "
@@ -390,7 +399,10 @@ def main(argv: Sequence[str] = None) -> int:
                              "enables bounded mailboxes/brownout and "
                              "injects a load storm; 'scale' runs the "
                              "hierarchical control plane over a sharded "
-                             "directory with a randomized group topology")
+                             "directory with a randomized group "
+                             "topology; 'scale-chaos' adds root/leaf "
+                             "kills, server crashes, and partitions on "
+                             "top of the scale topology")
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="write failures unshrunk")
     p_fuzz.add_argument("--replay", metavar="FILE",

@@ -157,9 +157,13 @@ class GEM:
             self.manager.system.sim.schedule(delay, reply.trigger,
                                              (lem_actions, self.epoch))
 
-        # Hierarchical mode: ship this group's delta-compressed
-        # aggregate up to the root tier.  An inert (single-group) tree
-        # publishes nothing — bit-identical to flat mode.
+        # Hierarchical mode: ship a delta-compressed aggregate up to the
+        # root tier for every group this leaf serves — its home group
+        # plus any group it adopted after that group's own leaves all
+        # failed.  The publish path also doubles as leaf-driven root
+        # failure detection (a dead root is promoted before shipping).
+        # An inert (single-group) tree publishes nothing — bit-identical
+        # to flat mode.
         hierarchy = self.manager.hierarchy
         if hierarchy is not None and hierarchy.active():
             hierarchy.publish(self, servers, actors_by_server)

@@ -27,6 +27,28 @@ behaves exactly like the flat GEM set.  Root decision cost is
 ``O(groups · top_k)`` per round, so sizing groups ~sqrt(fleet) keeps it
 sub-linear in server count (``benchmarks/test_scale_cluster.py`` gates
 this).
+
+Every tier has a failure-and-recovery story (PR 9):
+
+- **Root failover**: the root is killable (``kill-root`` chaos fault)
+  and generation-fenced.  The first leaf to publish after the root dies
+  promotes deterministically (:meth:`ControlHierarchy.ensure_root` —
+  also driven by the failure detector); promotion bumps ``generation``,
+  discards the folded views, and clears the whole delta history so
+  every group's next publish is a *full* aggregate.  Root-planned
+  migrations in flight check the generation before committing, so a
+  stale root's decision never executes after its successor takes over.
+- **Leaf failover with group adoption**: when all of a group's home
+  leaves fail, a surviving leaf from another group *adopts* the group
+  (``_adopted``): LEM reports route to the adopter, which publishes a
+  separate per-group aggregate for each group it serves.  Adoption and
+  release both reset the group's delta baseline — ``delta_against``
+  assumes an unbroken stream, so any publisher change forces a full
+  republish (the ``aggregate-resync-after-failover`` invariant).
+- A delta arriving for a group the root has no view of (in flight
+  across a promotion, or after a view prune) is undecodable and is
+  dropped unless it carries every field; the full republish that the
+  baseline reset forces supersedes it within one report period.
 """
 
 from __future__ import annotations
@@ -113,9 +135,20 @@ def build_aggregate(group: int, gem: "GEM",
         top_actors=top, least_loaded=least)
 
 
+#: Number of fields a *full* (non-delta) aggregate carries; a delta for
+#: a group with no folded view is undecodable below this.
+_AGGREGATE_FIELD_COUNT = len(dataclass_fields(GroupAggregate))
+
+
 class RootGem:
     """Root tier: folds per-group aggregate views, arbitrates only
-    cross-group migrations and fleet scaling."""
+    cross-group migrations and fleet scaling.
+
+    Killable and fenced: ``failed`` stops ingest, rounds and vetoes;
+    ``generation`` is bumped on every promotion so in-flight decisions
+    from a dead incarnation can be rejected; ``epoch`` follows the
+    manager's partition epoch (the root always sides with the majority).
+    """
 
     def __init__(self, manager: "ElasticityManager",
                  hierarchy: "ControlHierarchy") -> None:
@@ -127,10 +160,40 @@ class RootGem:
         self.rounds_processed = 0
         self.cross_migrations_planned = 0
         self.aggregates_received = 0
+        self.failed = False
+        #: Incarnation counter: bumped on every promotion.
+        self.generation = 0
+        #: gem_id of the promoted leaf hosting root duty (``None`` for
+        #: the initial / respawned dedicated root).
+        self.host_gem_id: Optional[int] = None
+        self.epoch = 0
+
+    def fail(self) -> None:
+        """Fail-stop this incarnation (chaos ``kill-root``)."""
+        self.failed = True
+
+    def recover(self) -> None:
+        """Recover the *same* incarnation (no promotion happened).
+
+        The recovering root missed every delta shipped while it was
+        down, so its folded views are garbage: discard them and reset
+        the delta history so each group's next publish is full.
+        """
+        self.failed = False
+        self.views.clear()
+        self.hierarchy.reset_delta_history()
 
     # -- aggregate ingest (delta-folded, batched) -----------------------
 
     def receive_aggregate(self, group: int, delta: Dict[str, Any]) -> None:
+        if self.failed:
+            return
+        if group not in self.views and len(delta) < _AGGREGATE_FIELD_COUNT:
+            # A delta with no base view to fold onto is undecodable —
+            # it was in flight across a promotion/recovery (which wiped
+            # the views) or a view prune.  Drop it; the baseline reset
+            # already forced the publisher's next aggregate to be full.
+            return
         self.aggregates_received += 1
         self.views.setdefault(group, {}).update(delta)
         if not self._flush_scheduled:
@@ -142,10 +205,11 @@ class RootGem:
 
     def _flush(self) -> None:
         self._flush_scheduled = False
-        if not self.manager.running:
+        if not self.manager.running or self.failed or not self.views:
             return
         self.rounds_processed += 1
-        self.manager.emit("root-round", groups=tuple(
+        self.manager.emit("root-round", generation=self.generation,
+                          groups=tuple(
             (group, view.get("cpu_sum", 0.0), view.get("server_count", 0),
              view.get("actor_count", 0))
             for group, view in sorted(self.views.items())))
@@ -199,10 +263,18 @@ class RootGem:
 
     def _execute_cross(self, action: Action):
         """Admission-checked execution of one root-planned move (the
-        same guards the LEM applies to its own actions)."""
+        same guards the LEM applies to its own actions).
+
+        Generation-fenced: the proc captures the issuing incarnation and
+        bails at every resumption if the root died or was superseded —
+        a stale root's plan must never start a migration (once started,
+        the two-phase protocol's own timeouts drive it to commit or
+        rollback regardless of what happens to the root).
+        """
         manager = self.manager
         sim = manager.system.sim
         config = manager.config
+        generation = self.generation
         record = manager.system.directory.try_lookup(action.actor_id)
         if record is None or record.migrating or record.pinned:
             return
@@ -219,10 +291,15 @@ class RootGem:
         if target_lem is None:
             return
         yield Timeout(sim, config.control_latency_ms)
+        if self.failed or self.generation != generation:
+            return
         accepted = target_lem.check_idle_res(action)
         yield Timeout(sim, config.control_latency_ms)
         if not accepted:
             return
+        if (self.failed or self.generation != generation
+                or self.epoch < manager.epoch):
+            return  # issuing incarnation lost authority mid-flight
         manager.system.migrate_actor(record.ref, action.dst)
         manager.note_migration(action, issuer="root")
 
@@ -233,7 +310,10 @@ class RootGem:
         groups must not contradict the requesting group's view.  A group
         with no view yet abstains in favour (same rule as a GEM that has
         processed no rounds).  Vacuously true with one group — the
-        degenerate tree adds no veto, preserving flat equivalence."""
+        degenerate tree adds no veto, preserving flat equivalence.  A
+        failed root abstains entirely: no veto authority while dead."""
+        if self.failed:
+            return True
         others = [group for group in self.hierarchy.groups.groups()
                   if group != requester_group]
         if not others:
@@ -258,6 +338,11 @@ class ControlHierarchy:
         self.leaf_group: Dict[int, int] = {}
         self.root = RootGem(manager, self)
         self._last_published: Dict[int, GroupAggregate] = {}
+        #: group -> gem_id of the foreign leaf currently adopting it
+        #: (all the group's home leaves are failed).  ``leaf_group``
+        #: stays the permanent *home* map — adoption never rewrites it,
+        #: so a recovering home leaf can reclaim its group.
+        self._adopted: Dict[int, int] = {}
         #: Membership announcements, in assignment order.  A degenerate
         #: (single-group) tree is inert and emits nothing; the backlog
         #: is flushed the moment a second group opens.
@@ -323,41 +408,182 @@ class ControlHierarchy:
         return [gem for gem in self.manager.gems
                 if self.leaf_group.get(gem.gem_id) == group]
 
+    def _gem_by_id(self, gem_id: Optional[int]) -> Optional["GEM"]:
+        if gem_id is None:
+            return None
+        for gem in self.manager.gems:
+            if gem.gem_id == gem_id:
+                return gem
+        return None
+
+    def adopter_for(self, group: int) -> Optional["GEM"]:
+        """The alive foreign leaf adopting ``group``, if any."""
+        adopter = self._gem_by_id(self._adopted.get(group))
+        if adopter is not None and adopter.failed:
+            return None
+        return adopter
+
+    def _group_has_running_member(self, group: int) -> bool:
+        for server in self.manager.system.provisioner.servers:
+            if (server.running
+                    and self.groups.group_of(server.server_id) == group):
+                return True
+        return False
+
+    # -- failure and recovery -------------------------------------------
+
+    def reset_delta_history(self) -> None:
+        """Drop every group's delta baseline: the next publish from each
+        group ships a full aggregate.  Called whenever the aggregate
+        stream breaks (root promotion or recovery)."""
+        self._last_published.clear()
+
+    def ensure_root(self) -> bool:
+        """Promote a replacement root if the current one is failed.
+
+        Deterministic: the alive leaf with the lowest gem_id hosts the
+        next incarnation (every leaf runs the same rule, so whichever
+        one detects the failure first — via its own publish or the
+        failure detector — picks the same successor).  With no alive
+        leaf a fresh dedicated root is respawned instead.  Either way
+        the views and the delta history are discarded: the new
+        incarnation rebuilds from the full aggregates that leaves
+        re-publish.  Returns True if a promotion happened.
+        """
+        root = self.root
+        if not root.failed:
+            return False
+        alive = [gem for gem in self.manager.gems
+                 if not gem.failed
+                 and self.leaf_group.get(gem.gem_id) is not None]
+        promoted = min(alive, key=lambda g: g.gem_id) if alive else None
+        root.generation += 1
+        root.failed = False
+        root.host_gem_id = promoted.gem_id if promoted else None
+        root.views.clear()
+        root.epoch = self.manager.epoch
+        self.reset_delta_history()
+        self.manager.root_failovers += 1
+        if self.active():
+            self.manager.emit(
+                "root-failover", generation=root.generation,
+                promoted_leaf=(promoted.gem_id if promoted else None),
+                respawned=promoted is None)
+        return True
+
+    def reassign_orphan_groups(self) -> None:
+        """Real leaf failover: groups whose home leaves are all failed
+        are *adopted* by a surviving foreign leaf (LEM reports route to
+        it via ``pick_gem`` and it publishes the group's aggregates),
+        instead of falling through to the groupless emergency respawn.
+        Recovered home leaves reclaim their group.  Every adoption
+        change resets the group's delta baseline so the next publisher
+        starts with a full aggregate."""
+        if not self.active():
+            return
+        manager = self.manager
+        # Release first: a recovered home leaf reclaims its group, and a
+        # dead adopter frees the slot for the re-adoption pass below.
+        for group in list(self._adopted):
+            adopter_id = self._adopted[group]
+            adopter = self._gem_by_id(adopter_id)
+            home_alive = [g for g in self.leaves_of(group) if not g.failed]
+            if home_alive:
+                del self._adopted[group]
+                self._last_published.pop(group, None)
+                manager.emit("group-adoption-released", group=group,
+                             adopter=adopter_id,
+                             leaf=min(g.gem_id for g in home_alive))
+            elif adopter is None or adopter.failed:
+                del self._adopted[group]
+                self._last_published.pop(group, None)
+        alive = [gem for gem in manager.gems
+                 if not gem.failed
+                 and self.leaf_group.get(gem.gem_id) is not None]
+        for group in self.groups.groups():
+            if group in self._adopted:
+                continue
+            home = self.leaves_of(group)
+            if not home or any(not gem.failed for gem in home):
+                continue
+            if not self._group_has_running_member(group):
+                continue  # dissolved group: nothing left to manage
+            candidates = [gem for gem in alive
+                          if self.leaf_group.get(gem.gem_id) != group]
+            if not candidates:
+                continue
+            adopter = min(candidates, key=lambda g: g.gem_id)
+            self._adopted[group] = adopter.gem_id
+            self._last_published.pop(group, None)
+            manager.leaf_failovers += 1
+            manager.emit("group-adopted", group=group,
+                         adopter=adopter.gem_id,
+                         home_leaves=tuple(sorted(g.gem_id for g in home)))
+
+    def note_server_gone(self, server: Server) -> None:
+        """A server crashed or retired: if its whole group is gone,
+        drop the group's delta baseline, folded root view and adoption —
+        a stale baseline would corrupt the next delta if the group ever
+        repopulates, and a stale cold view would attract cross-group
+        migrations onto dead servers forever."""
+        group = self.groups.group_of(server.server_id)
+        if group is None:
+            return
+        if self._group_has_running_member(group):
+            return
+        self._last_published.pop(group, None)
+        self.root.views.pop(group, None)
+        self._adopted.pop(group, None)
+
     def publish(self, gem: "GEM", servers: List[ServerSnapshot],
                 actors_by_server: Dict[int, List[ActorSnapshot]]) -> None:
-        """Leaf round complete: delta-compress this group's aggregate
-        and ship it to the root (one control-latency hop)."""
+        """Leaf round complete: delta-compress one aggregate per group
+        this leaf serves (its home group plus any groups it adopted) and
+        ship each to the root (one control-latency hop).
+
+        This is also the leaf-driven root failure detection path: a
+        publish that finds the root dead promotes first (and thereby
+        resets the delta history), so the promoted incarnation's first
+        inputs are full aggregates — within one report period of the
+        failure, without waiting for the suspicion timer.
+        """
         config = self.manager.config
-        group = self.leaf_group.get(gem.gem_id)
-        if group is None:
+        home = self.leaf_group.get(gem.gem_id)
+        if home is None:
             # Groupless emergency respawn (see respawn_gem): it may have
             # heard from several groups at once, so a "group" aggregate
             # from it would be meaningless — skip.
             return
-        # A leaf can transiently hear from foreign servers (their own
-        # group's leaves all failed, so they fell back to this one).
-        # Those reports inform this round's decisions, but the *group*
-        # aggregate covers only the group's own members.
-        own = [snap for snap in servers
-               if self.groups.group_of(snap.server.server_id) == group]
-        if not own:
-            return
-        own_actors = {server_id: snaps
-                      for server_id, snaps in actors_by_server.items()
-                      if self.groups.group_of(server_id) == group}
-        aggregate = build_aggregate(group, gem, own, own_actors,
-                                    config.group_top_k)
-        delta = aggregate.delta_against(self._last_published.get(group))
-        self._last_published[group] = aggregate
-        self.manager.emit(
-            "gem-aggregate", group=group, gem_id=gem.gem_id,
-            epoch=gem.epoch, server_names=aggregate.server_names,
-            server_cpu_percs=aggregate.server_cpu_percs,
-            cpu_sum=aggregate.cpu_sum, mem_sum=aggregate.mem_sum,
-            net_sum=aggregate.net_sum,
-            server_count=aggregate.server_count,
-            actor_count=aggregate.actor_count,
-            delta_fields=tuple(sorted(delta)))
-        self.manager.system.sim.schedule(
-            config.control_latency_ms, self.root.receive_aggregate,
-            group, delta)
+        if self.root.failed:
+            self.ensure_root()
+        groups_served = [home] + sorted(
+            group for group, adopter_id in self._adopted.items()
+            if adopter_id == gem.gem_id and group != home)
+        for group in groups_served:
+            # A leaf can transiently hear from foreign servers (their
+            # own group's leaves all failed, so they fell back to this
+            # one).  Those reports inform this round's decisions, but
+            # each *group* aggregate covers only that group's members.
+            own = [snap for snap in servers
+                   if self.groups.group_of(snap.server.server_id) == group]
+            if not own:
+                continue
+            own_actors = {server_id: snaps
+                          for server_id, snaps in actors_by_server.items()
+                          if self.groups.group_of(server_id) == group}
+            aggregate = build_aggregate(group, gem, own, own_actors,
+                                        config.group_top_k)
+            delta = aggregate.delta_against(self._last_published.get(group))
+            self._last_published[group] = aggregate
+            self.manager.emit(
+                "gem-aggregate", group=group, gem_id=gem.gem_id,
+                epoch=gem.epoch, server_names=aggregate.server_names,
+                server_cpu_percs=aggregate.server_cpu_percs,
+                cpu_sum=aggregate.cpu_sum, mem_sum=aggregate.mem_sum,
+                net_sum=aggregate.net_sum,
+                server_count=aggregate.server_count,
+                actor_count=aggregate.actor_count,
+                delta_fields=tuple(sorted(delta)))
+            self.manager.system.sim.schedule(
+                config.control_latency_ms, self.root.receive_aggregate,
+                group, delta)

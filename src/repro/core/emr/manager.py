@@ -138,6 +138,10 @@ class ElasticityManager:
         self._last_report: Dict[Server, float] = {}
         self._lost_actors: Dict[int, List[ActorRecord]] = {}
         self._failed_gems_noted: Set[int] = set()
+        #: Hierarchical failover accounting, surfaced in fuzz summaries:
+        #: root promotions/respawns and group adoptions performed.
+        self.root_failovers = 0
+        self.leaf_failovers = 0
         self._system_hooks = _EmrSystemHooks(self)
         #: Control-plane epoch: bumped on every partition event (inject
         #: and heal).  Every GEM decision carries the epoch it was made
@@ -181,6 +185,11 @@ class ElasticityManager:
             self.system.overload = self.overload
         for server in self.system.provisioner.servers:
             self._add_lem(server)
+        bind_hosts = getattr(self.system.directory, "bind_hosts", None)
+        if bind_hosts is not None:
+            # Sharded directory: pin each shard to a host server so a
+            # crash can take its shard range down (and remap it).
+            bind_hosts(self.system.provisioner.servers)
         spawn(self.system.sim, self._janitor(), name="emr/janitor")
         if self.config.suspicion_timeout_ms is not None:
             spawn(self.system.sim, self._failure_detector(),
@@ -284,6 +293,21 @@ class ElasticityManager:
         self._draining.discard(server.server_id)
         if lost:
             self._lost_actors[server.server_id] = list(lost)
+        if self.hierarchy is not None:
+            self.hierarchy.note_server_gone(server)
+        self._note_directory_host_gone(server)
+
+    def _note_directory_host_gone(self, server: Server) -> None:
+        """A directory-shard host left the fleet: remap its shard range
+        onto the survivors and drop its lookup cache."""
+        note = getattr(self.system.directory, "note_host_crashed", None)
+        if note is None:
+            return
+        shards_removed, records_moved = note(server.server_id)
+        if shards_removed:
+            self.emit("shard-remapped", server=server.name,
+                      shards_removed=shards_removed,
+                      records_moved=records_moved)
 
     def _failure_detector(self):
         """GEM-side failure detection (runs only when
@@ -366,6 +390,14 @@ class ElasticityManager:
             self.emit("gem-failover", failed_gem=gem.gem_id,
                       adopter=adopter.gem_id,
                       respawned=not survivors)
+        if self.hierarchy is not None:
+            # Hierarchical failover rides the same detection tick: a
+            # dead root is replaced, and groups whose home leaves are
+            # all down are adopted by a surviving foreign leaf (or
+            # released back when a home leaf recovers).
+            if self.hierarchy.root.failed:
+                self.hierarchy.ensure_root()
+            self.hierarchy.reassign_orphan_groups()
 
     def respawn_gem(self) -> GEM:
         """Boot a replacement GEM (used when every GEM has failed).
@@ -465,6 +497,11 @@ class ElasticityManager:
             if (not majority_only
                     or lem.server.server_id not in self._isolated_servers):
                 lem.epoch = max(lem.epoch, self.epoch)
+        if self.hierarchy is not None:
+            # The root sits above the fabric and always sides with the
+            # majority, so it is never fenced out by a partition.
+            root = self.hierarchy.root
+            root.epoch = max(root.epoch, self.epoch)
 
     def _gem_isolated(self, gem: GEM) -> bool:
         return gem.gem_id in self._isolated_gems
@@ -596,11 +633,13 @@ class ElasticityManager:
         LEMs route around failed GEMs.
 
         In hierarchical mode a LEM shuffles only among its server
-        group's leaf GEMs (falling back to the full alive set when the
-        group's leaves are all down, so an emergency respawn can serve
-        the whole fleet).  With one group the candidate list — and
-        therefore the RNG draw — is exactly the flat one, which keeps
-        the two control planes bit-identical there.
+        group's leaf GEMs.  When the group's home leaves are all down
+        it routes to the leaf that *adopted* the group, if any; only
+        with no adopter either does it fall back to the full alive set
+        (so an emergency respawn can serve the whole fleet).  With one
+        group the candidate list — and therefore the RNG draw — is
+        exactly the flat one, which keeps the two control planes
+        bit-identical there.
         """
         alive = [gem for gem in self.gems if not gem.failed]
         if self.hierarchy is not None and server is not None:
@@ -610,6 +649,10 @@ class ElasticityManager:
                         == group]
             if in_group:
                 alive = in_group
+            else:
+                adopter = self.hierarchy.adopter_for(group)
+                if adopter is not None:
+                    alive = [adopter]
         if not alive:
             return None
         return self._gem_rng.choice(alive)
@@ -782,6 +825,9 @@ class ElasticityManager:
             # Deliberately retired, not crashed: stop monitoring it.
             self._last_report.pop(server, None)
             provisioner.retire_server(server)
+            if self.hierarchy is not None:
+                self.hierarchy.note_server_gone(server)
+            self._note_directory_host_gone(server)
 
     # -- statistics --------------------------------------------------------------
 

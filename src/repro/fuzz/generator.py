@@ -180,6 +180,45 @@ def _gen_faults(rng: random.Random, scenario: Dict[str, Any],
         if rng.random() < 0.3:
             faults.extend(_gen_faults(rng, scenario))
         return faults
+    if profile == "scale-chaos":
+        # Control-plane chaos on the hierarchical topology: every seed
+        # kills at least one tier of the GEM tree (root, a leaf, or a
+        # shard-hosting server) so failover, group adoption, aggregate
+        # resync, and shard handoff are exercised on every run.  Same
+        # branch confinement as the other profiles.
+        duration = scenario["duration_ms"]
+        leaf_pool = (-(-scenario["servers"] //
+                       scenario["server_group_size"])
+                     * scenario["gem_count"])
+        faults = []
+        for _ in range(rng.choice((1, 2))):
+            kind = rng.choice(("kill-root", "kill-gem",
+                               "crash-server", "partition-network"))
+            at = round(rng.uniform(0.15, 0.6) * duration, 1)
+            if kind == "kill-root":
+                fault: Dict[str, Any] = {"fault": kind, "at_ms": at}
+                if rng.random() < 0.5:
+                    fault["recover_after_ms"] = round(
+                        rng.uniform(0.1, 0.4) * duration, 1)
+                faults.append(fault)
+            elif kind == "kill-gem":
+                fault = {"fault": kind, "at_ms": at,
+                         "gem_id": rng.randrange(leaf_pool)}
+                if rng.random() < 0.6:
+                    fault["recover_after_ms"] = round(
+                        rng.uniform(0.1, 0.4) * duration, 1)
+                faults.append(fault)
+            elif kind == "crash-server":
+                fault = {"fault": kind, "at_ms": at,
+                         "server_index":
+                             rng.randrange(scenario["servers"])}
+                if rng.random() < 0.5:
+                    fault["replace_after_ms"] = round(
+                        rng.uniform(0.05, 0.3) * duration, 1)
+                faults.append(fault)
+            else:
+                faults.append(_gen_partition(rng, scenario))
+        return faults
     if rng.random() < 0.5:
         return []
     duration = scenario["duration_ms"]
@@ -347,9 +386,14 @@ def generate_scenario(seed: int, profile: str = "default") -> Scenario:
       topology (fleet large enough for several groups) and shard count,
       so the GEM tree, root arbitration, and shard/cache invariants are
       exercised on every seed.
+    - ``"scale-chaos"``: the ``scale`` topology (same draws — a seed's
+      cluster shape is identical across the two profiles) plus
+      control-plane chaos: every scenario injects at least one
+      root/leaf/server kill or partition, with suspicion always armed
+      so failover and adoption actually trigger.
     """
     if profile not in ("default", "partition", "durability", "overload",
-                       "scale"):
+                       "scale", "scale-chaos"):
         raise ValueError(f"unknown generator profile {profile!r}")
     rng = random.Random(seed)
     app = rng.choice(("pagerank", "estore", "chatroom"))
@@ -404,15 +448,22 @@ def generate_scenario(seed: int, profile: str = "default") -> Scenario:
         # only happen for overload campaigns, so every other profile's
         # seed mapping stays bit-identical.
         fields["overload"] = _gen_overload(rng)
-    if profile == "scale":
+    if profile in ("scale", "scale-chaos"):
         # Same branch-confinement rule again.  The fleet is regrown to
         # several groups' worth of servers (the small draw above is
         # overridden; fault server indices are drawn later, against the
         # final count) and the whole cluster-scale machinery is armed.
+        # scale-chaos shares these draws exactly, so a seed's topology
+        # is identical across the two profiles — only the fault plan
+        # (drawn last) and the no-draw suspicion override differ.
         fields["servers"] = rng.randrange(6, 13)
         fields["control_plane"] = "hierarchical"
         fields["server_group_size"] = rng.choice((2, 3, 4))
         fields["directory_shards"] = rng.choice((2, 3, 5))
         fields["directory_virtual_nodes"] = rng.choice((8, 16))
+    if profile == "scale-chaos" and fields["suspicion_timeout_ms"] is None:
+        # No RNG draw: without suspicion a killed leaf is never
+        # detected, so promotion/adoption would never run.
+        fields["suspicion_timeout_ms"] = period_ms + 1_000.0
     fields["faults"] = tuple(_gen_faults(rng, fields, profile))
     return Scenario(**fields)

@@ -55,6 +55,8 @@ class FuzzResult:
     messages_shed: int = 0
     requests_rejected: int = 0
     dead_letters: int = 0
+    root_failovers: int = 0
+    leaf_failovers: int = 0
     #: Full ``DurabilityManager.summary()`` (empty when durability off).
     store_summary: Dict = field(default_factory=dict)
     trace_tail: List[str] = field(default_factory=list)
@@ -311,6 +313,8 @@ def run_scenario(scenario: Scenario, strict: bool = False,
                 manager.overload.counts["rejected"]
         result.dead_letters = sum(client.dead_letters_total
                                   for client in clients)
+        result.root_failovers = manager.root_failovers
+        result.leaf_failovers = manager.leaf_failovers
         if tracer is not None and not result.ok:
             result.trace_tail = [str(event) for event in tracer.tail(20)]
     except Exception:

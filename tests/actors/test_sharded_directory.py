@@ -163,6 +163,74 @@ def test_cache_never_resurrects_unregistered_actor():
 
 
 # ---------------------------------------------------------------------------
+# Shard hosting and crash handoff
+# ---------------------------------------------------------------------------
+
+
+class _FakeServer:
+    def __init__(self, server_id):
+        self.server_id = server_id
+
+
+def test_bind_hosts_round_robins_shards_over_servers():
+    directory = ShardedDirectory(shards=3, virtual_nodes=8)
+    directory.bind_hosts([_FakeServer(10), _FakeServer(11)])
+    assert directory.shard_host(0) == 10
+    assert directory.shard_host(1) == 11
+    assert directory.shard_host(2) == 10
+    # Rebinding is idempotent: a later call (e.g. after a scale-out)
+    # never moves an already-bound shard.
+    directory.bind_hosts([_FakeServer(99)])
+    assert [directory.shard_host(s) for s in (0, 1, 2)] == [10, 11, 10]
+    # An empty fleet is a no-op, not an error.
+    directory.bind_hosts([])
+    assert directory.shard_host(0) == 10
+
+
+def test_host_crash_rehomes_its_shards_and_drops_its_cache():
+    directory = ShardedDirectory(shards=3, virtual_nodes=8)
+    directory.bind_hosts([_FakeServer(10), _FakeServer(11)])
+    keys = list(range(1, 301))
+    for actor_id in keys:
+        directory.register(_record(actor_id))
+    # Warm server 10's lookup cache so the crash has something to drop.
+    directory.cached_lookup(10, keys[0])
+    assert 10 in directory._caches
+    victim_keys = {a for a in keys if directory.shard_of(a) in (0, 2)}
+
+    shards_removed, records_moved = directory.note_host_crashed(10)
+
+    assert shards_removed == 2          # shards 0 and 2 left the ring
+    # Shards are removed one at a time, so a key that hops 0 -> 2 -> 1
+    # is counted per hop; every victim key moved at least once.
+    assert records_moved >= len(victim_keys)
+    assert directory.shards_lost == 2
+    assert directory.shard_ids() == [1]
+    assert directory.shard_host(1) == 11
+    assert 10 not in directory._caches
+    assert directory.coverage_errors() == []
+    assert all(directory.try_lookup(a) is not None for a in keys)
+    # Crashing a host with nothing bound is a quiet no-op.
+    assert directory.note_host_crashed(12) == (0, 0)
+
+
+def test_host_crash_never_removes_the_last_shard():
+    directory = ShardedDirectory(shards=2, virtual_nodes=8)
+    directory.bind_hosts([_FakeServer(10), _FakeServer(11)])
+    for actor_id in range(1, 51):
+        directory.register(_record(actor_id))
+    directory.note_host_crashed(10)
+    assert directory.shard_ids() == [1]
+    # Shard 1's host goes too: the sole shard survives, merely unhosted.
+    shards_removed, records_moved = directory.note_host_crashed(11)
+    assert (shards_removed, records_moved) == (0, 0)
+    assert directory.shard_ids() == [1]
+    assert directory.shard_host(1) is None
+    assert directory.coverage_errors() == []
+    assert all(directory.try_lookup(a) is not None for a in range(1, 51))
+
+
+# ---------------------------------------------------------------------------
 # Hypothesis properties
 # ---------------------------------------------------------------------------
 

@@ -3,7 +3,8 @@
 from repro.actors import Actor, Client
 from repro.bench import build_cluster
 from repro.chaos import (ChaosEngine, CrashServer, DegradeNetwork,
-                         FaultPlan, KillGem, PartitionNetwork, SlowServer)
+                         FaultPlan, KillGem, KillRoot, PartitionNetwork,
+                         SlowServer)
 from repro.core import ElasticityManager, EmrConfig, compile_source
 from repro.sim import spawn
 
@@ -104,6 +105,113 @@ def test_kill_gem_and_recover_via_manager():
     bed.run(until_ms=4_000.0)
     assert not manager.gems[0].failed
     assert [kind for kind, _ in events] == ["fault-injected", "fault-healed"]
+
+
+def test_kill_gem_addresses_stable_id_not_list_position():
+    """A respawn (or any list churn) must not shift KillGem targets: the
+    fault names the GEM's stable id, not an index into manager.gems."""
+    bed = build_cluster(2)
+    policy = compile_source(
+        "server.cpu.perc > 80 or server.cpu.perc < 60 "
+        "=> balance({Spinner}, cpu);", [Spinner])
+    manager = ElasticityManager(bed.system, policy, EmrConfig(
+        period_ms=5_000.0, gem_wait_ms=300.0, gem_count=2))
+    manager.start()
+    # Simulate list churn: the gem with id 1 now sits at index 0.
+    removed = manager.gems.pop(0)
+    assert removed.gem_id == 0 and manager.gems[0].gem_id == 1
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        KillGem(at_ms=500.0, gem_id=1),
+        KillGem(at_ms=600.0, gem_id=0),   # no longer exists -> skip
+    )), manager=manager)
+    engine.start()
+    bed.run(until_ms=1_000.0)
+    assert manager.gems[0].failed and manager.gems[0].gem_id == 1
+    assert engine.faults_injected == 1
+    assert engine.faults_skipped == 1
+    assert engine.log[-1][2]["reason"] == "no-such-gem"
+
+
+def _hierarchical_manager(bed, **config):
+    policy = compile_source(
+        "server.cpu.perc > 80 or server.cpu.perc < 60 "
+        "=> balance({Spinner}, cpu);", [Spinner])
+    manager = ElasticityManager(bed.system, policy, EmrConfig(
+        period_ms=5_000.0, gem_wait_ms=300.0,
+        control_plane="hierarchical", server_group_size=2, **config))
+    manager.start()
+    return manager
+
+
+def test_kill_root_injects_and_recovers_in_place():
+    """Recovery before any promotion restores the same incarnation:
+    generation unchanged, views wiped (fresh fold from full publishes)."""
+    bed = build_cluster(4)
+    manager = _hierarchical_manager(bed)
+    root = manager.hierarchy.root
+    root.views[0] = {"cpu_sum": 1.0}
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        KillRoot(at_ms=1_000.0, recover_after_ms=500.0),)),
+        manager=manager)
+    engine.start()
+    bed.run(until_ms=1_200.0)
+    assert root.failed
+    bed.run(until_ms=2_000.0)
+    assert not root.failed
+    assert root.generation == 0
+    assert root.views == {}          # recovery discards stale views
+    injected, healed = engine.log
+    assert injected[1] == "fault-injected" and healed[1] == "fault-healed"
+    assert healed[2]["superseded"] is False
+
+
+def test_kill_root_recovery_superseded_by_promotion():
+    """If a leaf is promoted while the old root is down, the scheduled
+    recovery must not restore authority to the dead incarnation."""
+    bed = build_cluster(4)
+    manager = _hierarchical_manager(bed)
+    root = manager.hierarchy.root
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        KillRoot(at_ms=1_000.0, recover_after_ms=9_000.0),)),
+        manager=manager)
+    engine.start()
+    # The first leaf publish after the kill (next period) promotes.
+    bed.run(until_ms=8_000.0)
+    assert not root.failed
+    assert root.generation == 1
+    assert root.host_gem_id == 0     # lowest-id alive leaf
+    bed.run(until_ms=11_000.0)       # the heal fires, finds itself stale
+    assert root.generation == 1      # unchanged: promotion stands
+    healed = [entry for entry in engine.log if entry[1] == "fault-healed"]
+    assert healed and healed[-1][2]["superseded"] is True
+
+
+def test_kill_root_skipped_without_hierarchy_or_when_already_failed():
+    bed = build_cluster(4)
+    policy = compile_source(
+        "server.cpu.perc > 80 or server.cpu.perc < 60 "
+        "=> balance({Spinner}, cpu);", [Spinner])
+    flat = ElasticityManager(bed.system, policy, EmrConfig(
+        period_ms=5_000.0, gem_wait_ms=300.0))
+    flat.start()
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        KillRoot(at_ms=100.0),)), manager=flat)
+    engine.start()
+    bed.run(until_ms=500.0)
+    assert engine.faults_skipped == 1
+    assert engine.log[-1][2]["reason"] == "no-hierarchy"
+
+    bed = build_cluster(4)
+    manager = _hierarchical_manager(bed)
+    engine = ChaosEngine(bed.system, FaultPlan(faults=(
+        KillRoot(at_ms=100.0),
+        KillRoot(at_ms=200.0),       # still down: nothing to kill
+    )), manager=manager)
+    engine.start()
+    bed.run(until_ms=500.0)
+    assert engine.faults_injected == 1
+    assert engine.faults_skipped == 1
+    assert engine.log[-1][2]["reason"] == "root-already-failed"
 
 
 def test_unappliable_faults_are_skipped_not_fatal():

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.chaos import (CrashServer, DegradeNetwork, EventStorm, FaultPlan,
-                         HotKeyFlood, KillGem, PartitionNetwork, SlowServer,
-                         fault_from_dict, fault_to_dict)
+                         HotKeyFlood, KillGem, KillRoot, PartitionNetwork,
+                         SlowServer, fault_from_dict, fault_to_dict)
 
 
 def test_plan_orders_faults_by_time():
@@ -31,6 +31,7 @@ def test_plan_is_immutable_and_typed():
 _ROUND_TRIP_FAULTS = [
     CrashServer(at_ms=1_000.0, server_index=2, replace_after_ms=500.0),
     KillGem(at_ms=2_000.0, gem_id=1, recover_after_ms=3_000.0),
+    KillRoot(at_ms=2_500.0, recover_after_ms=4_000.0),
     DegradeNetwork(at_ms=3_000.0, duration_ms=4_000.0,
                    latency_multiplier=2.5, drop_probability=0.1),
     SlowServer(at_ms=4_000.0, duration_ms=5_000.0, server_index=1,
@@ -53,7 +54,7 @@ def test_round_trip_table_covers_every_fault_type():
                          ids=lambda f: type(f).__name__)
 def test_fault_dict_round_trip(fault):
     data = fault_to_dict(fault)
-    assert data["fault"] in {"crash-server", "kill-gem",
+    assert data["fault"] in {"crash-server", "kill-gem", "kill-root",
                              "degrade-network", "slow-server",
                              "partition-network", "event-storm",
                              "hot-key-flood"}
@@ -91,6 +92,8 @@ def test_fault_from_dict_rejects_unknown_kind_and_fields():
     lambda: KillGem(at_ms=-1.0),
     lambda: KillGem(at_ms=0.0, gem_id=-1),
     lambda: KillGem(at_ms=0.0, recover_after_ms=0.0),
+    lambda: KillRoot(at_ms=-1.0),
+    lambda: KillRoot(at_ms=0.0, recover_after_ms=0.0),
     lambda: DegradeNetwork(at_ms=0.0, duration_ms=0.0,
                            latency_multiplier=2.0),
     lambda: DegradeNetwork(at_ms=0.0, duration_ms=100.0,

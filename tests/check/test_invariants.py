@@ -38,7 +38,7 @@ def make_checker(strict=False, **config):
 
 
 def test_catalogue_shape():
-    assert len(INVARIANTS) == 23
+    assert len(INVARIANTS) == 26
     for name, description in INVARIANTS.items():
         assert name == name.lower()
         assert " " not in name
@@ -109,6 +109,83 @@ def test_lem_round_memory_identity_detected():
                  actor_cpu_percs=(5.0,))
     assert [v.invariant for v in checker.violations] == \
         ["resource-accounting"]
+
+
+def test_root_round_while_root_failed_detected():
+    _bed, manager, checker = make_checker()
+    manager.emit("fault-injected", fault="kill-root", generation=0)
+    manager.emit("root-round", generation=0, groups=())
+    assert [v.invariant for v in checker.violations] == \
+        ["root-single-authority"]
+
+
+def test_superseded_root_holding_rounds_detected():
+    _bed, manager, checker = make_checker()
+    manager.emit("root-failover", generation=2, promoted_leaf=0,
+                 respawned=False)
+    manager.emit("root-round", generation=1, groups=())
+    assert [v.invariant for v in checker.violations] == \
+        ["root-single-authority"]
+
+
+def test_root_failover_generation_regression_detected():
+    _bed, manager, checker = make_checker()
+    manager.emit("root-failover", generation=3, promoted_leaf=0,
+                 respawned=False)
+    manager.emit("root-failover", generation=3, promoted_leaf=1,
+                 respawned=False)
+    assert [v.invariant for v in checker.violations] == \
+        ["root-single-authority"]
+
+
+def test_partial_delta_after_adoption_detected():
+    _bed, manager, checker = make_checker()
+    manager.emit("group-adopted", group=1, adopter=0, home_leaves=(1,))
+    # A delta (only the envelope + one field) where a full aggregate is
+    # required: the adopter has no baseline for this group.
+    manager.emit("gem-aggregate", group=1, gem_id=0, epoch=0,
+                 server_names=(), server_cpu_percs=(), cpu_sum=0.0,
+                 mem_sum=0.0, net_sum=0.0, server_count=0, actor_count=0,
+                 delta_fields=("cpu_sum", "epoch", "gem_id", "group"))
+    assert [v.invariant for v in checker.violations] == \
+        ["aggregate-resync-after-failover"]
+    # The requirement is consumed: the next partial delta is fine.
+    manager.emit("gem-aggregate", group=1, gem_id=0, epoch=0,
+                 server_names=(), server_cpu_percs=(), cpu_sum=0.0,
+                 mem_sum=0.0, net_sum=0.0, server_count=0, actor_count=0,
+                 delta_fields=("cpu_sum", "epoch", "gem_id", "group"))
+    assert len(checker.violations) == 1
+
+
+def test_stranded_root_migration_detected():
+    bed, manager, checker = make_checker()
+    manager.emit("migration-started", actor="<Spinner#9>", actor_id=9,
+                 action="balance", src="s-1", dst="s-2", issuer="root")
+    assert not checker.violations
+    bound = (3 * manager.config.migration_phase_timeout_ms
+             + 2 * manager.config.period_ms)
+    bed.run(until_ms=bound + 1_000.0)
+    checker._check_stranded_root_migrations()
+    assert [v.invariant for v in checker.violations] == \
+        ["no-stranded-cross-group-migration"]
+    # One report per stranded migration, not one per sweep.
+    checker._check_stranded_root_migrations()
+    assert len(checker.violations) == 1
+
+
+def test_resolved_root_migration_not_stranded():
+    from types import SimpleNamespace
+    bed, manager, checker = make_checker()
+    manager.emit("migration-started", actor="<Spinner#9>", actor_id=9,
+                 action="balance", src="s-1", dst="s-2", issuer="root")
+    # Aborts arrive through the runtime hook, not the event bus.
+    record = SimpleNamespace(ref=SimpleNamespace(actor_id=9))
+    checker._on_migration_aborted(record, None, None, "timeout")
+    bound = (3 * manager.config.migration_phase_timeout_ms
+             + 2 * manager.config.period_ms)
+    bed.run(until_ms=bound + 1_000.0)
+    checker._check_stranded_root_migrations()
+    assert not checker.violations
 
 
 def test_strict_mode_raises_invariant_error():

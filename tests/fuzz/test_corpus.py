@@ -24,6 +24,13 @@ fixes:
   crashed (fixed by treating shed/rejected replies as lost
   contributions — found by the ``overload`` fuzz profile on its first
   campaign).
+- ``adopter-cross-group-flagged``: when a group lost its only leaf GEM
+  and was adopted by a surviving leaf, the adopter's plans pooled home
+  and adopted servers, so a legitimate availability move crossed the
+  group boundary and tripped ``cross-group-single-authority`` (fixed
+  by extending the checker's leaves-all-failed escape hatch to either
+  endpoint group — found by the ``scale-chaos`` profile on its first
+  campaign).
 - ``silent-abort-target-crash-while-draining``: when the migration
   target crashed while the protocol was still draining the actor's
   in-flight handler, the early exit reset ``migrating`` without

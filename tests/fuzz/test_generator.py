@@ -179,6 +179,53 @@ def test_preoverload_artifacts_still_load():
     assert scenario.overload is None
 
 
+def test_scale_chaos_profile_always_attacks_the_control_plane():
+    chaos_kinds = {"kill-root", "kill-gem", "crash-server",
+                   "partition-network"}
+    for seed in range(30):
+        scenario = generate_scenario(seed, profile="scale-chaos")
+        assert scenario.control_plane == "hierarchical"
+        assert scenario.servers >= 6
+        assert scenario.server_group_size in (2, 3, 4)
+        # Without suspicion a killed leaf is never detected, so
+        # promotion/adoption would never run.
+        assert scenario.suspicion_timeout_ms is not None
+        assert scenario.faults, f"seed {seed} generated no chaos"
+        leaf_pool = (-(-scenario.servers // scenario.server_group_size)
+                     * scenario.gem_count)
+        for fault in scenario.faults:
+            assert fault["fault"] in chaos_kinds
+            assert 0 < fault["at_ms"] < scenario.duration_ms
+            if fault["fault"] == "kill-gem":
+                assert 0 <= fault["gem_id"] < leaf_pool
+
+
+def test_scale_chaos_profile_is_deterministic():
+    for seed in range(30):
+        assert generate_scenario(seed, profile="scale-chaos") == \
+            generate_scenario(seed, profile="scale-chaos")
+
+
+def test_scale_chaos_shares_the_scale_topology_draws():
+    """A seed's cluster shape must be bit-identical under ``scale`` and
+    ``scale-chaos`` — only the fault plan (drawn last) and the no-draw
+    suspicion override may differ, so a chaos run reproduces the exact
+    topology its calm twin mapped."""
+    for seed in range(30):
+        calm = generate_scenario(seed, profile="scale").to_jsonable()
+        chaos = generate_scenario(
+            seed, profile="scale-chaos").to_jsonable()
+        for data in (calm, chaos):
+            data.pop("faults")
+            data.pop("suspicion_timeout_ms")
+        assert calm == chaos, f"seed {seed} topology diverged"
+
+
+def test_scale_chaos_scenario_round_trips_through_json():
+    scenario = generate_scenario(3, profile="scale-chaos")
+    assert Scenario.from_jsonable(scenario.to_jsonable()) == scenario
+
+
 def test_unknown_profile_rejected():
     with pytest.raises(ValueError, match="profile"):
         generate_scenario(0, profile="tsunami")
