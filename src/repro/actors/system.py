@@ -29,6 +29,7 @@ import os
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from ..cluster import NetworkFabric, Provisioner, Server
+from ..runtime import SimBackend
 from ..sim import (Interrupted, Queue, RandomStreams, Signal, Simulator,
                    Timeout, Waitable, spawn)
 from .actor import Actor
@@ -68,6 +69,12 @@ class ActorSystem:
         #: the default flat map reproduces the paper's single
         #: authoritative view.
         self.directory = directory if directory is not None else Directory()
+        #: The :class:`~repro.runtime.RuntimeBackend` view of this
+        #: system: the narrow clock + migrate/pin/place + profiling
+        #: surface the elasticity layer drives.  Pure delegation — the
+        #: module-level name is looked up (not bound) so equivalence
+        #: tests can substitute a counting/bypassing shim.
+        self.backend = SimBackend(self)
         self.hooks: List[RuntimeHooks] = []
         self.placement_policy: Optional[PlacementPolicy] = None
 

@@ -340,6 +340,94 @@ def cmd_store(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a live app over HTTP until interrupted."""
+    import asyncio
+
+    from .live import (FrontDoor, LiveActorSystem, LiveElasticityManager,
+                       LiveEmrConfig, build_live_app)
+
+    async def serve() -> int:
+        system = LiveActorSystem(mailbox_capacity=args.mailbox_capacity)
+        for _ in range(max(1, args.servers)):
+            system.add_server()
+        app = build_live_app(args.app, system)
+        await app.setup()
+        front = FrontDoor(app.handle, host=args.host, port=args.port)
+        await front.start()
+        manager = None
+        if not args.no_emr:
+            manager = LiveElasticityManager(
+                system, policy=app.policy(),
+                config=LiveEmrConfig(period_ms=args.period_ms))
+            manager.start()
+        print(f"serving {args.app} on http://{front.host}:{front.port} "
+              f"({args.servers} server(s), "
+              f"emr={'off' if args.no_emr else 'on'}) — Ctrl-C to stop")
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            if manager is not None:
+                await manager.stop()
+            await front.stop()
+            await system.shutdown()
+        return 0
+
+    try:
+        return asyncio.run(serve())
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """In-process live load test; exit nonzero on unbalanced books."""
+    from .live.harness import live_loadtest
+
+    result = live_loadtest(
+        app_name=args.app, rate_per_s=args.rate, duration_s=args.duration_s,
+        servers=args.servers, migrate_at_s=args.migrate_at_s,
+        scale_out_at_s=args.scale_out_at_s,
+        emr=not args.no_emr, period_ms=args.period_ms,
+        mailbox_capacity=args.mailbox_capacity,
+        connections=args.connections, flash_crowd=args.flash_crowd,
+        seed=args.seed)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=str))
+    else:
+        requests = result["requests"]
+        print(f"{requests['sent']} requests in {requests['duration_s']}s "
+              f"({requests['rps']} req/s): {requests['ok']} ok, "
+              f"{requests['shed']} shed, {requests['http_errors']} errors, "
+              f"{requests['timeouts']} timeouts")
+        rows = [[phase,
+                 summary["count"],
+                 f"{summary['p50']:.2f}" if summary["p50"] is not None else "-",
+                 f"{summary['p95']:.2f}" if summary["p95"] is not None else "-",
+                 f"{summary['p99']:.2f}" if summary["p99"] is not None else "-"]
+                for phase, summary in requests["phases"].items()]
+        print(format_table(["phase", "count", "p50 ms", "p95 ms", "p99 ms"],
+                           rows, title="Latency by phase"))
+        ledger = result["ledger"]
+        print(f"ledger: issued={ledger['issued']} "
+              f"answered={ledger['answered']} rejected={ledger['rejected']} "
+              f"shed={ledger['shed']} failed={ledger['failed']} "
+              f"outstanding={ledger['outstanding']} "
+              f"balanced={result['ledger_balanced']}")
+        for move in result["migrations"]["forced"]:
+            print(f"migration: actor {move['actor']} {move['from']} -> "
+                  f"{move['to']} moved={move['moved']} "
+                  f"wall={move['wall_ms']}ms")
+    ok = (result["ledger_balanced"] and result["client_balanced"]
+          and result["runtime"]["handler_errors"] == 0
+          and result["requests"]["transport_errors"] == 0)
+    if not ok:
+        print("FAIL: lost or unaccounted requests", file=sys.stderr)
+    return 0 if ok else 1
+
+
 # -- entry point ---------------------------------------------------------------
 
 
@@ -429,6 +517,49 @@ def main(argv: Sequence[str] = None) -> int:
     p_store.add_argument("--json", action="store_true",
                          help="print the raw store summary as JSON")
     p_store.set_defaults(func=cmd_store)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a live app (asyncio backend) over HTTP")
+    p_serve.add_argument("--app", default="chatroom",
+                         choices=("chatroom", "metadata"))
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="listen port (0 picks a free one)")
+    p_serve.add_argument("--servers", type=int, default=2,
+                         help="logical placement servers (default 2)")
+    p_serve.add_argument("--period-ms", type=float, default=250.0,
+                         help="live EMR control period (default 250)")
+    p_serve.add_argument("--mailbox-capacity", type=int, default=None,
+                         help="bounded mailboxes: shed client sends "
+                              "beyond this depth")
+    p_serve.add_argument("--no-emr", action="store_true",
+                         help="serve without elasticity management")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadtest", help="boot a live app in-process and load it "
+                         "(open loop), reporting phase latencies and "
+                         "the request disposition ledger")
+    p_load.add_argument("--app", default="chatroom",
+                        choices=("chatroom", "metadata"))
+    p_load.add_argument("--rate", type=float, default=2000.0,
+                        help="open-loop arrival rate, req/s (default 2000)")
+    p_load.add_argument("--duration-s", type=float, default=4.0)
+    p_load.add_argument("--servers", type=int, default=2)
+    p_load.add_argument("--migrate-at-s", type=float, default=None,
+                        help="force-migrate the hot actor at this offset")
+    p_load.add_argument("--scale-out-at-s", type=float, default=None,
+                        help="add a server and move an actor onto it "
+                             "at this offset")
+    p_load.add_argument("--period-ms", type=float, default=250.0)
+    p_load.add_argument("--mailbox-capacity", type=int, default=None)
+    p_load.add_argument("--connections", type=int, default=32)
+    p_load.add_argument("--flash-crowd", action="store_true",
+                        help="add a mid-run flash-crowd burst")
+    p_load.add_argument("--seed", type=int, default=42)
+    p_load.add_argument("--no-emr", action="store_true")
+    p_load.add_argument("--json", action="store_true")
+    p_load.set_defaults(func=cmd_loadtest)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -325,6 +325,11 @@ class AvailabilityMeter:
 
     Accounting is conserved by construction: every recorded attempt is
     exactly one outcome, so ``sum(totals.values()) == issued``.
+
+    Successful requests may also carry a latency sample; those feed a
+    :class:`~repro.core.profiling.LatencyRecorder` so availability
+    reports can show p50/p95/p99 next to the outcome counts (the same
+    recorder type the live front door uses).
     """
 
     OUTCOMES = ("success", "failure", "timeout", "rejected", "shed")
@@ -338,23 +343,32 @@ class AvailabilityMeter:
         self.totals: Dict[str, int] = {o: 0 for o in self.OUTCOMES}
         self._first_disruption: Optional[float] = None
         self._last_disruption: Optional[float] = None
+        # Imported lazily: cluster must not import core.profiling at
+        # module load (core.profiling.collector imports cluster).
+        from ..core.profiling.latency import LatencyRecorder
+        #: Latency of successful requests (ms); populated only when
+        #: callers pass ``latency_ms`` to :meth:`record`.
+        self.latency = LatencyRecorder()
 
     # -- recording -----------------------------------------------------------
 
-    def record(self, outcome: str, at: Optional[float] = None) -> None:
+    def record(self, outcome: str, at: Optional[float] = None,
+               latency_ms: Optional[float] = None) -> None:
         if outcome not in self.OUTCOMES:
             raise ValueError(f"unknown outcome {outcome!r}; "
                              f"expected one of {self.OUTCOMES}")
         when = self.sim.now if at is None else at
         self._samples.append((when, outcome))
         self.totals[outcome] += 1
+        if latency_ms is not None:
+            self.latency.record(latency_ms)
         if outcome != "success":
             if self._first_disruption is None:
                 self._first_disruption = when
             self._last_disruption = when
 
-    def record_success(self) -> None:
-        self.record("success")
+    def record_success(self, latency_ms: Optional[float] = None) -> None:
+        self.record("success", latency_ms=latency_ms)
 
     def record_failure(self) -> None:
         self.record("failure")
@@ -419,6 +433,19 @@ class AvailabilityMeter:
         if self._first_disruption is None:
             return None
         return self._last_disruption - self._first_disruption
+
+    def latency_summary(self) -> Dict[str, object]:
+        """p50/p95/p99/mean/max over recorded success latencies."""
+        return self.latency.summary()
+
+    def report(self) -> Dict[str, object]:
+        """Outcome totals + availability + latency percentiles."""
+        out: Dict[str, object] = dict(self.totals)
+        out["issued"] = self.issued
+        out["availability"] = self.availability()
+        out["recovery_time_ms"] = self.recovery_time_ms()
+        out["latency"] = self.latency_summary()
+        return out
 
     def __len__(self) -> int:
         return len(self._samples)

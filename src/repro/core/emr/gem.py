@@ -83,7 +83,7 @@ class GEM:
         enough = len(self._reports) >= max(1, self.manager.config.min_reports)
         if not self._processing_scheduled and enough:
             self._processing_scheduled = True
-            self.manager.system.sim.schedule(
+            self.manager.backend.schedule(
                 self.manager.config.gem_wait_ms, self._process)
 
     # ------------------------------------------------------------------
@@ -102,7 +102,7 @@ class GEM:
             delay = self.manager.config.control_latency_ms
             for _lem, _actors, server_snap, reply in reports:
                 if self.manager.reply_reachable(self, server_snap.server):
-                    self.manager.system.sim.schedule(
+                    self.manager.backend.schedule(
                         delay, reply.trigger, ((), self.epoch))
             return
         self.rounds_processed += 1
@@ -154,7 +154,7 @@ class GEM:
             if not self.manager.reply_reachable(self, server_snap.server):
                 continue
             lem_actions = queues.get(server_snap.server.server_id, [])
-            self.manager.system.sim.schedule(delay, reply.trigger,
+            self.manager.backend.schedule(delay, reply.trigger,
                                              (lem_actions, self.epoch))
 
         # Hierarchical mode: ship a delta-compressed aggregate up to the
@@ -184,7 +184,7 @@ class GEM:
         one.
         """
         overload = self.manager.overload
-        now = self.manager.system.sim.now
+        now = self.manager.backend.now
         for _lem, actor_snaps, server_snap, _reply in reports:
             self._last_known_good[server_snap.server.server_id] = (
                 now, server_snap, list(actor_snaps))
@@ -211,7 +211,7 @@ class GEM:
     def _apply_res_rules(self, scope: EvaluationScope,
                          actors_by_server: Dict[int, List[ActorSnapshot]]):
         config = self.manager.config
-        now = self.manager.system.sim.now
+        now = self.manager.backend.now
         stability = config.stability_window_ms()
         actions: List[Action] = []
         need_scale_out = False
@@ -381,7 +381,7 @@ class GEM:
         if not others:
             return []
         victim_actors = actors_by_server.get(victim.server.server_id, [])
-        now = self.manager.system.sim.now
+        now = self.manager.backend.now
         drain = plan_drain(victim, others, victim_actors, "cpu", upper,
                            now, config.stability_window_ms())
         if drain is None:

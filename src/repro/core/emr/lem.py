@@ -101,7 +101,7 @@ class LEM:
         # (where no REPORT would otherwise reach a GEM).
         self.manager.note_report(self.server)
 
-        records = self.manager.system.actors_on(self.server)
+        records = self.manager.backend.actors_on(self.server)
         actor_snaps = self.manager.profiler.snapshot_actors(records)
         server_snap = self.manager.profiler.snapshot_server(
             self.server, records)
@@ -115,7 +115,7 @@ class LEM:
         browned_out = False
         if overload is not None:
             server_snap.mailbox_backlog = sum(
-                self.manager.system.mailbox_depth(record.ref.actor_id)
+                self.manager.backend.mailbox_depth(record.ref.actor_id)
                 for record in records)
             server_snap.messages_shed = overload.shed_by_server.get(
                 self.server.name, 0)
@@ -185,8 +185,7 @@ class LEM:
         """Verbose per-round events for the invariant checker (gated on
         ``manager.debug_events`` so normal runs pay nothing)."""
         manager = self.manager
-        system = manager.system
-        depths = tuple(system.mailbox_depth(snap.actor_id)
+        depths = tuple(manager.backend.mailbox_depth(snap.actor_id)
                        for snap in actor_snaps)
         overload = manager.overload
         manager.emit(
@@ -265,7 +264,7 @@ class LEM:
     def _apply_pin(self, behavior: Pin, match) -> None:
         snap = self._bound(behavior.target, match)
         if snap is not None:
-            self.manager.system.pin(snap.ref, True)
+            self.manager.backend.pin(snap.ref, True)
             snap.pinned = True
 
     def _plan_colocate(self, behavior: Colocate, match,
@@ -407,7 +406,7 @@ class LEM:
         # (the actor is flagged `migrating`, which blocks double moves);
         # blocking here would make a slow state transfer eat whole
         # elasticity periods for every other actor on this server.
-        self.manager.system.migrate_actor(
+        self.manager.backend.migrate_actor(
             record.ref, action.dst, force=action.kind == "reserve")
         self.migrations_started += 1
         self.manager.note_migration(action)

@@ -95,6 +95,11 @@ class ElasticityManager:
     def __init__(self, system: ActorSystem, policy: CompiledPolicy,
                  config: Optional[EmrConfig] = None) -> None:
         self.system = system
+        #: The narrow :class:`~repro.runtime.RuntimeBackend` surface the
+        #: elasticity layer drives — every migrate/pin/observe call below
+        #: goes through it, never through runtime internals, so the EMR
+        #: stays portable across the sim and live backends.
+        self.backend = system.backend
         self.policy = policy
         self.config = config or EmrConfig()
         self.running = False
@@ -167,8 +172,8 @@ class ElasticityManager:
         if self.running:
             return
         self.running = True
-        self.system.add_hooks(self.profiler)
-        self.system.add_hooks(self._system_hooks)
+        self.backend.add_hooks(self.profiler)
+        self.backend.add_hooks(self._system_hooks)
         self.system.placement_policy = self.placement
         self.system.epoch_source = lambda: self.epoch
         self.system.migration_phase_timeout_ms = \
@@ -208,9 +213,9 @@ class ElasticityManager:
                 self.system.overload = None
             self.overload = None
         if self.profiler in self.system.hooks:
-            self.system.remove_hooks(self.profiler)
+            self.backend.remove_hooks(self.profiler)
         if self._system_hooks in self.system.hooks:
-            self.system.remove_hooks(self._system_hooks)
+            self.backend.remove_hooks(self._system_hooks)
         if self.system.placement_policy is self.placement:
             self.system.placement_policy = None
         self.system.epoch_source = None
@@ -367,7 +372,7 @@ class ElasticityManager:
         if not self.config.resurrect_lost_actors:
             return
         for record in lost:
-            self.system.resurrect_actor(record)
+            self.backend.resurrect_actor(record)
 
     def _check_gems(self) -> None:
         """Note newly failed GEMs and hand their servers to a survivor.
@@ -818,7 +823,7 @@ class ElasticityManager:
         for server in list(provisioner.servers):
             if server.server_id not in self._draining:
                 continue
-            if self.system.actors_on(server):
+            if self.backend.actors_on(server):
                 continue
             self._draining.discard(server.server_id)
             self.lems.pop(server.server_id, None)

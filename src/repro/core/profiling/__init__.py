@@ -1,9 +1,10 @@
 """Elasticity profiling runtime (EPR): actor & server runtime tracking."""
 
 from .collector import ProfilingRuntime
+from .latency import LatencyRecorder
 from .ring import RingMeter
 from .snapshot import ActorSnapshot, ServerSnapshot
 from .stats import ActorStats
 
 __all__ = ["ProfilingRuntime", "ActorSnapshot", "ServerSnapshot",
-           "ActorStats", "RingMeter"]
+           "ActorStats", "RingMeter", "LatencyRecorder"]

@@ -1,0 +1,133 @@
+"""Streaming latency percentiles over a ring buffer of samples.
+
+The live front door and the availability meter both need tail-latency
+numbers (p50/p95/p99) without keeping every sample forever.  This
+recorder keeps the most recent ``capacity`` samples in a flat ring,
+records in O(1), and sorts lazily on the first percentile query after a
+write — a query burst (one ``/stats`` scrape reading three percentiles)
+pays for one sort.
+
+Percentiles use the *nearest-rank* definition: for ``n`` retained
+samples, ``percentile(p)`` is the ``ceil(p/100 * n)``-th smallest.  No
+interpolation — with ring capacities in the thousands the difference is
+noise, and nearest-rank is trivially checked by the brute-force
+property tests.
+
+Lifetime aggregates (``count``, ``total_ms``, ``max_ms``) are *not*
+windowed: they keep counting after old samples fall out of the ring, so
+a long benchmark still reports a true request count and mean.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["LatencyRecorder"]
+
+
+class LatencyRecorder:
+    """Ring-buffered latency samples with lazy percentile queries."""
+
+    __slots__ = ("capacity", "count", "total_ms", "max_ms",
+                 "_ring", "_next", "_sorted", "_dirty")
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity!r}")
+        self.capacity = capacity
+        #: Lifetime number of samples recorded (not capped by the ring).
+        self.count = 0
+        #: Lifetime sum of all samples in milliseconds.
+        self.total_ms = 0.0
+        #: Lifetime maximum sample in milliseconds.
+        self.max_ms = 0.0
+        self._ring: List[float] = []
+        self._next = 0
+        self._sorted: List[float] = []
+        self._dirty = False
+
+    # -- recording -----------------------------------------------------
+
+    def record(self, latency_ms: float) -> None:
+        """Add one sample (milliseconds; negatives are clamped to 0)."""
+        if latency_ms < 0.0:
+            latency_ms = 0.0
+        self.count += 1
+        self.total_ms += latency_ms
+        if latency_ms > self.max_ms:
+            self.max_ms = latency_ms
+        if len(self._ring) < self.capacity:
+            self._ring.append(latency_ms)
+        else:
+            self._ring[self._next] = latency_ms
+            self._next = (self._next + 1) % self.capacity
+        self._dirty = True
+
+    def extend(self, samples: Iterable[float]) -> None:
+        for sample in samples:
+            self.record(sample)
+
+    # -- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Samples currently retained in the ring (≤ capacity)."""
+        return len(self._ring)
+
+    def _view(self) -> List[float]:
+        if self._dirty:
+            self._sorted = sorted(self._ring)
+            self._dirty = False
+        return self._sorted
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile over retained samples.
+
+        ``p`` is in ``(0, 100]``; returns ``None`` with no samples.
+        """
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile out of range (0, 100]: {p!r}")
+        view = self._view()
+        if not view:
+            return None
+        rank = math.ceil(p / 100.0 * len(view))
+        return view[rank - 1]
+
+    def percentiles(self, ps: Sequence[float] = (50.0, 95.0, 99.0),
+                    ) -> Dict[str, Optional[float]]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for the given ranks."""
+        out: Dict[str, Optional[float]] = {}
+        for p in ps:
+            key = f"p{p:g}"
+            out[key] = self.percentile(p)
+        return out
+
+    def mean_ms(self) -> Optional[float]:
+        """Lifetime mean (over *all* samples, not just the ring)."""
+        if self.count == 0:
+            return None
+        return self.total_ms / self.count
+
+    def summary(self) -> Dict[str, object]:
+        """One JSON-friendly dict: count, mean, max, and p50/p95/p99."""
+        out: Dict[str, object] = {
+            "count": self.count,
+            "mean_ms": self.mean_ms(),
+            "max_ms": self.max_ms if self.count else None,
+        }
+        out.update(self.percentiles())
+        return out
+
+    def reset(self) -> None:
+        """Drop all samples and lifetime aggregates."""
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+        self._ring = []
+        self._next = 0
+        self._sorted = []
+        self._dirty = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"LatencyRecorder(count={self.count}, "
+                f"retained={len(self._ring)}/{self.capacity})")

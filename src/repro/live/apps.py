@@ -1,0 +1,273 @@
+"""Live applications: the chatroom and metadata-server apps as services.
+
+Same actor programs as :mod:`repro.apps`, re-expressed on
+:class:`LiveActor` so they run on the asyncio runtime, plus a tiny HTTP
+route table each so the front door can expose them.  The EPL policies
+compile against these classes through the unchanged
+``describe_actor_class`` schema extraction — one more point where the
+sim and live worlds share a contract.
+
+Service times are declared through ``compute(cpu_ms)`` (charge-based,
+like the sim): a chat post costs a base fee plus a per-member fan-out
+fee, which is what makes a crowded room *hot* in the profiler and gives
+the live EMR something real to balance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import compile_source
+from ..core.epl.compiler import CompiledPolicy
+from .system import LiveActor, LiveActorSystem
+
+__all__ = ["LiveChatRoom", "LiveChatUser", "LiveChatApp",
+           "LiveFolder", "LiveFile", "LiveMetadataApp",
+           "CHATROOM_LIVE_POLICY", "METADATA_LIVE_POLICY",
+           "build_live_app"]
+
+#: Balance hot rooms across servers on CPU pressure.
+CHATROOM_LIVE_POLICY = """
+server.cpu.perc > 75 or server.cpu.perc < 30 => balance({LiveChatRoom}, cpu);
+"""
+
+#: Balance hot folders; files follow implicitly through fan-out cost.
+METADATA_LIVE_POLICY = """
+server.cpu.perc > 75 or server.cpu.perc < 30 => balance({LiveFolder}, cpu);
+"""
+
+POST_BASE_CPU_MS = 0.05
+POST_PER_MEMBER_CPU_MS = 0.02
+JOIN_CPU_MS = 0.05
+FILE_READ_CPU_MS = 0.10
+FOLDER_OPEN_CPU_MS = 0.05
+
+
+# ---------------------------------------------------------------------------
+# chatroom
+# ---------------------------------------------------------------------------
+
+class LiveChatRoom(LiveActor):
+    """A room fans every post out to its members."""
+
+    members: tuple
+    state_size_mb = 4.0
+
+    def __init__(self) -> None:
+        self.members: Tuple = ()
+        self.posts = 0
+
+    async def join(self, user_ref) -> int:
+        await self.compute(JOIN_CPU_MS)
+        if user_ref not in self.members:
+            self.members = self.members + (user_ref,)
+        return len(self.members)
+
+    async def post(self, sender_id: int, size_bytes: float = 512.0) -> Dict:
+        self.posts += 1
+        await self.compute(
+            POST_BASE_CPU_MS + POST_PER_MEMBER_CPU_MS * len(self.members))
+        for member in self.members:
+            self.tell(member, "receive", sender_id, size_bytes=size_bytes)
+        return {"delivered": len(self.members)}
+
+    def stats(self) -> Dict:
+        return {"members": len(self.members), "posts": self.posts}
+
+
+class LiveChatUser(LiveActor):
+    """Receives fan-out; counts what it saw."""
+
+    state_size_mb = 0.5
+
+    def __init__(self) -> None:
+        self.received = 0
+
+    def receive(self, sender_id: int) -> None:
+        self.received += 1
+
+
+class LiveChatApp:
+    """Chatroom service + HTTP routes.
+
+    Routes:
+
+    - ``POST /chat/<room>/post``  — body ignored; fans out to members
+    - ``GET  /chat/<room>/stats`` — room stats
+    - ``GET  /rooms``             — room index with placements
+    """
+
+    name = "chatroom"
+
+    def __init__(self, system: LiveActorSystem, rooms: int = 8,
+                 users_per_room: int = 8, seed: int = 7) -> None:
+        self.system = system
+        self.num_rooms = rooms
+        self.users_per_room = users_per_room
+        self.rng = random.Random(seed)
+        self.rooms: List = []
+        self.users: List = []
+
+    @staticmethod
+    def policy() -> CompiledPolicy:
+        return compile_source(CHATROOM_LIVE_POLICY,
+                              [LiveChatRoom, LiveChatUser])
+
+    async def setup(self) -> None:
+        for _ in range(self.num_rooms):
+            self.rooms.append(self.system.create_actor(LiveChatRoom))
+        for room in self.rooms:
+            for _ in range(self.users_per_room):
+                user = self.system.create_actor(LiveChatUser)
+                self.users.append(user)
+                await self.system.client_call(room, "join", user)
+
+    def _room(self, token: str):
+        try:
+            index = int(token)
+        except ValueError:
+            raise KeyError(f"bad room id {token!r}")
+        if not 0 <= index < len(self.rooms):
+            raise KeyError(f"no room {index}")
+        return self.rooms[index]
+
+    async def handle(self, method: str, path: str,
+                     body: bytes) -> Tuple[int, Dict[str, Any]]:
+        parts = [p for p in path.split("/") if p]
+        if method == "GET" and parts == ["rooms"]:
+            return 200, {"rooms": [
+                {"room": i, "actor": ref.actor_id,
+                 "server": self.system.server_of(ref).name}
+                for i, ref in enumerate(self.rooms)]}
+        if len(parts) == 3 and parts[0] == "chat":
+            room = self._room(parts[1])
+            if method == "POST" and parts[2] == "post":
+                sender = self.rng.randrange(10**6)
+                result = await self.system.client_call(
+                    room, "post", sender, size_bytes=float(len(body) or 512))
+                return 200, result
+            if method == "GET" and parts[2] == "stats":
+                result = await self.system.client_call(room, "stats")
+                return 200, result
+        raise KeyError(f"{method} {path}")
+
+
+# ---------------------------------------------------------------------------
+# metadata server
+# ---------------------------------------------------------------------------
+
+class LiveFile(LiveActor):
+    """One file's metadata."""
+
+    state_size_mb = 0.5
+
+    def __init__(self, size_kb: int = 4) -> None:
+        self.size_kb = size_kb
+        self.reads = 0
+
+    async def read(self) -> Dict:
+        self.reads += 1
+        await self.compute(FILE_READ_CPU_MS)
+        return {"size_kb": self.size_kb}
+
+
+class LiveFolder(LiveActor):
+    """Opening a folder reads every file in it (paper §3.3 shape)."""
+
+    files: tuple
+    state_size_mb = 2.0
+
+    def __init__(self) -> None:
+        self.files: Tuple = ()
+        self.opens = 0
+
+    def add_file(self, file_ref) -> int:
+        self.files = self.files + (file_ref,)
+        return len(self.files)
+
+    async def open(self) -> Dict:
+        self.opens += 1
+        await self.compute(FOLDER_OPEN_CPU_MS)
+        listings = []
+        for file_ref in self.files:
+            listings.append(await self.call(file_ref, "read"))
+        return {"files": len(self.files), "listings": listings}
+
+    def stats(self) -> Dict:
+        return {"files": len(self.files), "opens": self.opens}
+
+
+class LiveMetadataApp:
+    """Metadata service + HTTP routes.
+
+    Routes:
+
+    - ``POST /meta/<folder>/open`` — open folder (reads all its files)
+    - ``GET  /meta/<folder>/stats``
+    - ``GET  /folders``
+    """
+
+    name = "metadata"
+
+    def __init__(self, system: LiveActorSystem, folders: int = 8,
+                 files_per_folder: int = 4, seed: int = 11) -> None:
+        self.system = system
+        self.num_folders = folders
+        self.files_per_folder = files_per_folder
+        self.rng = random.Random(seed)
+        self.folders: List = []
+
+    @staticmethod
+    def policy() -> CompiledPolicy:
+        return compile_source(METADATA_LIVE_POLICY, [LiveFolder, LiveFile])
+
+    async def setup(self) -> None:
+        for _ in range(self.num_folders):
+            folder = self.system.create_actor(LiveFolder)
+            self.folders.append(folder)
+            server = self.system.server_of(folder)
+            for _ in range(self.files_per_folder):
+                file_ref = self.system.create_actor(
+                    LiveFile, self.rng.choice((1, 4, 16)), server=server)
+                await self.system.client_call(folder, "add_file", file_ref)
+
+    def _folder(self, token: str):
+        try:
+            index = int(token)
+        except ValueError:
+            raise KeyError(f"bad folder id {token!r}")
+        if not 0 <= index < len(self.folders):
+            raise KeyError(f"no folder {index}")
+        return self.folders[index]
+
+    async def handle(self, method: str, path: str,
+                     body: bytes) -> Tuple[int, Dict[str, Any]]:
+        parts = [p for p in path.split("/") if p]
+        if method == "GET" and parts == ["folders"]:
+            return 200, {"folders": [
+                {"folder": i, "actor": ref.actor_id,
+                 "server": self.system.server_of(ref).name}
+                for i, ref in enumerate(self.folders)]}
+        if len(parts) == 3 and parts[0] == "meta":
+            folder = self._folder(parts[1])
+            if method == "POST" and parts[2] == "open":
+                result = await self.system.client_call(folder, "open")
+                # Trim listings: the HTTP reply should stay small.
+                return 200, {"files": result["files"]}
+            if method == "GET" and parts[2] == "stats":
+                return 200, await self.system.client_call(folder, "stats")
+        raise KeyError(f"{method} {path}")
+
+
+APPS = {"chatroom": LiveChatApp, "metadata": LiveMetadataApp}
+
+
+def build_live_app(name: str, system: LiveActorSystem, **kwargs):
+    """Instantiate a live app by CLI name (``chatroom``/``metadata``)."""
+    try:
+        cls = APPS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown live app {name!r}; expected one of {sorted(APPS)}")
+    return cls(system, **kwargs)

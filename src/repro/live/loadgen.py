@@ -1,0 +1,252 @@
+"""Open-loop HTTP load generation with phase-split tail latencies.
+
+Arrival schedules are precomputed from a seeded RNG (Poisson process or
+the flash-crowd burst reused from :mod:`repro.workload.schedules`), then
+replayed against the wall clock: a pacer launches each request at its
+scheduled instant *regardless of how previous requests are doing* —
+open-loop, so a slow server cannot throttle its own measured load.
+
+Latency is measured **from the scheduled arrival time**, not from when
+the request actually got a connection — the standard defence against
+coordinated omission: queueing delay caused by the system under test
+counts against the system under test.
+
+Each sample lands in a per-phase :class:`LatencyRecorder`, where the
+phase is computed from the scheduled arrival (e.g. before / during /
+after a forced migration), so one run yields comparable p50/p95/p99
+columns across phases.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.profiling.latency import LatencyRecorder
+from ..workload.schedules import flash_crowd_schedule
+
+__all__ = ["poisson_arrivals", "flash_crowd_arrivals", "LoadReport",
+           "LoadGenerator"]
+
+#: Builds the i-th request: ``(index, rng) -> (method, path, body)``.
+RequestFactory = Callable[[int, random.Random], Tuple[str, str, bytes]]
+
+
+def poisson_arrivals(rate_per_s: float, duration_s: float,
+                     rng: random.Random) -> List[float]:
+    """Arrival offsets (seconds) of a Poisson process over a window."""
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be positive")
+    arrivals: List[float] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate_per_s)
+        if t >= duration_s:
+            return arrivals
+        arrivals.append(t)
+
+
+def flash_crowd_arrivals(num_requests: int, at_s: float, spread_s: float,
+                         rng: random.Random) -> List[float]:
+    """A burst of arrivals (seconds), via the workload helper."""
+    return [t / 1000.0 for t in flash_crowd_schedule(
+        num_requests, at_s * 1000.0, spread_s * 1000.0, rng)]
+
+
+@dataclass
+class LoadReport:
+    """What an open-loop run produced."""
+
+    sent: int = 0
+    ok: int = 0
+    http_errors: int = 0
+    shed: int = 0
+    transport_errors: int = 0
+    timeouts: int = 0
+    duration_s: float = 0.0
+    by_phase: Dict[str, LatencyRecorder] = field(default_factory=dict)
+    status_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        return (self.ok + self.http_errors + self.shed
+                + self.transport_errors + self.timeouts)
+
+    def balanced(self) -> bool:
+        """Every sent request reached exactly one client-side outcome."""
+        return self.sent == self.completed
+
+    @property
+    def rps(self) -> float:
+        return self.sent / self.duration_s if self.duration_s > 0 else 0.0
+
+    def phase_summary(self) -> Dict[str, Dict[str, Any]]:
+        return {phase: recorder.summary()
+                for phase, recorder in sorted(self.by_phase.items())}
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "sent": self.sent, "ok": self.ok,
+            "http_errors": self.http_errors, "shed": self.shed,
+            "transport_errors": self.transport_errors,
+            "timeouts": self.timeouts, "completed": self.completed,
+            "balanced": self.balanced(),
+            "duration_s": round(self.duration_s, 3),
+            "rps": round(self.rps, 1),
+            "status_counts": {str(k): v
+                              for k, v in sorted(self.status_counts.items())},
+            "phases": self.phase_summary(),
+        }
+
+
+class _Connection:
+    """One keep-alive client connection."""
+
+    __slots__ = ("reader", "writer")
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    async def request(self, host: str, method: str, path: str,
+                      body: bytes) -> int:
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: keep-alive\r\n\r\n")
+        self.writer.write(head.encode("ascii") + body)
+        await self.writer.drain()
+        status_line = await self.reader.readline()
+        if not status_line:
+            raise ConnectionResetError("server closed connection")
+        parts = status_line.split(None, 2)
+        status = int(parts[1])
+        length = 0
+        while True:
+            line = await self.reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value)
+        if length:
+            await self.reader.readexactly(length)
+        return status
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:
+            pass
+
+
+class LoadGenerator:
+    """Replay a precomputed arrival schedule against a front door."""
+
+    def __init__(self, host: str, port: int, arrivals: Sequence[float],
+                 request_factory: RequestFactory,
+                 phase_of: Optional[Callable[[float], str]] = None,
+                 connections: int = 32, timeout_s: float = 15.0,
+                 seed: int = 1) -> None:
+        self.host = host
+        self.port = port
+        self.arrivals = sorted(arrivals)
+        self.request_factory = request_factory
+        self.phase_of = phase_of or (lambda at_s: "all")
+        self.max_connections = connections
+        self.timeout_s = timeout_s
+        self.rng = random.Random(seed)
+        self._pool: "asyncio.Queue[_Connection]" = asyncio.Queue()
+        self._opened = 0
+        self._all_connections: List[_Connection] = []
+
+    async def _acquire(self) -> _Connection:
+        if self._pool.empty() and self._opened < self.max_connections:
+            self._opened += 1
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port)
+            except BaseException:
+                self._opened -= 1  # free the slot we reserved
+                raise
+            conn = _Connection(reader, writer)
+            self._all_connections.append(conn)
+            return conn
+        return await self._pool.get()
+
+    async def _reopen(self) -> _Connection:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        conn = _Connection(reader, writer)
+        self._all_connections.append(conn)
+        return conn
+
+    async def run(self) -> LoadReport:
+        report = LoadReport()
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        tasks: List[asyncio.Task] = []
+
+        async def one(index: int, at_s: float) -> None:
+            method, path, body = self.request_factory(index, self.rng)
+            phase = self.phase_of(at_s)
+            recorder = report.by_phase.setdefault(
+                phase, LatencyRecorder(capacity=65536))
+            try:
+                status = await asyncio.wait_for(
+                    self._one_request(method, path, body),
+                    timeout=self.timeout_s)
+            except asyncio.TimeoutError:
+                report.timeouts += 1
+                return
+            except (OSError, EOFError):
+                report.transport_errors += 1
+                return
+            # Latency from *scheduled* arrival: includes connection-pool
+            # wait and server queueing (no coordinated omission).
+            recorder.record((loop.time() - (t0 + at_s)) * 1000.0)
+            report.status_counts[status] = (
+                report.status_counts.get(status, 0) + 1)
+            if status == 503:
+                report.shed += 1
+            elif status >= 400:
+                report.http_errors += 1
+            else:
+                report.ok += 1
+
+        for index, at_s in enumerate(self.arrivals):
+            delay = (t0 + at_s) - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            report.sent += 1
+            tasks.append(loop.create_task(one(index, at_s)))
+
+        if tasks:
+            await asyncio.gather(*tasks)
+        report.duration_s = loop.time() - t0
+        for conn in self._all_connections:
+            conn.close()
+        return report
+
+    async def _one_request(self, method: str, path: str,
+                           body: bytes) -> int:
+        conn = await self._acquire()
+        try:
+            try:
+                status = await conn.request(self.host, method, path, body)
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.IncompleteReadError):
+                # Stale keep-alive connection: retry once on a fresh one.
+                conn.close()
+                conn = await self._reopen()
+                status = await conn.request(self.host, method, path, body)
+        except BaseException:
+            # Timeout-cancel or hard failure: this connection's stream
+            # state is unknown, so drop it and free its pool slot.
+            conn.close()
+            self._opened -= 1
+            raise
+        self._pool.put_nowait(conn)
+        return status

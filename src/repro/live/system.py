@@ -1,0 +1,533 @@
+"""Asyncio actor runtime: real mailboxes, wall-clock time, live migration.
+
+This is the live counterpart of :class:`repro.actors.ActorSystem`.  It
+reuses the *entire* data model of the sim runtime — :class:`ActorRef`,
+:class:`ActorRecord`, :class:`Directory`, :class:`Message`, and the
+:class:`RuntimeHooks` profiling feed — but replaces simulated delivery
+with per-actor :class:`asyncio.Queue` mailboxes drained by one
+cooperative dispatch task per actor (classic actor semantics: one
+message at a time, no locks).
+
+Live migration is the same two-phase protocol as the simulator,
+expressed in asyncio:
+
+1. **prepare** — flag the record ``migrating`` and close a *gate*: the
+   dispatch task finishes the in-flight handler and then parks before
+   touching the next message.  New sends keep queueing; nothing is lost.
+2. **transfer** — sleep proportionally to the actor's ``state_size_mb``
+   (``transfer_ms_per_mb``), modelling state copy time on the wall
+   clock.
+3. **commit** — in one synchronous (and therefore, on an event loop,
+   atomic) block: re-bind the mailbox to a fresh queue (draining any
+   messages queued during the transfer, order preserved), move the
+   memory ledger, flip the directory record, and open the gate.
+
+The ``LiveActor`` base subclasses the sim ``Actor`` so one class
+hierarchy serves both runtimes: ``describe_actor_class`` (EPL schema
+extraction), ``property_refs`` (``in ref(...)`` conditions), and
+``snapshot_state`` all work unchanged; only the handler-side primitives
+(``compute``/``call``/``sleep``) become coroutines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import itertools
+from time import perf_counter
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Type
+
+from ..actors.actor import Actor
+from ..actors.directory import ActorRecord, Directory
+from ..actors.hooks import RuntimeHooks
+from ..actors.message import (CLIENT_KIND, DEFAULT_REPLY_BYTES, Message,
+                              Overloaded)
+from ..actors.refs import ActorRef
+from ..runtime import RuntimeBackend
+from .clock import LiveClock
+from .servers import LiveServer
+
+__all__ = ["LiveActor", "LiveActorSystem", "LiveBackend", "ActorGone"]
+
+_STOP = object()
+_REBIND = object()
+
+
+class ActorGone(LookupError):
+    """The target actor does not exist (never created, or destroyed)."""
+
+
+class LiveActor(Actor):
+    """Base class for actors hosted by :class:`LiveActorSystem`.
+
+    Handlers are regular methods or coroutines.  The primitives return
+    awaitables instead of sim waitables; ``tell`` stays synchronous
+    (fire-and-forget enqueues immediately).
+    """
+
+    async def compute(self, cpu_ms: float) -> None:  # type: ignore[override]
+        """Model ``cpu_ms`` of service time: charged to the hosting
+        server's meter and to this actor's CPU profile, then slept on
+        the wall clock."""
+        await self._system._actor_compute(self, cpu_ms)
+
+    async def call(self, ref: ActorRef, function: str,  # type: ignore[override]
+                   *args: Any, size_bytes: Optional[float] = None) -> Any:
+        return await self._system._actor_call(
+            self, ref, function, args,
+            size_bytes if size_bytes is not None else self.message_bytes)
+
+    def tell(self, ref: ActorRef, function: str, *args: Any,
+             size_bytes: Optional[float] = None) -> None:
+        self._system._actor_tell(
+            self, ref, function, args,
+            size_bytes if size_bytes is not None else self.message_bytes)
+
+    async def sleep(self, delay_ms: float) -> None:  # type: ignore[override]
+        await asyncio.sleep(delay_ms / 1000.0)
+
+
+class LiveActorSystem:
+    """Hosts actors on logical servers sharing one asyncio event loop.
+
+    Construct (and use) inside a running event loop: mailbox dispatch
+    runs as one task per actor.
+    """
+
+    def __init__(self, clock: Optional[LiveClock] = None,
+                 default_instance_type: str = "m5.large",
+                 mailbox_capacity: Optional[int] = None,
+                 transfer_ms_per_mb: float = 5.0) -> None:
+        self.clock = clock or LiveClock()
+        self.directory = Directory()
+        self.servers: List[LiveServer] = []
+        self.hooks: List[RuntimeHooks] = []
+        self.default_instance_type = default_instance_type
+        #: Bounded-mailbox overload protection: client sends beyond this
+        #: depth are shed with a retriable ``Overloaded`` NACK (``None``
+        #: disables).  Actor-to-actor sends are never shed, matching the
+        #: sim runtime's disposition rules.
+        self.mailbox_capacity = mailbox_capacity
+        #: Wall-clock cost of the migration transfer phase per MB of
+        #: actor state.
+        self.transfer_ms_per_mb = transfer_ms_per_mb
+
+        self._actor_ids = itertools.count(1)
+        self._server_ids = itertools.count(1)
+        self._mailboxes: Dict[int, asyncio.Queue] = {}
+        self._tasks: Dict[int, asyncio.Task] = {}
+        self._gates: Dict[int, asyncio.Event] = {}
+        self._busy: Dict[int, bool] = {}
+        self._idle_events: Dict[int, asyncio.Event] = {}
+
+        self.messages_delivered = 0
+        self.messages_shed = 0
+        self.handler_errors = 0
+        self.migrations_completed = 0
+        self.migrations_refused = 0
+
+        self.backend = LiveBackend(self)
+
+    # -- hooks ---------------------------------------------------------
+
+    def add_hooks(self, hooks: RuntimeHooks) -> None:
+        self.hooks.append(hooks)
+
+    def remove_hooks(self, hooks: RuntimeHooks) -> None:
+        self.hooks.remove(hooks)
+
+    # -- servers -------------------------------------------------------
+
+    def add_server(self, instance_type: Optional[str] = None,
+                   name: Optional[str] = None) -> LiveServer:
+        server = LiveServer.of_type(
+            self.clock, instance_type or self.default_instance_type,
+            next(self._server_ids), name=name)
+        self.servers.append(server)
+        return server
+
+    def running_servers(self) -> List[LiveServer]:
+        return [s for s in self.servers if s.running]
+
+    # -- actor lifecycle -----------------------------------------------
+
+    def create_actor(self, cls: Type[LiveActor], *args: Any,
+                     server: Optional[LiveServer] = None,
+                     **kwargs: Any) -> ActorRef:
+        """Place and start a new actor; returns its ref.
+
+        Placement: the explicit ``server`` wins; otherwise the running
+        server currently hosting the fewest actors (ties broken by
+        server id, so placement is reproducible for a fixed call
+        order).
+        """
+        if server is None:
+            candidates = self.running_servers()
+            if not candidates:
+                raise RuntimeError("no running servers to place on")
+            server = min(candidates,
+                         key=lambda s: (len(self.directory.on_server(s)),
+                                        s.server_id))
+        elif not server.running:
+            raise RuntimeError(f"server {server.name} is not running")
+
+        instance = cls(*args, **kwargs)
+        actor_id = next(self._actor_ids)
+        ref = ActorRef(actor_id=actor_id, type_name=cls.__name__)
+        instance.actor_id = actor_id
+        instance.ref = ref
+        instance._system = self
+        record = ActorRecord(
+            instance=instance, ref=ref, server=server,
+            created_at=self.clock.now, last_placed_at=self.clock.now,
+            spawn_args=args, spawn_kwargs=dict(kwargs))
+        self.directory.register(record)
+        server.allocate_memory(instance.state_size_mb)
+
+        self._mailboxes[actor_id] = asyncio.Queue()
+        self._busy[actor_id] = False
+        self._tasks[actor_id] = asyncio.get_running_loop().create_task(
+            self._dispatch(record), name=f"live-actor-{actor_id}")
+        for hooks in self.hooks:
+            hooks.on_actor_created(record)
+        instance.on_start()
+        return ref
+
+    def destroy_actor(self, ref: ActorRef) -> None:
+        record = self.directory.try_lookup(ref.actor_id)
+        if record is None:
+            return
+        aid = ref.actor_id
+        self.directory.unregister(aid)
+        record.server.free_memory(record.instance.state_size_mb)
+        mailbox = self._mailboxes.pop(aid, None)
+        if mailbox is not None:
+            mailbox.put_nowait((_STOP, None))
+            self._drain_dead(mailbox)
+        self._gates.pop(aid, None)
+        self._busy.pop(aid, None)
+        self._idle_events.pop(aid, None)
+        for hooks in self.hooks:
+            hooks.on_actor_destroyed(record)
+
+    @staticmethod
+    def _drain_dead(mailbox: asyncio.Queue) -> None:
+        """Fail every message still queued behind a _STOP."""
+        backlog = []
+        while not mailbox.empty():
+            backlog.append(mailbox.get_nowait())
+        for item in backlog:
+            message, reply = item
+            if message is _STOP or message is _REBIND:
+                mailbox.put_nowait(item)
+                continue
+            if reply is not None and not reply.done():
+                reply.set_exception(ActorGone(
+                    f"actor #{message.target_id} destroyed"))
+
+    def actor_instance(self, ref: ActorRef) -> Actor:
+        return self.directory.lookup(ref.actor_id).instance
+
+    # -- sending -------------------------------------------------------
+
+    def client_call(self, ref: ActorRef, function: str, *args: Any,
+                    size_bytes: float = 512.0) -> "asyncio.Future[Any]":
+        """External request: returns a future resolved with the reply.
+
+        Overload shedding resolves the future with an
+        :class:`Overloaded` value (not an exception) — same retriable
+        NACK contract as the sim runtime.  A missing target fails the
+        future with :class:`ActorGone`.
+        """
+        message = Message(
+            target_id=ref.actor_id, function=function, args=args,
+            caller_kind=CLIENT_KIND, caller_id=None,
+            size_bytes=size_bytes, reply=None,
+            reply_bytes=DEFAULT_REPLY_BYTES, sent_at=self.clock.now)
+        return self._send(message, want_reply=True, src_record=None)
+
+    async def _actor_call(self, actor: Actor, ref: ActorRef, function: str,
+                          args: tuple, size_bytes: float) -> Any:
+        src_record = self.directory.try_lookup(actor.actor_id)
+        message = Message(
+            target_id=ref.actor_id, function=function, args=args,
+            caller_kind=actor.type_name, caller_id=actor.actor_id,
+            size_bytes=size_bytes, reply=None, sent_at=self.clock.now)
+        return await self._send(message, want_reply=True,
+                                src_record=src_record)
+
+    def _actor_tell(self, actor: Actor, ref: ActorRef, function: str,
+                    args: tuple, size_bytes: float) -> None:
+        src_record = self.directory.try_lookup(actor.actor_id)
+        message = Message(
+            target_id=ref.actor_id, function=function, args=args,
+            caller_kind=actor.type_name, caller_id=actor.actor_id,
+            size_bytes=size_bytes, reply=None, sent_at=self.clock.now)
+        self._send(message, want_reply=False, src_record=src_record)
+
+    def _send(self, message: Message, want_reply: bool,
+              src_record: Optional[ActorRecord],
+              ) -> Optional["asyncio.Future[Any]"]:
+        loop = asyncio.get_running_loop()
+        reply: Optional[asyncio.Future] = (loop.create_future()
+                                           if want_reply else None)
+        record = self.directory.try_lookup(message.target_id)
+        if record is None:
+            if reply is not None:
+                reply.set_exception(ActorGone(
+                    f"no actor #{message.target_id}"))
+            return reply
+        mailbox = self._mailboxes[message.target_id]
+        if (self.mailbox_capacity is not None
+                and message.caller_kind == CLIENT_KIND
+                and mailbox.qsize() >= self.mailbox_capacity):
+            self.messages_shed += 1
+            for hooks in self.hooks:
+                hooks.on_message_shed(record, message, "shed")
+            if reply is not None:
+                reply.set_result(Overloaded("shed"))
+            return reply
+
+        # Network accounting: bytes cross a "link" only between distinct
+        # logical servers (or from an external client).
+        if src_record is None or src_record.server is not record.server:
+            if src_record is not None:
+                src_record.server.note_net(message.size_bytes)
+                for hooks in self.hooks:
+                    hooks.on_bytes_sent(src_record, message.size_bytes)
+            record.server.note_net(message.size_bytes)
+            for hooks in self.hooks:
+                hooks.on_bytes_received(record, message.size_bytes)
+
+        self.messages_delivered += 1
+        for hooks in self.hooks:
+            hooks.on_message_delivered(record, message)
+        mailbox.put_nowait((message, reply))
+        return reply
+
+    # -- dispatch ------------------------------------------------------
+
+    async def _dispatch(self, record: ActorRecord) -> None:
+        aid = record.ref.actor_id
+        while True:
+            mailbox = self._mailboxes.get(aid)
+            if mailbox is None:
+                return
+            message, reply = await mailbox.get()
+            if message is _STOP:
+                return
+            if message is _REBIND:
+                # Migration re-bound the mailbox while we were blocked on
+                # the stale queue; loop to pick up the fresh one.
+                continue
+            gate = self._gates.get(aid)
+            if gate is not None:
+                await gate.wait()
+            self._busy[aid] = True
+            try:
+                await self._invoke(record, message, reply)
+            finally:
+                self._busy[aid] = False
+                idle = self._idle_events.pop(aid, None)
+                if idle is not None:
+                    idle.set()
+
+    async def _invoke(self, record: ActorRecord, message: Message,
+                      reply: Optional["asyncio.Future[Any]"]) -> None:
+        try:
+            handler = getattr(record.instance, message.function)
+            result = handler(*message.args)
+            if inspect.isawaitable(result):
+                result = await result
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.handler_errors += 1
+            if reply is not None and not reply.done():
+                reply.set_exception(exc)
+            return
+        if reply is not None and not reply.done():
+            reply.set_result(result)
+
+    async def _actor_compute(self, actor: Actor, cpu_ms: float) -> None:
+        if cpu_ms < 0:
+            raise ValueError(f"negative compute: {cpu_ms!r}")
+        record = self.directory.try_lookup(actor.actor_id)
+        if record is not None:
+            record.server.note_busy(cpu_ms)
+            for hooks in self.hooks:
+                hooks.on_compute(record, cpu_ms)
+        if cpu_ms > 0.0:
+            await asyncio.sleep(cpu_ms / 1000.0)
+
+    # -- migration -----------------------------------------------------
+
+    async def migrate_actor(self, ref: ActorRef, target: LiveServer,
+                            force: bool = False) -> bool:
+        """Two-phase live migration; returns True when committed.
+
+        Refusals (unknown actor, already migrating, pinned without
+        ``force``, target not running, no-op move) return False without
+        touching the actor.
+        """
+        record = self.directory.try_lookup(ref.actor_id)
+        if (record is None or record.migrating
+                or (record.pinned and not force)
+                or not target.running or record.server is target):
+            self.migrations_refused += 1
+            return False
+        aid = ref.actor_id
+        record.migrating = True
+        gate = asyncio.Event()  # closed until commit
+        self._gates[aid] = gate
+        source = record.server
+        started = perf_counter()
+        try:
+            # PREPARE: wait out the in-flight handler (new messages keep
+            # queueing behind the closed gate).
+            while self._busy.get(aid):
+                idle = self._idle_events.get(aid)
+                if idle is None:
+                    idle = asyncio.Event()
+                    self._idle_events[aid] = idle
+                await idle.wait()
+            if self.directory.try_lookup(aid) is not record:
+                return False  # destroyed while we waited
+            # TRANSFER: state copy, charged on the wall clock.
+            transfer_ms = (record.instance.state_size_mb
+                           * self.transfer_ms_per_mb)
+            if transfer_ms > 0.0:
+                await asyncio.sleep(transfer_ms / 1000.0)
+            if self.directory.try_lookup(aid) is not record:
+                return False
+            if not target.running:
+                return False  # target died mid-transfer: abort, stay put
+            # COMMIT: no awaits below — atomic on the event loop.
+            old = self._mailboxes[aid]
+            fresh: asyncio.Queue = asyncio.Queue()
+            while not old.empty():
+                fresh.put_nowait(old.get_nowait())
+            self._mailboxes[aid] = fresh
+            old.put_nowait((_REBIND, None))
+            source.free_memory(record.instance.state_size_mb)
+            target.allocate_memory(record.instance.state_size_mb)
+            record.server = target
+            record.last_placed_at = self.clock.now
+            record.migrations += 1
+            self.migrations_completed += 1
+            record.instance.on_migrated(source, target)
+            for hooks in self.hooks:
+                hooks.on_actor_migrated(record, source, target)
+            return True
+        finally:
+            record.migrating = False
+            self._gates.pop(aid, None)
+            gate.set()
+            self.last_migration_wall_ms = (perf_counter() - started) * 1e3
+
+    #: Wall-clock duration of the most recent migration attempt.
+    last_migration_wall_ms: float = 0.0
+
+    def pin(self, ref: ActorRef, pinned: bool = True) -> None:
+        self.directory.lookup(ref.actor_id).pinned = pinned
+
+    # -- queries -------------------------------------------------------
+
+    def server_of(self, ref: ActorRef) -> LiveServer:
+        return self.directory.lookup(ref.actor_id).server
+
+    def mailbox_depth(self, actor_id: int) -> int:
+        mailbox = self._mailboxes.get(actor_id)
+        return 0 if mailbox is None else mailbox.qsize()
+
+    def actors_on(self, server: LiveServer) -> List[ActorRecord]:
+        return self.directory.on_server(server)
+
+    async def quiesce(self, timeout_s: float = 5.0) -> bool:
+        """Wait until every mailbox is empty and no handler is running."""
+        deadline = perf_counter() + timeout_s
+        while perf_counter() < deadline:
+            if (all(q.empty() for q in self._mailboxes.values())
+                    and not any(self._busy.values())):
+                return True
+            await asyncio.sleep(0.005)
+        return False
+
+    async def shutdown(self) -> None:
+        """Stop every dispatch task (queued messages are abandoned)."""
+        tasks = list(self._tasks.values())
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        self._tasks.clear()
+        for mailbox in self._mailboxes.values():
+            self._drain_dead(mailbox)
+        for server in self.servers:
+            server.shutdown()
+
+
+class LiveBackend(RuntimeBackend):
+    """The :class:`RuntimeBackend` face of :class:`LiveActorSystem`."""
+
+    name = "live"
+    wall_clock = True
+
+    def __init__(self, system: LiveActorSystem) -> None:
+        self.system = system
+
+    # -- clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.system.clock.now
+
+    def schedule(self, delay_ms: float, callback: Callable[..., Any],
+                 *args: Any) -> None:
+        asyncio.get_running_loop().call_later(
+            delay_ms / 1000.0, callback, *args)
+
+    def spawn(self, proc: Awaitable[Any],
+              name: Optional[str] = None) -> "asyncio.Task[Any]":
+        return asyncio.get_running_loop().create_task(proc, name=name)
+
+    # -- control surface -----------------------------------------------
+
+    def create_actor(self, cls: type, *args: Any, **kwargs: Any) -> ActorRef:
+        return self.system.create_actor(cls, *args, **kwargs)
+
+    def migrate_actor(self, ref: ActorRef, target: LiveServer,
+                      force: bool = False) -> "asyncio.Task[bool]":
+        return asyncio.get_running_loop().create_task(
+            self.system.migrate_actor(ref, target, force=force),
+            name=f"live-migrate-{ref.actor_id}")
+
+    def pin(self, ref: ActorRef, pinned: bool = True) -> None:
+        self.system.pin(ref, pinned)
+
+    def resurrect_actor(self, tombstone: ActorRecord,
+                        server: Optional[LiveServer] = None) -> None:
+        raise NotImplementedError(
+            "live backend has no crash/resurrect surface yet; "
+            "see docs/live-runtime.md")
+
+    # -- observation surface -------------------------------------------
+
+    def actors_on(self, server: LiveServer) -> List[ActorRecord]:
+        return self.system.actors_on(server)
+
+    def mailbox_depth(self, actor_id: int) -> int:
+        return self.system.mailbox_depth(actor_id)
+
+    def server_of(self, ref: ActorRef) -> LiveServer:
+        return self.system.server_of(ref)
+
+    def servers(self) -> Sequence[LiveServer]:
+        return list(self.system.servers)
+
+    # -- profiling subscribers -----------------------------------------
+
+    def add_hooks(self, hooks: RuntimeHooks) -> None:
+        self.system.add_hooks(hooks)
+
+    def remove_hooks(self, hooks: RuntimeHooks) -> None:
+        self.system.remove_hooks(hooks)

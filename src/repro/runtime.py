@@ -1,0 +1,201 @@
+"""Pluggable runtime backends: one control surface, two clocks.
+
+PLASMA's EMR is *decoupled* from the actor runtime (paper §2): LEMs and
+GEMs consume profiling snapshots and drive a narrow migrate/pin/place
+API — nothing in the elasticity layer should care whether messages move
+through a discrete-event simulator or a real asyncio event loop.  This
+module pins that contract down as :class:`RuntimeBackend`:
+
+* **clock** — ``now`` in milliseconds (virtual or wall), plus
+  ``schedule``/``spawn`` so periodic control loops can be expressed
+  against either timebase;
+* **control surface** — ``migrate_actor`` / ``pin`` / ``create_actor`` /
+  ``resurrect_actor``, the only mutating verbs the EMR is allowed;
+* **observation surface** — ``actors_on`` / ``mailbox_depth`` /
+  ``server_of`` / ``servers`` plus hook (profiling subscriber)
+  registration, the only reads the EMR is allowed.
+
+:class:`SimBackend` adapts the deterministic simulator-backed
+:class:`~repro.actors.system.ActorSystem`; every method is a pure
+delegation, so running the EMR through the backend is bit-identical to
+calling the system directly (guarded by
+``tests/profiling/test_backend_equivalence.py``).  The wall-clock
+counterpart lives in :mod:`repro.live` (:class:`repro.live.LiveBackend`).
+
+Module-level imports here are deliberately limited to the standard
+library: ``actors.system`` imports this module, so pulling any repro
+package in at import time would cycle.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["RuntimeBackend", "SimBackend"]
+
+
+class RuntimeBackend(ABC):
+    """The surface an elasticity runtime needs from an actor runtime.
+
+    Time is always *milliseconds as float* — virtual for the simulator,
+    monotonic-wall-clock for the live runtime — so meters, windows, and
+    policy periods carry over unchanged between backends.
+
+    Methods whose completion is inherently asynchronous
+    (:meth:`migrate_actor`) return a backend-native completion handle: a
+    :class:`~repro.sim.Signal` under the simulator, an
+    :class:`asyncio.Task` under the live runtime, or ``None`` when the
+    request was refused outright.  Callers that only fire-and-continue
+    (the LEM's ``_execute``) can ignore it on either backend.
+    """
+
+    #: Short identifier (``"sim"`` / ``"live"``) used in logs and docs.
+    name: str = "abstract"
+
+    #: True when ``now`` advances with wall time even if nobody is
+    #: pumping an event loop; False for virtual (simulated) time.
+    wall_clock: bool = False
+
+    # -- clock ---------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in milliseconds since the runtime epoch."""
+
+    @abstractmethod
+    def schedule(self, delay_ms: float, callback: Callable[..., Any],
+                 *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay_ms`` milliseconds."""
+
+    @abstractmethod
+    def spawn(self, proc: Any, name: Optional[str] = None) -> Any:
+        """Launch a background control-loop process.
+
+        ``proc`` is backend-native: a generator of waitables under the
+        simulator, a coroutine under asyncio.
+        """
+
+    # -- control surface (the migrate/pin/place API) -------------------
+
+    @abstractmethod
+    def create_actor(self, cls: type, *args: Any, **kwargs: Any) -> Any:
+        """Place a new actor; returns its ``ActorRef``."""
+
+    @abstractmethod
+    def migrate_actor(self, ref: Any, target: Any,
+                      force: bool = False) -> Any:
+        """Start a two-phase live migration of ``ref`` to ``target``.
+
+        Returns a completion handle, or ``None``/``False`` when refused
+        (pinned without force, already migrating, target down, ...).
+        """
+
+    @abstractmethod
+    def pin(self, ref: Any, pinned: bool = True) -> None:
+        """Mark ``ref`` immovable (``pin`` EPL behavior)."""
+
+    @abstractmethod
+    def resurrect_actor(self, tombstone: Any,
+                        server: Optional[Any] = None) -> Any:
+        """Re-create a crashed actor from its directory tombstone."""
+
+    # -- observation surface -------------------------------------------
+
+    @abstractmethod
+    def actors_on(self, server: Any) -> List[Any]:
+        """Directory records of actors currently placed on ``server``."""
+
+    @abstractmethod
+    def mailbox_depth(self, actor_id: int) -> int:
+        """Queued (undelivered) messages for one actor."""
+
+    @abstractmethod
+    def server_of(self, ref: Any) -> Any:
+        """Current placement of ``ref``."""
+
+    @abstractmethod
+    def servers(self) -> Sequence[Any]:
+        """All known servers, running or not."""
+
+    # -- profiling subscribers -----------------------------------------
+
+    @abstractmethod
+    def add_hooks(self, hooks: Any) -> None:
+        """Subscribe a :class:`~repro.actors.hooks.RuntimeHooks`."""
+
+    @abstractmethod
+    def remove_hooks(self, hooks: Any) -> None:
+        """Unsubscribe a previously added hooks object."""
+
+
+class SimBackend(RuntimeBackend):
+    """Adapter exposing the simulator-backed ``ActorSystem``.
+
+    Every method is a one-hop delegation to the exact call the EMR made
+    before the backend indirection existed; no reordering, no extra
+    simulator events, no added randomness.  The golden-trace equivalence
+    guard pins this down by comparing full result fingerprints against a
+    bypassing shim.
+    """
+
+    name = "sim"
+    wall_clock = False
+
+    def __init__(self, system: Any) -> None:
+        self.system = system
+
+    # -- clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.system.sim.now
+
+    def schedule(self, delay_ms: float, callback: Callable[..., Any],
+                 *args: Any) -> None:
+        self.system.sim.schedule(delay_ms, callback, *args)
+
+    def spawn(self, proc: Any, name: Optional[str] = None) -> Any:
+        # Local import: sim is cheap to import but keeping the module
+        # header stdlib-only avoids any chance of an import cycle.
+        from .sim import spawn as sim_spawn
+        return sim_spawn(self.system.sim, proc, name=name)
+
+    # -- control surface -----------------------------------------------
+
+    def create_actor(self, cls: type, *args: Any, **kwargs: Any) -> Any:
+        return self.system.create_actor(cls, *args, **kwargs)
+
+    def migrate_actor(self, ref: Any, target: Any,
+                      force: bool = False) -> Any:
+        return self.system.migrate_actor(ref, target, force=force)
+
+    def pin(self, ref: Any, pinned: bool = True) -> None:
+        self.system.pin(ref, pinned)
+
+    def resurrect_actor(self, tombstone: Any,
+                        server: Optional[Any] = None) -> Any:
+        return self.system.resurrect_actor(tombstone, server)
+
+    # -- observation surface -------------------------------------------
+
+    def actors_on(self, server: Any) -> List[Any]:
+        return self.system.actors_on(server)
+
+    def mailbox_depth(self, actor_id: int) -> int:
+        return self.system.mailbox_depth(actor_id)
+
+    def server_of(self, ref: Any) -> Any:
+        return self.system.server_of(ref)
+
+    def servers(self) -> Sequence[Any]:
+        return self.system.provisioner.servers
+
+    # -- profiling subscribers -----------------------------------------
+
+    def add_hooks(self, hooks: Any) -> None:
+        self.system.add_hooks(hooks)
+
+    def remove_hooks(self, hooks: Any) -> None:
+        self.system.remove_hooks(hooks)

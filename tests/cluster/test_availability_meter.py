@@ -121,6 +121,25 @@ def test_conservation_under_bursty_overloaded_schedule(seed):
         == issued
 
 
+def test_latency_samples_feed_the_recorder():
+    sim = Simulator()
+    meter = AvailabilityMeter(sim)
+    meter.record_success(latency_ms=10.0)
+    meter.record_success(latency_ms=30.0)
+    meter.record("timeout", at=500.0, latency_ms=500.0)
+    meter.record_success()                       # no sample: count only
+    assert meter.totals["success"] == 3
+    assert meter.latency.count == 3              # only sampled outcomes
+    summary = meter.latency_summary()
+    assert summary["p50"] == 30.0
+    assert summary["max_ms"] == 500.0
+    report = meter.report()
+    assert report["success"] == 3
+    assert report["issued"] == 4
+    assert report["latency"] == summary
+    assert report["availability"] == pytest.approx(3 / 4)
+
+
 def test_records_at_sim_now_by_default():
     sim = Simulator()
     meter = AvailabilityMeter(sim)

@@ -1,0 +1,119 @@
+"""Property tests: LatencyRecorder vs a brute-force last-N reference.
+
+``LatencyRecorder`` promises nearest-rank percentiles over exactly the
+most recent ``capacity`` samples, with lifetime (un-windowed)
+count/mean/max.  The reference here is deliberately dumb: keep every
+sample in a list, slice the last N, sort, index ``ceil(p/100 * n) - 1``.
+Random capacities, random sample streams, and interleaved queries (the
+lazy-sort path is only interesting when queries and writes interleave)
+must agree exactly.
+
+``derandomize=True`` keeps the suite reproducible in CI.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profiling import LatencyRecorder
+
+_samples = st.lists(
+    st.floats(min_value=-10.0, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    max_size=120)
+
+_capacities = st.integers(min_value=1, max_value=48)
+
+_ps = st.floats(min_value=0.001, max_value=100.0,
+                allow_nan=False, allow_infinity=False)
+
+
+def brute_percentile(samples, capacity, p):
+    retained = sorted(max(s, 0.0) for s in samples[-capacity:])
+    if not retained:
+        return None
+    rank = math.ceil(p / 100.0 * len(retained))
+    return retained[rank - 1]
+
+
+@settings(derandomize=True, max_examples=200)
+@given(samples=_samples, capacity=_capacities, p=_ps)
+def test_percentile_matches_brute_force(samples, capacity, p):
+    rec = LatencyRecorder(capacity=capacity)
+    rec.extend(samples)
+    assert rec.percentile(p) == brute_percentile(samples, capacity, p)
+    assert len(rec) == min(len(samples), capacity)
+
+
+@settings(derandomize=True, max_examples=100)
+@given(samples=_samples, capacity=_capacities)
+def test_lifetime_aggregates_are_unwindowed(samples, capacity):
+    rec = LatencyRecorder(capacity=capacity)
+    rec.extend(samples)
+    clamped = [max(s, 0.0) for s in samples]
+    assert rec.count == len(samples)
+    if samples:
+        assert rec.max_ms == max(clamped)
+        assert rec.mean_ms() == pytest.approx(sum(clamped) / len(clamped))
+    else:
+        assert rec.mean_ms() is None
+
+
+def test_interleaved_queries_and_writes():
+    """The lazy sort must never serve a stale view after a write."""
+    rng = random.Random(20260808)
+    for capacity in (1, 2, 7, 32):
+        rec = LatencyRecorder(capacity=capacity)
+        history = []
+        for step in range(400):
+            if rng.random() < 0.7 or not history:
+                sample = rng.uniform(0.0, 500.0)
+                history.append(sample)
+                rec.record(sample)
+            else:
+                p = rng.choice([1.0, 50.0, 90.0, 95.0, 99.0, 100.0])
+                assert rec.percentile(p) == brute_percentile(
+                    history, capacity, p), (capacity, step, p)
+        summary = rec.summary()
+        assert summary["count"] == len(history)
+        assert summary["p99"] == brute_percentile(history, capacity, 99.0)
+
+
+def test_percentiles_keys_and_empty_behaviour():
+    rec = LatencyRecorder()
+    assert rec.percentile(50.0) is None
+    assert rec.percentiles() == {"p50": None, "p95": None, "p99": None}
+    assert rec.summary()["max_ms"] is None
+    rec.record(5.0)
+    assert rec.percentiles((50.0, 99.9)) == {"p50": 5.0, "p99.9": 5.0}
+
+
+def test_out_of_range_percentile_raises():
+    rec = LatencyRecorder()
+    rec.record(1.0)
+    for bad in (0.0, -1.0, 100.001):
+        with pytest.raises(ValueError):
+            rec.percentile(bad)
+    with pytest.raises(ValueError):
+        LatencyRecorder(capacity=0)
+
+
+def test_negative_samples_clamp_to_zero():
+    rec = LatencyRecorder(capacity=4)
+    rec.extend([-3.0, -1.0, 2.0])
+    assert rec.percentile(1.0) == 0.0
+    assert rec.max_ms == 2.0
+    assert rec.total_ms == 2.0
+
+
+def test_reset_clears_everything():
+    rec = LatencyRecorder(capacity=8)
+    rec.extend([1.0, 2.0, 3.0])
+    rec.reset()
+    assert rec.count == 0
+    assert len(rec) == 0
+    assert rec.percentile(50.0) is None
+    rec.record(7.0)
+    assert rec.percentile(50.0) == 7.0
